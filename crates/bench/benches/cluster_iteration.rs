@@ -1,0 +1,61 @@
+//! Benchmarks of one full cluster iteration (the unit of tuning cost):
+//! per-workload, and per-topology size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cluster::config::{ClusterConfig, Topology};
+use cluster::model::ClusterScenario;
+use cluster::runner::run_iteration;
+use tpcw::metrics::IntervalPlan;
+use tpcw::mix::Workload;
+
+fn scenario(topology: Topology, workload: Workload, pop: u32) -> ClusterScenario {
+    let mut s = ClusterScenario::single(workload, pop, IntervalPlan::tiny(), 42);
+    s.config = ClusterConfig::defaults(&topology);
+    s.topology = topology;
+    s
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration/workload");
+    g.sample_size(10);
+    for workload in Workload::ALL {
+        g.bench_function(workload.name(), |b| {
+            let s = scenario(Topology::single(), workload, 400);
+            b.iter(|| black_box(run_iteration(&s).metrics.wips))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration/cluster_size");
+    g.sample_size(10);
+    for (label, topo, pop) in [
+        ("1p1a1d", Topology::tiers(1, 1, 1).unwrap(), 400u32),
+        ("2p2a2d", Topology::tiers(2, 2, 2).unwrap(), 800),
+        ("4p4a4d", Topology::tiers(4, 4, 4).unwrap(), 1_600),
+    ] {
+        g.bench_function(label, |b| {
+            let s = scenario(topo.clone(), Workload::Shopping, pop);
+            b.iter(|| black_box(run_iteration(&s).metrics.wips))
+        });
+    }
+    g.finish();
+}
+
+fn bench_worklines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration/worklines");
+    g.sample_size(10);
+    g.bench_function("partitioned_2lines", |b| {
+        let topo = Topology::tiers(2, 2, 2).unwrap();
+        let mut s = scenario(topo, Workload::Shopping, 800);
+        s.lines = Some(vec![vec![0, 2, 4], vec![1, 3, 5]]);
+        b.iter(|| black_box(run_iteration(&s).line_wips.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_cluster_sizes, bench_worklines);
+criterion_main!(benches);

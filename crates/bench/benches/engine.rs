@@ -1,0 +1,172 @@
+//! Microbenchmarks of the simulation substrate: event calendar, RNG,
+//! LRU cache, multi-server resource, and the simplex kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cluster::cache::LruCache;
+use cluster::object::object_size_bytes;
+use harmony::param::ParamDef;
+use harmony::simplex::SimplexTuner;
+use harmony::space::ParamSpace;
+use harmony::tuner::Tuner;
+use simkit::calendar::EventCalendar;
+use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::resource::MultiServer;
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar/heap_schedule_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut cal: EventCalendar<u64> = EventCalendar::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime::from_micros(rng.next_below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = cal.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    c.bench_function("calendar/calqueue_schedule_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut cal: simkit::calqueue::CalendarQueue<u64> =
+                simkit::calqueue::CalendarQueue::new();
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime::from_micros(rng.next_below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = cal.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+struct Hot {
+    rng: SimRng,
+    station: MultiServer<u32>,
+    served: u64,
+}
+
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+impl Model for Hot {
+    type Event = Ev;
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                let svc = self.rng.exp_duration(SimDuration::from_micros(800));
+                if let simkit::resource::Admission::Started =
+                    self.station.offer(sched.now(), 0, svc)
+                {
+                    sched.after(svc, Ev::Departure);
+                }
+                sched.after(
+                    self.rng.exp_duration(SimDuration::from_millis(1)),
+                    Ev::Arrival,
+                );
+            }
+            Ev::Departure => {
+                self.served += 1;
+                if let Some(d) = self.station.complete(sched.now()) {
+                    sched.after(d.demand, Ev::Departure);
+                }
+            }
+        }
+    }
+}
+
+fn bench_engine_loop(c: &mut Criterion) {
+    c.bench_function("engine/mm1_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Hot {
+                rng: SimRng::new(7),
+                station: MultiServer::new(SimTime::ZERO, 1, None),
+                served: 0,
+            })
+            .with_event_budget(100_000);
+            sim.schedule_at(SimTime::ZERO, Ev::Arrival);
+            sim.run_until(SimTime::MAX);
+            black_box(sim.model().served)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exp_duration_1m", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.exp_duration(SimDuration::from_secs(7)).as_micros());
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rng/zipf_1m", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.zipf(20_050, 0.75));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru/zipf_churn_100k", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(8 * 1024 * 1024);
+            let mut rng = SimRng::new(11);
+            for _ in 0..100_000 {
+                let obj = rng.zipf(20_050, 0.75);
+                if !cache.get(obj) {
+                    cache.insert(obj, object_size_bytes(obj));
+                }
+            }
+            black_box(cache.hit_ratio())
+        })
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    c.bench_function("simplex/23dim_200_steps", |b| {
+        let defs: Vec<ParamDef> = (0..23)
+            .map(|i| ParamDef::new(format!("p{i}"), 0, 10_000, 5_000))
+            .collect();
+        b.iter(|| {
+            let mut t = SimplexTuner::new(ParamSpace::new(defs.clone()));
+            for _ in 0..200 {
+                let cfg = t.propose();
+                let perf: f64 = cfg
+                    .values()
+                    .iter()
+                    .map(|&v| -((v - 3_000) as f64).abs())
+                    .sum();
+                t.observe(perf);
+            }
+            black_box(t.best().map(|(_, p)| p))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_engine_loop,
+    bench_rng,
+    bench_lru,
+    bench_simplex
+);
+criterion_main!(benches);

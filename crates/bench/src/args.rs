@@ -1,0 +1,121 @@
+//! Minimal command-line parsing for the regeneration binaries.
+//!
+//! Every binary accepts:
+//! * `--effort smoke|quick|paper` (default `quick`)
+//! * `--seed <u64>` (default 42)
+//! * `--csv <dir>` (optional: also write raw series as CSV files)
+
+use orchestrator::experiments::Effort;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub effort: Effort,
+    pub effort_name: &'static str,
+    pub seed: u64,
+    /// Directory for optional CSV dumps.
+    pub csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Options {
+    /// Write `csv` to `<csv_dir>/<name>` when `--csv` was given.
+    pub fn maybe_write_csv(&self, name: &str, csv: &str) {
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(name);
+            match orchestrator::export::write_csv(&path, csv) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Parse from an iterator of arguments (excluding `argv[0]`).
+pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut effort = Effort::quick();
+    let mut effort_name = "quick";
+    let mut seed = 42u64;
+    let mut csv_dir = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--effort" => {
+                let v = it.next().ok_or("--effort needs a value")?;
+                (effort, effort_name) = match v.as_str() {
+                    "smoke" => (Effort::smoke(), "smoke"),
+                    "quick" => (Effort::quick(), "quick"),
+                    "paper" => (Effort::paper(), "paper"),
+                    other => return Err(format!("unknown effort '{other}'")),
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err("usage: [--effort smoke|quick|paper] [--seed N] [--csv DIR]".into());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Options {
+        effort,
+        effort_name,
+        seed,
+        csv_dir,
+    })
+}
+
+/// Parse the process arguments, exiting with a message on error.
+pub fn parse() -> Options {
+    match parse_from(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_from(args(&[])).unwrap();
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.effort_name, "quick");
+    }
+
+    #[test]
+    fn parses_effort_and_seed() {
+        let o = parse_from(args(&["--effort", "paper", "--seed", "7"])).unwrap();
+        assert_eq!(o.effort_name, "paper");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.effort.iterations, 200);
+    }
+
+    #[test]
+    fn parses_csv_dir() {
+        let o = parse_from(args(&["--csv", "/tmp/out"])).unwrap();
+        assert_eq!(o.csv_dir, Some(std::path::PathBuf::from("/tmp/out")));
+        assert!(parse_from(args(&["--csv"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse_from(args(&["--bogus"])).is_err());
+        assert!(parse_from(args(&["--effort", "huge"])).is_err());
+        assert!(parse_from(args(&["--seed", "abc"])).is_err());
+        assert!(parse_from(args(&["--seed"])).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: the paper's future-work hybrid tuning method.
+//!
+//! §III.B closes with "we plan to investigate the possibility to have the
+//! hybrid tuning — using the parameter duplication method first, and then
+//! using separate tuning server for each group for fine-granularity
+//! tuning." This ablation runs it next to its two ingredients on the
+//! Table 4 cluster.
+
+use bench::args;
+use harmony::strategy::TuningMethod;
+use orchestrator::experiments::table4;
+use orchestrator::report::{fmt_f, fmt_pct, TextTable};
+
+fn main() {
+    let opts = args::parse();
+    println!(
+        "== Ablation: hybrid tuning (duplication then partitioning) \
+         (effort: {}, seed: {}) ==\n",
+        opts.effort_name, opts.seed
+    );
+    let methods = vec![
+        TuningMethod::Duplication,
+        TuningMethod::Partitioning,
+        TuningMethod::Hybrid,
+    ];
+    let r = table4::run(&methods, &opts.effort, opts.seed);
+
+    let mut table = TextTable::new([
+        "Method",
+        "WIPS",
+        "Std dev (2nd half)",
+        "Improvement",
+        "Iterations to 99%",
+    ]);
+    table.row([
+        "None (No Tuning)".to_string(),
+        fmt_f(r.baseline_wips, 1),
+        fmt_f(r.baseline_std, 1),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    for row in &r.rows {
+        table.row([
+            row.method.label().to_string(),
+            fmt_f(row.best_wips, 1),
+            fmt_f(row.stability_std, 1),
+            fmt_pct(row.improvement),
+            row.iterations_to_converge.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expectation: hybrid inherits duplication's fast start and ends at or");
+    println!("above the pure methods once the per-line servers fine-tune.");
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benches. Each binary in `src/bin/` regenerates one paper
+//! artifact; see EXPERIMENTS.md for the index.
+
+pub mod args;
+pub mod tuned;
+pub mod util;

@@ -1,0 +1,23 @@
+//! Small formatting helpers shared by the regeneration binaries.
+
+/// Render a percentage with one decimal, e.g. `12.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Render a ratio change as a signed percentage, e.g. `+16.2%`.
+pub fn signed_pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(signed_pct(0.162), "+16.2%");
+        assert_eq!(signed_pct(-0.05), "-5.0%");
+    }
+}

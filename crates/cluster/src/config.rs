@@ -1,0 +1,441 @@
+//! Cluster topology and full configuration.
+//!
+//! A [`Topology`] assigns each server node a tier role; a
+//! [`ClusterConfig`] carries the per-node tunable parameters, aligned with
+//! the topology's node list. The automatic reconfiguration experiments of
+//! Section IV change the topology; the tuning experiments of Section III
+//! change the configuration.
+
+use crate::params::{DbParams, ProxyParams, WebParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tier role of a server node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Tier 1: Squid proxy / presentation.
+    Proxy,
+    /// Tier 2: Tomcat application server.
+    App,
+    /// Tier 3: MySQL database.
+    Db,
+}
+
+impl Role {
+    pub const ALL: [Role; 3] = [Role::Proxy, Role::App, Role::Db];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Proxy => "proxy",
+            Role::App => "app",
+            Role::Db => "db",
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dense identifier of a server node within a topology.
+pub type NodeId = usize;
+
+/// The tier layout of the cluster's server machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    roles: Vec<Role>,
+}
+
+impl Topology {
+    /// Build from an explicit role list.
+    pub fn new(roles: Vec<Role>) -> Result<Topology, TopologyError> {
+        let t = Topology { roles };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// `p` proxies, `a` app servers, `d` databases (nodes numbered proxies
+    /// first, then app, then db).
+    pub fn tiers(p: usize, a: usize, d: usize) -> Result<Topology, TopologyError> {
+        let mut roles = Vec::with_capacity(p + a + d);
+        roles.extend(std::iter::repeat_n(Role::Proxy, p));
+        roles.extend(std::iter::repeat_n(Role::App, a));
+        roles.extend(std::iter::repeat_n(Role::Db, d));
+        Topology::new(roles)
+    }
+
+    /// The paper's single-work-line setup (one node per tier).
+    pub fn single() -> Topology {
+        Topology::tiers(1, 1, 1).expect("1/1/1 is valid")
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        for role in Role::ALL {
+            if self.count(role) == 0 {
+                return Err(TopologyError::EmptyTier(role));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    pub fn role(&self, node: NodeId) -> Role {
+        self.roles[node]
+    }
+
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// Node ids of one tier, ascending.
+    pub fn nodes_in(&self, role: Role) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of nodes in one tier — the paper's `M(t)`.
+    pub fn count(&self, role: Role) -> usize {
+        self.roles.iter().filter(|r| **r == role).count()
+    }
+
+    /// Move `node` to `new_role` (Section IV reconfiguration). Fails if it
+    /// would empty the node's current tier — the algorithm's `M(tier) > 1`
+    /// guard.
+    pub fn reassign(&self, node: NodeId, new_role: Role) -> Result<Topology, TopologyError> {
+        if node >= self.roles.len() {
+            return Err(TopologyError::NoSuchNode(node));
+        }
+        let old = self.roles[node];
+        if old == new_role {
+            return Err(TopologyError::AlreadyInTier(node, new_role));
+        }
+        if self.count(old) <= 1 {
+            return Err(TopologyError::WouldEmptyTier(old));
+        }
+        let mut roles = self.roles.clone();
+        roles[node] = new_role;
+        Topology::new(roles)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}p/{}a/{}d",
+            self.count(Role::Proxy),
+            self.count(Role::App),
+            self.count(Role::Db)
+        )
+    }
+}
+
+/// Topology construction/reassignment failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    EmptyTier(Role),
+    WouldEmptyTier(Role),
+    NoSuchNode(NodeId),
+    AlreadyInTier(NodeId, Role),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyTier(r) => write!(f, "tier {r} has no nodes"),
+            TopologyError::WouldEmptyTier(r) => write!(f, "reassignment would empty tier {r}"),
+            TopologyError::NoSuchNode(n) => write!(f, "node {n} does not exist"),
+            TopologyError::AlreadyInTier(n, r) => write!(f, "node {n} is already in tier {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Tunable parameters of one node, tagged by role.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeParams {
+    Proxy(ProxyParams),
+    App(WebParams),
+    Db(DbParams),
+}
+
+impl NodeParams {
+    /// The default configuration for a role.
+    pub fn default_for(role: Role) -> NodeParams {
+        match role {
+            Role::Proxy => NodeParams::Proxy(ProxyParams::default_config()),
+            Role::App => NodeParams::App(WebParams::default_config()),
+            Role::Db => NodeParams::Db(DbParams::default_config()),
+        }
+    }
+
+    pub fn role(&self) -> Role {
+        match self {
+            NodeParams::Proxy(_) => Role::Proxy,
+            NodeParams::App(_) => Role::App,
+            NodeParams::Db(_) => Role::Db,
+        }
+    }
+
+    pub fn as_proxy(&self) -> Option<&ProxyParams> {
+        match self {
+            NodeParams::Proxy(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn as_app(&self) -> Option<&WebParams> {
+        match self {
+            NodeParams::App(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn as_db(&self) -> Option<&DbParams> {
+        match self {
+            NodeParams::Db(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Full cluster configuration: one [`NodeParams`] per topology node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    node_params: Vec<NodeParams>,
+}
+
+impl ClusterConfig {
+    /// Default parameters for every node of `topology`.
+    pub fn defaults(topology: &Topology) -> ClusterConfig {
+        ClusterConfig {
+            node_params: topology
+                .roles()
+                .iter()
+                .map(|r| NodeParams::default_for(*r))
+                .collect(),
+        }
+    }
+
+    /// Uniform per-tier configuration (parameter-duplication style): every
+    /// node of a tier gets the same parameters.
+    pub fn uniform(
+        topology: &Topology,
+        proxy: ProxyParams,
+        app: WebParams,
+        db: DbParams,
+    ) -> ClusterConfig {
+        ClusterConfig {
+            node_params: topology
+                .roles()
+                .iter()
+                .map(|r| match r {
+                    Role::Proxy => NodeParams::Proxy(proxy),
+                    Role::App => NodeParams::App(app),
+                    Role::Db => NodeParams::Db(db),
+                })
+                .collect(),
+        }
+    }
+
+    /// Build from explicit per-node parameters; roles must match.
+    pub fn new(topology: &Topology, node_params: Vec<NodeParams>) -> Result<Self, ConfigError> {
+        if node_params.len() != topology.len() {
+            return Err(ConfigError::Arity(topology.len(), node_params.len()));
+        }
+        for (i, (p, r)) in node_params.iter().zip(topology.roles()).enumerate() {
+            if p.role() != *r {
+                return Err(ConfigError::RoleMismatch(i, *r, p.role()));
+            }
+        }
+        Ok(ClusterConfig { node_params })
+    }
+
+    pub fn node(&self, id: NodeId) -> &NodeParams {
+        &self.node_params[id]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeParams {
+        &mut self.node_params[id]
+    }
+
+    pub fn nodes(&self) -> &[NodeParams] {
+        &self.node_params
+    }
+
+    pub fn len(&self) -> usize {
+        self.node_params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.node_params.is_empty()
+    }
+
+    /// Adapt this config to a reassigned topology: nodes keep their params
+    /// where the role is unchanged; a node whose role changed gets the
+    /// *defaults* of the new role (a freshly-started server process).
+    pub fn adapt_to(&self, topology: &Topology) -> ClusterConfig {
+        let node_params = topology
+            .roles()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| match self.node_params.get(i) {
+                Some(p) if p.role() == *r => *p,
+                _ => NodeParams::default_for(*r),
+            })
+            .collect();
+        ClusterConfig { node_params }
+    }
+}
+
+/// Configuration construction failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    Arity(usize, usize),
+    RoleMismatch(NodeId, Role, Role),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Arity(want, got) => write!(f, "expected {want} node params, got {got}"),
+            ConfigError::RoleMismatch(n, want, got) => {
+                write!(f, "node {n}: topology says {want}, params say {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_builds_in_order() {
+        let t = Topology::tiers(2, 3, 1).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.nodes_in(Role::Proxy), vec![0, 1]);
+        assert_eq!(t.nodes_in(Role::App), vec![2, 3, 4]);
+        assert_eq!(t.nodes_in(Role::Db), vec![5]);
+        assert_eq!(format!("{t}"), "2p/3a/1d");
+    }
+
+    #[test]
+    fn empty_tier_rejected() {
+        assert_eq!(
+            Topology::tiers(0, 1, 1),
+            Err(TopologyError::EmptyTier(Role::Proxy))
+        );
+        assert_eq!(
+            Topology::tiers(1, 1, 0),
+            Err(TopologyError::EmptyTier(Role::Db))
+        );
+    }
+
+    #[test]
+    fn reassign_moves_node() {
+        let t = Topology::tiers(4, 2, 1).unwrap();
+        let t2 = t.reassign(0, Role::App).unwrap();
+        assert_eq!(t2.count(Role::Proxy), 3);
+        assert_eq!(t2.count(Role::App), 3);
+        assert_eq!(t2.role(0), Role::App);
+        // Original untouched.
+        assert_eq!(t.count(Role::Proxy), 4);
+    }
+
+    #[test]
+    fn reassign_guards() {
+        let t = Topology::single();
+        assert_eq!(
+            t.reassign(0, Role::App),
+            Err(TopologyError::WouldEmptyTier(Role::Proxy))
+        );
+        assert_eq!(t.reassign(9, Role::App), Err(TopologyError::NoSuchNode(9)));
+        assert_eq!(
+            t.reassign(0, Role::Proxy),
+            Err(TopologyError::AlreadyInTier(0, Role::Proxy))
+        );
+    }
+
+    #[test]
+    fn defaults_align_with_roles() {
+        let t = Topology::tiers(1, 2, 1).unwrap();
+        let c = ClusterConfig::defaults(&t);
+        assert_eq!(c.len(), 4);
+        assert!(c.node(0).as_proxy().is_some());
+        assert!(c.node(1).as_app().is_some());
+        assert!(c.node(2).as_app().is_some());
+        assert!(c.node(3).as_db().is_some());
+    }
+
+    #[test]
+    fn new_validates_roles() {
+        let t = Topology::single();
+        let bad = vec![
+            NodeParams::default_for(Role::App), // should be Proxy
+            NodeParams::default_for(Role::App),
+            NodeParams::default_for(Role::Db),
+        ];
+        assert!(matches!(
+            ClusterConfig::new(&t, bad),
+            Err(ConfigError::RoleMismatch(0, Role::Proxy, Role::App))
+        ));
+        let short = vec![NodeParams::default_for(Role::Proxy)];
+        assert!(matches!(
+            ClusterConfig::new(&t, short),
+            Err(ConfigError::Arity(3, 1))
+        ));
+    }
+
+    #[test]
+    fn adapt_to_keeps_matching_roles_and_defaults_changed_ones() {
+        let t = Topology::tiers(2, 2, 1).unwrap();
+        let mut c = ClusterConfig::defaults(&t);
+        // Customize node 0 (proxy) and node 2 (app).
+        if let NodeParams::Proxy(p) = c.node_mut(0) {
+            p.cache_mem = 33;
+        }
+        if let NodeParams::App(a) = c.node_mut(2) {
+            a.max_processors = 77;
+        }
+        let t2 = t.reassign(0, Role::App).unwrap();
+        let c2 = c.adapt_to(&t2);
+        // Node 0 changed role: fresh app defaults.
+        assert_eq!(c2.node(0).as_app().unwrap().max_processors, 20);
+        // Node 2 kept its customization.
+        assert_eq!(c2.node(2).as_app().unwrap().max_processors, 77);
+        // Node 1 still proxy defaults.
+        assert_eq!(c2.node(1).as_proxy().unwrap().cache_mem, 8);
+    }
+
+    #[test]
+    fn uniform_applies_per_tier() {
+        let t = Topology::tiers(2, 2, 2).unwrap();
+        let mut proxy = ProxyParams::default_config();
+        proxy.cache_mem = 42;
+        let c = ClusterConfig::uniform(
+            &t,
+            proxy,
+            WebParams::default_config(),
+            DbParams::default_config(),
+        );
+        assert_eq!(c.node(0).as_proxy().unwrap().cache_mem, 42);
+        assert_eq!(c.node(1).as_proxy().unwrap().cache_mem, 42);
+    }
+}

@@ -1,0 +1,203 @@
+//! Node memory accounting and the swap-pressure penalty.
+//!
+//! The paper observed that "the system often performs poorly when using a
+//! configuration with extreme values". The dominant mechanism on 1 GB
+//! machines is memory: thread stacks, connection buffers, and caches are
+//! all *configured* consumers — push several to their limits and the node
+//! starts paging, which multiplies every service time. This module turns a
+//! node's parameters into a memory demand and a smooth slowdown factor.
+
+use crate::params::{DbParams, ProxyParams, WebParams};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Memory demand (MB) of a Squid proxy process.
+///
+/// Base process + the configured memory store + index/bucket overhead
+/// (small — Squid's metadata is ~100 B/object; with at most tens of
+/// thousands of objects this stays in single-digit MB).
+pub fn proxy_memory_mb(p: &ProxyParams) -> f64 {
+    let base = 80.0;
+    let store = p.cache_mem.max(0) as f64;
+    let index = 6.0; // object metadata + hash buckets
+    base + store + index
+}
+
+/// Memory demand (MB) of a Tomcat process.
+///
+/// JVM base + per-thread cost. Threads above `minProcessors` exist only
+/// under load, so they are charged at half weight (Tomcat reaps idle
+/// threads back to the minimum).
+pub fn app_memory_mb(w: &WebParams) -> f64 {
+    let base = 128.0;
+    let http = w.http_pool();
+    let ajp = w.ajp_pool();
+    let per_thread_mb = 0.5 + w.buffer_size.max(0) as f64 / MB;
+    let http_threads = http.min as f64 + 0.5 * (http.max - http.min) as f64;
+    let ajp_threads = ajp.min as f64 + 0.5 * (ajp.max - ajp.min) as f64;
+    base + http_threads * per_thread_mb + ajp_threads * 0.5
+}
+
+/// Memory demand (MB) of a MySQL process.
+///
+/// * per-connection: thread stack + network buffer (allocated for every
+///   permitted connection up-front in MySQL 3.23's thread-per-connection
+///   model, scaled by a 60% typical-usage factor),
+/// * per-running-thread: join buffer (only queries actually joining hold
+///   one — bounded by `thread_concurrency`) and binlog cache (only writing
+///   transactions — charged at half the thread concurrency),
+/// * table cache descriptors and the delayed-insert queue.
+pub fn db_memory_mb(d: &DbParams) -> f64 {
+    let base = 110.0;
+    let conns = d.max_connections.max(0) as f64 * 0.6;
+    let per_conn = (d.thread_stack.max(0) + d.net_buffer_length.max(0)) as f64 / MB;
+    let threads = d.thread_concurrency.max(0) as f64;
+    let join = threads * d.join_buffer_size.max(0) as f64 / MB;
+    let binlog = 0.5 * threads * d.binlog_cache_size.max(0) as f64 / MB;
+    let tables = d.table_cache.max(0) as f64 * 0.008;
+    let delayed = d.delayed_queue_size.max(0) as f64 * 0.0005;
+    base + conns * per_conn + join + binlog + tables + delayed
+}
+
+/// Smooth service-time multiplier from memory pressure.
+///
+/// * below 80% occupancy: no penalty;
+/// * 80–100%: quadratic ramp up to 4× (page-cache starvation, then light
+///   swapping);
+/// * above 100%: steep linear growth (thrashing).
+pub fn pressure_factor(used_mb: f64, capacity_mb: f64) -> f64 {
+    if capacity_mb <= 0.0 {
+        return 1.0;
+    }
+    let rho = used_mb / capacity_mb;
+    if rho <= 0.80 {
+        1.0
+    } else if rho <= 1.0 {
+        let x = (rho - 0.80) / 0.20;
+        1.0 + 3.0 * x * x
+    } else {
+        4.0 + 12.0 * (rho - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{DbParams, ProxyParams, WebParams};
+
+    #[test]
+    fn default_configs_fit_comfortably_in_1gb() {
+        // The paper's default configuration performs "ok" — it must not be
+        // memory-bound.
+        let p = proxy_memory_mb(&ProxyParams::default_config());
+        let a = app_memory_mb(&WebParams::default_config());
+        let d = db_memory_mb(&DbParams::default_config());
+        assert!(p < 820.0, "proxy {p}");
+        assert!(a < 820.0, "app {a}");
+        assert!(d < 820.0, "db {d}");
+        assert_eq!(pressure_factor(p, 1024.0), 1.0);
+        assert_eq!(pressure_factor(a, 1024.0), 1.0);
+        assert_eq!(pressure_factor(d, 1024.0), 1.0);
+    }
+
+    #[test]
+    fn paper_tuned_ordering_config_still_fits() {
+        // Table 3's ordering column pushed many values up; the tuned system
+        // performed well, so it must not thrash in our model either.
+        let d = DbParams {
+            binlog_cache_size: 284_672,
+            delayed_insert_limit: 700,
+            max_connections: 701,
+            delayed_queue_size: 7_100,
+            join_buffer_size: 407_552,
+            net_buffer_length: 34_816,
+            table_cache: 761,
+            thread_concurrency: 76,
+            thread_stack: 773_120,
+        };
+        let used = db_memory_mb(&d);
+        assert!(
+            pressure_factor(used, 1024.0) < 2.0,
+            "tuned ordering db uses {used} MB"
+        );
+    }
+
+    #[test]
+    fn extreme_values_cause_pressure() {
+        // All DB knobs at maximum must thrash a 1 GB node.
+        let d = DbParams {
+            binlog_cache_size: 1_048_576,
+            delayed_insert_limit: 1_000,
+            max_connections: 1_000,
+            delayed_queue_size: 20_000,
+            join_buffer_size: 16_777_216,
+            net_buffer_length: 65_536,
+            table_cache: 2_048,
+            thread_concurrency: 512,
+            thread_stack: 2_097_152,
+        };
+        let used = db_memory_mb(&d);
+        assert!(used > 1024.0, "extreme config must exceed RAM, used {used}");
+        assert!(pressure_factor(used, 1024.0) > 4.0);
+    }
+
+    #[test]
+    fn default_join_buffer_is_a_real_cost() {
+        // The paper found shrinking join_buffer_size from 8 MB to 400 KB
+        // cost nothing — in our model it must *free* meaningful memory so
+        // the tuner can trade it for useful caches.
+        let mut d = DbParams::default_config();
+        let before = db_memory_mb(&d);
+        d.join_buffer_size = 407_552;
+        let after = db_memory_mb(&d);
+        assert!(before - after > 50.0, "saved {} MB", before - after);
+    }
+
+    #[test]
+    fn pressure_factor_shape() {
+        assert_eq!(pressure_factor(0.0, 1024.0), 1.0);
+        assert_eq!(pressure_factor(819.0, 1024.0), 1.0);
+        let mid = pressure_factor(921.6, 1024.0); // 90%
+        assert!(mid > 1.0 && mid < 2.0, "mid {mid}");
+        let full = pressure_factor(1024.0, 1024.0);
+        assert!((full - 4.0).abs() < 1e-9);
+        let over = pressure_factor(1228.8, 1024.0); // 120%
+        assert!(over > 6.0);
+        // Monotone non-decreasing.
+        let mut last = 0.0;
+        for i in 0..200 {
+            let f = pressure_factor(i as f64 * 10.0, 1024.0);
+            assert!(f >= last);
+            last = f;
+        }
+        // Degenerate capacity.
+        assert_eq!(pressure_factor(100.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn memory_grows_with_each_consumer() {
+        let base = DbParams::default_config();
+        let m0 = db_memory_mb(&base);
+        for (i, bump) in [
+            DbParams { max_connections: 800, ..base },
+            DbParams { thread_stack: 1_500_000, ..base },
+            DbParams { join_buffer_size: 16_000_000, ..base },
+            DbParams { thread_concurrency: 300, ..base },
+            DbParams { table_cache: 2_000, ..base },
+            DbParams { binlog_cache_size: 1_000_000, ..base },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(db_memory_mb(bump) > m0, "consumer {i} did not add memory");
+        }
+        let w0 = app_memory_mb(&WebParams::default_config());
+        let mut w = WebParams::default_config();
+        w.max_processors = 400;
+        assert!(app_memory_mb(&w) > w0);
+        let p0 = proxy_memory_mb(&ProxyParams::default_config());
+        let mut p = ProxyParams::default_config();
+        p.cache_mem = 64;
+        assert!(proxy_memory_mb(&p) > p0);
+    }
+}

@@ -1,0 +1,247 @@
+//! In-flight request state.
+//!
+//! Each web interaction in flight is one [`Request`] in a slab (free-list
+//! recycled, so steady-state operation allocates nothing). Events carry a
+//! [`ReqId`]; the request records where it is in the pipeline and which
+//! tier resources it currently holds.
+
+use crate::config::NodeId;
+use crate::proxy::CacheOutcome;
+use simkit::time::{SimDuration, SimTime};
+use tpcw::browser::BrowserId;
+use tpcw::interaction::Interaction;
+
+/// Slab index of an in-flight request.
+pub type ReqId = u32;
+
+/// Where the request is in the pipeline — interpreted together with the
+/// resource-completion event that carries it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqPhase {
+    /// Proxy CPU: cache lookup / request parsing.
+    ProxyLookup,
+    /// Proxy disk: reading a disk-store hit.
+    ProxyDiskRead,
+    /// Proxy NIC: sending the response to the browser.
+    ProxySend,
+    /// App CPU: servlet / static handler execution.
+    AppCpu,
+    /// DB CPU: query execution.
+    DbCpu,
+    /// DB disk: data page read.
+    DbDiskRead,
+    /// DB disk: binlog spill flush for an oversized transaction.
+    DbBinlogFlush,
+}
+
+/// One in-flight web interaction.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub browser: BrowserId,
+    pub interaction: Interaction,
+    pub issued_at: SimTime,
+    /// Proxy node that accepted the request.
+    pub proxy_node: NodeId,
+    /// App node chosen when forwarded (meaningless for proxy hits).
+    pub app_node: NodeId,
+    /// DB node chosen for this request's queries.
+    pub db_node: NodeId,
+    /// Work line the request belongs to (0 when unpartitioned).
+    pub line: u32,
+    /// Which tiers this request was assigned a node in (for
+    /// load-balancer accounting release).
+    pub assigned_app: bool,
+    pub assigned_db: bool,
+    /// Cacheable object requested, if any.
+    pub object: Option<u64>,
+    /// Response size in bytes.
+    pub response_bytes: u64,
+    /// How the proxy resolved it.
+    pub cache_outcome: CacheOutcome,
+    /// True if the page needs servlet (AJP) execution.
+    pub needs_servlet: bool,
+    /// Database queries still to run.
+    pub queries_remaining: u32,
+    /// Pipeline position.
+    pub phase: ReqPhase,
+    /// Resources currently held (released on completion or failure).
+    pub holds_http: bool,
+    pub holds_ajp: bool,
+    pub holds_db_conn: bool,
+    pub holds_db_sched: bool,
+    /// The current DB query needs a data-page disk read after its CPU
+    /// slice.
+    pub pending_disk: bool,
+    /// Pending binlog spill after the current disk read (write queries
+    /// whose transaction log overflowed `binlog_cache_size`).
+    pub binlog_spill: bool,
+    /// Generation counter guarding against stale events after slot reuse.
+    pub generation: u32,
+}
+
+impl Request {
+    pub fn new(browser: BrowserId, interaction: Interaction, issued_at: SimTime) -> Self {
+        Request {
+            browser,
+            interaction,
+            issued_at,
+            proxy_node: 0,
+            app_node: 0,
+            db_node: 0,
+            line: 0,
+            assigned_app: false,
+            assigned_db: false,
+            object: None,
+            response_bytes: 0,
+            cache_outcome: CacheOutcome::Miss,
+            needs_servlet: false,
+            queries_remaining: 0,
+            phase: ReqPhase::ProxyLookup,
+            holds_http: false,
+            holds_ajp: false,
+            holds_db_conn: false,
+            holds_db_sched: false,
+            pending_disk: false,
+            binlog_spill: false,
+            generation: 0,
+        }
+    }
+
+    /// Response time so far.
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.since(self.issued_at)
+    }
+}
+
+/// Free-list slab of requests.
+#[derive(Debug, Default)]
+pub struct RequestSlab {
+    slots: Vec<Option<Request>>,
+    generations: Vec<u32>,
+    free: Vec<ReqId>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl RequestSlab {
+    pub fn new() -> Self {
+        RequestSlab::default()
+    }
+
+    /// Insert a request, returning its id. The request's generation is
+    /// stamped from the slot's generation counter.
+    pub fn insert(&mut self, mut req: Request) -> ReqId {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        match self.free.pop() {
+            Some(id) => {
+                req.generation = self.generations[id as usize];
+                self.slots[id as usize] = Some(req);
+                id
+            }
+            None => {
+                let id = self.slots.len() as ReqId;
+                req.generation = 0;
+                self.generations.push(0);
+                self.slots.push(Some(req));
+                id
+            }
+        }
+    }
+
+    /// Access a live request.
+    pub fn get(&self, id: ReqId) -> Option<&Request> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    pub fn get_mut(&mut self, id: ReqId) -> Option<&mut Request> {
+        self.slots.get_mut(id as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Remove a request, recycling its slot (generation bumps so stale
+    /// events referencing the old occupant can be detected).
+    pub fn remove(&mut self, id: ReqId) -> Option<Request> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let req = slot.take()?;
+        self.generations[id as usize] = self.generations[id as usize].wrapping_add(1);
+        self.free.push(id);
+        self.live -= 1;
+        Some(req)
+    }
+
+    /// Current generation of a slot (for stale-event checks).
+    pub fn generation(&self, id: ReqId) -> Option<u32> {
+        self.generations.get(id as usize).copied()
+    }
+
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request::new(3, Interaction::Home, SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = RequestSlab::new();
+        let id = slab.insert(req());
+        assert_eq!(slab.live(), 1);
+        assert_eq!(slab.get(id).unwrap().browser, 3);
+        let removed = slab.remove(id).unwrap();
+        assert_eq!(removed.interaction, Interaction::Home);
+        assert_eq!(slab.live(), 0);
+        assert!(slab.get(id).is_none());
+        assert!(slab.remove(id).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled_with_new_generation() {
+        let mut slab = RequestSlab::new();
+        let a = slab.insert(req());
+        let gen_a = slab.get(a).unwrap().generation;
+        slab.remove(a);
+        let b = slab.insert(req());
+        assert_eq!(a, b, "slot must be reused");
+        let gen_b = slab.get(b).unwrap().generation;
+        assert_ne!(gen_a, gen_b, "generation must change on reuse");
+        assert_eq!(slab.generation(b), Some(gen_b));
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water() {
+        let mut slab = RequestSlab::new();
+        let ids: Vec<_> = (0..10).map(|_| slab.insert(req())).collect();
+        for id in &ids {
+            slab.remove(*id);
+        }
+        slab.insert(req());
+        assert_eq!(slab.peak_live(), 10);
+        assert_eq!(slab.live(), 1);
+    }
+
+    #[test]
+    fn elapsed_measures_from_issue() {
+        let r = req();
+        assert_eq!(
+            r.elapsed(SimTime::from_secs(3)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let slab = RequestSlab::new();
+        assert!(slab.get(42).is_none());
+        assert_eq!(slab.generation(42), None);
+    }
+}

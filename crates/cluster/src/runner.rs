@@ -1,0 +1,243 @@
+//! One tuning iteration = one self-contained simulation run.
+//!
+//! The paper's harness restarts the servers between iterations anyway (so
+//! configuration-file parameters take effect), so each iteration here is an
+//! independent DES run: build the world from (topology, config, workload),
+//! warm up, measure, cool down, and report WIPS plus per-node resource
+//! utilizations. Runs are deterministic in the scenario seed; the tuning
+//! session varies the seed per iteration to model real measurement noise.
+
+use crate::model::{start_simulation, ClusterScenario};
+use crate::node::NodeUtilization;
+use serde::{Deserialize, Serialize};
+use simkit::engine::StopReason;
+use simkit::time::SimTime;
+use tpcw::metrics::IterationMetrics;
+
+/// Result of one iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationOutcome {
+    /// WIPS and companion metrics over the measurement window.
+    pub metrics: IterationMetrics,
+    /// Resource utilization per node, measured over the whole run.
+    pub node_utilization: Vec<NodeUtilization>,
+    /// Requests completed across all phases.
+    pub total_done: u64,
+    /// Requests refused at admission across all phases.
+    pub total_failed: u64,
+    /// Per-work-line WIPS (single entry when unpartitioned).
+    pub line_wips: Vec<f64>,
+    /// Events executed (simulation-cost diagnostics).
+    pub events: u64,
+}
+
+/// Execute one iteration of `scenario`.
+///
+/// Panics if the simulation deadlocks before the horizon (that would be a
+/// model bug, not a configuration issue — bad configurations are slow, not
+/// stuck, because browsers always come back after think time).
+pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
+    if let Err(msg) = scenario.validate() {
+        panic!("invalid scenario: {msg}");
+    }
+    let mut sim = start_simulation(scenario);
+    let horizon = SimTime::ZERO + scenario.plan.total();
+    // Reset utilization windows after warmup so reported utilizations
+    // reflect the steady state.
+    let warm_end = SimTime::ZERO + scenario.plan.warmup;
+    let reason = sim.run_until(warm_end);
+    assert_eq!(
+        reason,
+        StopReason::HorizonReached,
+        "cluster went idle during warmup — no browsers scheduled?"
+    );
+    let now = sim.now();
+    for node in &mut sim.model_mut().nodes {
+        node.reset_windows(now);
+    }
+    let reason = sim.run_until(horizon);
+    assert_eq!(reason, StopReason::HorizonReached);
+    let events = sim.events_executed();
+    let end = sim.now();
+    let model = sim.model();
+    IterationOutcome {
+        metrics: model.metrics.summarise(),
+        node_utilization: model.utilizations(end),
+        total_done: model.total_done(),
+        total_failed: model.total_failed(),
+        line_wips: model.line_wips(),
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcw::metrics::IntervalPlan;
+    use tpcw::mix::Workload;
+
+    fn tiny_scenario(workload: Workload, seed: u64) -> ClusterScenario {
+        let mut s = ClusterScenario::single(workload, 200, IntervalPlan::tiny(), seed);
+        s.scale = tpcw::scale::CatalogScale::hpdc04();
+        s
+    }
+
+    #[test]
+    fn simulation_completes_and_produces_throughput() {
+        let out = run_iteration(&tiny_scenario(Workload::Shopping, 1));
+        assert!(out.metrics.wips > 1.0, "wips {}", out.metrics.wips);
+        assert!(out.total_done > 0);
+        assert!(out.events > 1_000);
+        assert_eq!(out.node_utilization.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = run_iteration(&tiny_scenario(Workload::Browsing, 7));
+        let b = run_iteration(&tiny_scenario(Workload::Browsing, 7));
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.total_done, b.total_done);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_vary_slightly() {
+        let a = run_iteration(&tiny_scenario(Workload::Shopping, 1));
+        let b = run_iteration(&tiny_scenario(Workload::Shopping, 2));
+        // Same workload, different stochastic path: close but not equal.
+        assert_ne!(a.metrics.completed, b.metrics.completed);
+        let rel = (a.metrics.wips - b.metrics.wips).abs() / a.metrics.wips;
+        assert!(rel < 0.25, "seeds diverge too much: {rel}");
+    }
+
+    #[test]
+    fn browse_heavy_workload_touches_db_less() {
+        let b = run_iteration(&tiny_scenario(Workload::Browsing, 3));
+        let o = run_iteration(&tiny_scenario(Workload::Ordering, 3));
+        // DB node is index 2 in a single topology.
+        assert!(
+            o.node_utilization[2].cpu > b.node_utilization[2].cpu,
+            "ordering must load the db more: {:?} vs {:?}",
+            o.node_utilization[2],
+            b.node_utilization[2]
+        );
+    }
+
+    #[test]
+    fn work_lines_split_throughput() {
+        use crate::config::Topology;
+        use crate::ClusterConfig;
+        let topology = Topology::tiers(2, 2, 2).unwrap();
+        let mut s = ClusterScenario::single(Workload::Shopping, 400, IntervalPlan::tiny(), 9);
+        s.config = ClusterConfig::defaults(&topology);
+        s.topology = topology;
+        s.lines = Some(vec![vec![0, 2, 4], vec![1, 3, 5]]);
+        let out = run_iteration(&s);
+        assert_eq!(out.line_wips.len(), 2);
+        let total: f64 = out.line_wips.iter().sum();
+        assert!((total - out.metrics.wips).abs() < 1e-6, "line sum {total} vs wips {}", out.metrics.wips);
+        // Browsers split evenly, so the two lines carry similar load.
+        let ratio = out.line_wips[0] / out.line_wips[1];
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn least_connections_balances_like_round_robin_when_homogeneous() {
+        use crate::config::Topology;
+        use crate::model::LoadBalancing;
+        use crate::ClusterConfig;
+        let topology = Topology::tiers(2, 2, 1).unwrap();
+        let mut rr = ClusterScenario::single(Workload::Shopping, 400, IntervalPlan::tiny(), 13);
+        rr.config = ClusterConfig::defaults(&topology);
+        rr.topology = topology;
+        let mut lc = rr.clone();
+        lc.load_balancing = LoadBalancing::LeastConnections;
+        let a = run_iteration(&rr);
+        let b = run_iteration(&lc);
+        // Homogeneous nodes: both policies land near the same throughput,
+        // and least-connections keeps the two proxies evenly used.
+        let rel = (a.metrics.wips - b.metrics.wips).abs() / a.metrics.wips;
+        assert!(rel < 0.1, "rr {} vs lc {}", a.metrics.wips, b.metrics.wips);
+        let u = &b.node_utilization;
+        let spread = (u[0].disk - u[1].disk).abs();
+        assert!(spread < 0.15, "proxy disk imbalance {spread}");
+    }
+
+    #[test]
+    fn degraded_node_shows_in_utilization_and_least_connections_shields_it() {
+        use crate::config::Topology;
+        use crate::model::LoadBalancing;
+        use crate::ClusterConfig;
+        let topology = Topology::tiers(1, 2, 1).unwrap();
+        let mut s = ClusterScenario::single(Workload::Ordering, 500, IntervalPlan::tiny(), 17);
+        s.config = ClusterConfig::defaults(&topology);
+        s.topology = topology;
+        s.degrade_cpu(1, 0.25); // first app node at quarter speed
+        let rr = run_iteration(&s);
+        // The slow node runs proportionally hotter than its healthy twin.
+        assert!(
+            rr.node_utilization[1].cpu > rr.node_utilization[2].cpu * 1.5,
+            "degraded {:?} vs healthy {:?}",
+            rr.node_utilization[1],
+            rr.node_utilization[2]
+        );
+        // Least-connections routes around the slow node and wins.
+        let mut lc = s.clone();
+        lc.load_balancing = LoadBalancing::LeastConnections;
+        let out = run_iteration(&lc);
+        assert!(
+            out.metrics.wips >= rr.metrics.wips,
+            "lc {} vs rr {}",
+            out.metrics.wips,
+            rr.metrics.wips
+        );
+    }
+
+    #[test]
+    fn markov_sessions_match_iid_throughput() {
+        // Same stationary interaction frequencies => statistically similar
+        // throughput, different per-session structure.
+        let mut iid = tiny_scenario(Workload::Shopping, 11);
+        iid.browsers.population = 400;
+        let mut markov = iid.clone();
+        markov.markov_sessions = true;
+        let a = run_iteration(&iid);
+        let b = run_iteration(&markov);
+        assert!(b.metrics.wips > 0.0);
+        let rel = (a.metrics.wips - b.metrics.wips).abs() / a.metrics.wips;
+        assert!(rel < 0.15, "iid {} vs markov {}", a.metrics.wips, b.metrics.wips);
+        // Ordering funnel still completes under sessions.
+        assert!(b.metrics.order_completed > 0);
+    }
+
+    #[test]
+    fn unpartitioned_run_reports_one_line() {
+        let out = run_iteration(&tiny_scenario(Workload::Browsing, 4));
+        assert_eq!(out.line_wips.len(), 1);
+        assert!((out.line_wips[0] - out.metrics.wips).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_pages_are_slower_than_cached_browse_pages() {
+        use tpcw::interaction::InteractionClass;
+        let mut s = tiny_scenario(Workload::Shopping, 19);
+        s.browsers.population = 400;
+        let mut sim = crate::model::start_simulation(&s);
+        sim.run_until(simkit::time::SimTime::ZERO + s.plan.total());
+        let m = &sim.model().metrics;
+        let browse = m.mean_response_of_class(InteractionClass::Browse);
+        let order = m.mean_response_of_class(InteractionClass::Order);
+        assert!(
+            order > browse,
+            "order pages must be slower: {order:.4}s vs {browse:.4}s"
+        );
+    }
+
+    #[test]
+    fn all_interactions_complete_eventually() {
+        let out = run_iteration(&tiny_scenario(Workload::Ordering, 5));
+        // Order-heavy mix: both classes must complete.
+        assert!(out.metrics.browse_completed > 0);
+        assert!(out.metrics.order_completed > 0);
+    }
+}

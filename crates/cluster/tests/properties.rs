@@ -1,0 +1,144 @@
+//! Property-based tests of the cluster substrate.
+
+use cluster::cache::LruCache;
+use cluster::config::{ClusterConfig, NodeParams, Role, Topology};
+use cluster::memory::{app_memory_mb, db_memory_mb, pressure_factor, proxy_memory_mb};
+use cluster::params::{DbParams, ProxyParams, WebParams, DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES};
+use proptest::prelude::*;
+
+/// Arbitrary in-bounds value vectors per role.
+fn arb_values(defs: &'static [cluster::params::TunableDef]) -> impl Strategy<Value = Vec<i64>> {
+    defs.iter()
+        .map(|d| (d.min..=d.max).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(|v| v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LRU cache maintains its byte accounting under arbitrary
+    /// operation sequences and never exceeds capacity.
+    #[test]
+    fn lru_accounting_invariant(
+        capacity in 1_000u64..100_000,
+        ops in prop::collection::vec((0u64..200, 1u64..5_000, 0u8..3), 1..500),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        for (key, size, op) in ops {
+            match op {
+                0 => { cache.insert(key, size); }
+                1 => { cache.get(key); }
+                _ => { cache.remove(key); }
+            }
+            prop_assert!(cache.used_bytes() <= capacity);
+        }
+    }
+
+    /// Inserted-and-never-evicted objects are found; eviction only happens
+    /// under byte pressure.
+    #[test]
+    fn lru_small_working_set_never_evicts(
+        keys in prop::collection::vec(0u64..50, 1..100),
+    ) {
+        // Each object 100 bytes, capacity fits all 50 possible keys.
+        let mut cache = LruCache::new(50 * 100);
+        for &k in &keys {
+            cache.insert(k, 100);
+        }
+        prop_assert_eq!(cache.evictions(), 0);
+        for &k in &keys {
+            prop_assert!(cache.contains(k));
+        }
+    }
+
+    /// Parameter structs round-trip through value vectors for any
+    /// in-bounds assignment.
+    #[test]
+    fn params_roundtrip(
+        pv in arb_values(&PROXY_TUNABLES),
+        wv in arb_values(&WEB_TUNABLES),
+        dv in arb_values(&DB_TUNABLES),
+    ) {
+        let p = ProxyParams::from_values(&pv).unwrap();
+        prop_assert_eq!(p.to_values().to_vec(), pv);
+        let w = WebParams::from_values(&wv).unwrap();
+        prop_assert_eq!(w.to_values().to_vec(), wv);
+        let d = DbParams::from_values(&dv).unwrap();
+        prop_assert_eq!(d.to_values().to_vec(), dv);
+        // Effective pools always have min <= max and positive sizes.
+        let pool = w.http_pool();
+        prop_assert!(pool.min >= 1 && pool.min <= pool.max);
+        let (lo, hi) = p.effective_swap_watermarks();
+        prop_assert!(lo < hi && hi <= 100);
+    }
+
+    /// Memory demand is monotone in each consumer and the pressure factor
+    /// is monotone in usage.
+    #[test]
+    fn memory_monotone(
+        dv in arb_values(&DB_TUNABLES),
+        bump_dim in 0usize..9,
+    ) {
+        let d = DbParams::from_values(&dv).unwrap();
+        let base = db_memory_mb(&d);
+        let mut bumped_values = dv.clone();
+        let def = &DB_TUNABLES[bump_dim];
+        bumped_values[bump_dim] = def.max;
+        let bumped = db_memory_mb(&DbParams::from_values(&bumped_values).unwrap());
+        prop_assert!(bumped >= base - 1e-9, "dim {} shrank memory", def.name);
+        // Pressure monotonicity.
+        prop_assert!(pressure_factor(bumped, 1024.0) >= pressure_factor(base, 1024.0) - 1e-12);
+        // Proxy/app memory positive for any bounds.
+        prop_assert!(proxy_memory_mb(&ProxyParams::default_config()) > 0.0);
+        prop_assert!(app_memory_mb(&WebParams::default_config()) > 0.0);
+    }
+
+    /// Any topology reassignment that succeeds preserves the node count
+    /// and never empties a tier; the adapted config stays role-aligned.
+    #[test]
+    fn reassignment_preserves_invariants(
+        p in 1usize..4, a in 1usize..4, d in 1usize..4,
+        node in 0usize..12, to in 0u8..3,
+    ) {
+        let topology = Topology::tiers(p, a, d).unwrap();
+        let to_role = [Role::Proxy, Role::App, Role::Db][to as usize];
+        let config = ClusterConfig::defaults(&topology);
+        match topology.reassign(node % topology.len(), to_role) {
+            Ok(new_topology) => {
+                prop_assert_eq!(new_topology.len(), topology.len());
+                for role in Role::ALL {
+                    prop_assert!(new_topology.count(role) >= 1);
+                }
+                let adapted = config.adapt_to(&new_topology);
+                for (i, params) in adapted.nodes().iter().enumerate() {
+                    prop_assert_eq!(params.role(), new_topology.role(i));
+                }
+            }
+            Err(_) => {
+                // Refusals must be for a real reason: same tier, missing
+                // node, or emptying guard.
+                let n = node % topology.len();
+                let same = topology.role(n) == to_role;
+                let would_empty = topology.count(topology.role(n)) == 1;
+                prop_assert!(same || would_empty);
+            }
+        }
+    }
+
+    /// Object sizes are deterministic and within the documented clamp.
+    #[test]
+    fn object_sizes_stable(id in any::<u64>()) {
+        let a = cluster::object::object_size_bytes(id);
+        let b = cluster::object::object_size_bytes(id);
+        prop_assert_eq!(a, b);
+        prop_assert!((512..=2 * 1024 * 1024).contains(&a));
+    }
+
+    /// NodeParams defaults align with their role for every role.
+    #[test]
+    fn node_params_roles(role_idx in 0u8..3) {
+        let role = [Role::Proxy, Role::App, Role::Db][role_idx as usize];
+        prop_assert_eq!(NodeParams::default_for(role).role(), role);
+    }
+}

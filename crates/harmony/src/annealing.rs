@@ -1,0 +1,217 @@
+//! Simulated-annealing tuner.
+//!
+//! The paper's related work (Nimrod/O) applies simulated annealing to
+//! design search; this implementation provides the comparison point for
+//! the ablation benches: a single-point stochastic search with a
+//! geometric cooling schedule and span-proportional neighbourhood moves.
+
+use crate::space::{Configuration, ParamSpace};
+use crate::tuner::{BestTracker, Tuner};
+use simkit::rng::SimRng;
+
+/// Simulated annealing over a bounded integer space (ask–tell).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    space: ParamSpace,
+    rng: SimRng,
+    /// Current accepted point and its performance.
+    current: Configuration,
+    current_perf: Option<f64>,
+    /// Temperature in performance units; `None` until calibrated from the
+    /// first observation.
+    temperature: Option<f64>,
+    /// Geometric cooling factor per observation.
+    cooling: f64,
+    /// Neighbourhood size as a fraction of each dimension's span.
+    reach: f64,
+    pending: Option<Configuration>,
+    tracker: BestTracker,
+    accepted: u64,
+}
+
+impl SimulatedAnnealing {
+    pub fn new(space: ParamSpace, seed: u64) -> Self {
+        let current = space.default_config();
+        SimulatedAnnealing {
+            space,
+            rng: SimRng::new(seed),
+            current,
+            current_perf: None,
+            temperature: None,
+            cooling: 0.97,
+            reach: 0.25,
+            pending: None,
+            tracker: BestTracker::default(),
+            accepted: 0,
+        }
+    }
+
+    /// Override the cooling factor (0 < c < 1; closer to 1 cools slower).
+    pub fn with_cooling(mut self, cooling: f64) -> Self {
+        assert!(cooling > 0.0 && cooling < 1.0);
+        self.cooling = cooling;
+        self
+    }
+
+    /// Moves accepted so far (diagnostics).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    fn neighbour(&mut self) -> Configuration {
+        let mut c = self.current.clone();
+        // Perturb a random subset (at least one dimension).
+        let dims = self.space.dims();
+        let k = 1 + self.rng.next_below(dims.min(3) as u64) as usize;
+        for _ in 0..k {
+            let dim = self.rng.next_below(dims as u64) as usize;
+            let def = self.space.def(dim);
+            let span = (def.span() as f64 * self.reach).max(1.0);
+            let delta = self.rng.normal(0.0, span / 2.0).round() as i64;
+            c.set(dim, def.clamp(c.get(dim) + delta));
+        }
+        c
+    }
+}
+
+impl Tuner for SimulatedAnnealing {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() twice without observe()");
+        let config = if self.current_perf.is_none() {
+            self.current.clone()
+        } else {
+            self.neighbour()
+        };
+        self.pending = Some(config.clone());
+        config
+    }
+
+    fn observe(&mut self, performance: f64) {
+        let config = self.pending.take().expect("observe() without propose()");
+        self.tracker.record(&config, performance);
+        match self.current_perf {
+            None => {
+                // First observation: calibrate the temperature to a tenth
+                // of the observed magnitude (scale-free start).
+                self.temperature = Some((performance.abs() * 0.1).max(1e-6));
+                self.current_perf = Some(performance);
+            }
+            Some(current) => {
+                let t = self.temperature.expect("calibrated");
+                let delta = performance - current;
+                let accept = delta >= 0.0 || {
+                    let p = (delta / t).exp();
+                    self.rng.chance(p)
+                };
+                if accept {
+                    self.current = config;
+                    self.current_perf = Some(performance);
+                    self.accepted += 1;
+                }
+                self.temperature = Some((t * self.cooling).max(1e-9));
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.tracker.evaluations()
+    }
+
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamDef;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::new("x", 0, 200, 20),
+            ParamDef::new("y", 0, 200, 180),
+        ])
+    }
+
+    fn objective(v: &[i64]) -> f64 {
+        let dx = v[0] as f64 - 130.0;
+        let dy = v[1] as f64 - 60.0;
+        -(dx * dx + dy * dy)
+    }
+
+    #[test]
+    fn improves_on_quadratic() {
+        let mut t = SimulatedAnnealing::new(space(), 42);
+        let mut first = None;
+        for _ in 0..300 {
+            let c = t.propose();
+            let p = objective(c.values());
+            if first.is_none() {
+                first = Some(p);
+            }
+            t.observe(p);
+        }
+        let (best, perf) = t.best().unwrap();
+        assert!(perf > first.unwrap(), "never improved");
+        let dist = (((best.get(0) - 130).pow(2) + (best.get(1) - 60).pow(2)) as f64).sqrt();
+        assert!(dist < 40.0, "best {best} too far");
+        assert!(t.accepted() > 0);
+    }
+
+    #[test]
+    fn always_in_bounds() {
+        let s = space();
+        let mut t = SimulatedAnnealing::new(s.clone(), 7);
+        for i in 0..200 {
+            let c = t.propose();
+            assert!(s.validate(&c).is_ok(), "iteration {i}: {c}");
+            t.observe((i % 17) as f64);
+        }
+    }
+
+    #[test]
+    fn cooling_reduces_uphill_acceptance() {
+        // With a fast-cooled schedule, late bad moves are rejected: the
+        // current point stops moving downhill.
+        let mut t = SimulatedAnnealing::new(space(), 3).with_cooling(0.5);
+        // Feed alternating good/bad scores; after cooling, bad proposals
+        // should almost never be accepted.
+        for i in 0..50 {
+            let _ = t.propose();
+            t.observe(if i % 2 == 0 { 100.0 } else { -1e6 });
+        }
+        let early_accepted = t.accepted();
+        let before = t.accepted();
+        for _ in 0..50 {
+            let _ = t.propose();
+            t.observe(-1e6);
+        }
+        let late_accepted = t.accepted() - before;
+        assert!(late_accepted <= 2, "late bad moves accepted {late_accepted}");
+        assert!(early_accepted >= 1);
+    }
+
+    #[test]
+    fn evaluates_default_first() {
+        let s = space();
+        let mut t = SimulatedAnnealing::new(s.clone(), 1);
+        assert_eq!(t.propose(), s.default_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "propose() twice")]
+    fn double_propose_panics() {
+        let mut t = SimulatedAnnealing::new(space(), 1);
+        t.propose();
+        t.propose();
+    }
+}

@@ -1,0 +1,286 @@
+//! Baseline tuning algorithms for ablation against the simplex kernel.
+//!
+//! The paper uses only Nelder–Mead; these comparators quantify what the
+//! simplex buys: [`RandomSearch`] is the no-structure floor, and
+//! [`CoordinateDescent`] is the "tune one knob at a time" strategy a
+//! careful administrator might follow.
+
+use crate::space::{Configuration, ParamSpace};
+use crate::tuner::{BestTracker, Tuner};
+use simkit::rng::SimRng;
+
+/// Uniform random sampling of the space, remembering the best.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: ParamSpace,
+    rng: SimRng,
+    pending: Option<Configuration>,
+    tracker: BestTracker,
+    first: bool,
+}
+
+impl RandomSearch {
+    pub fn new(space: ParamSpace, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            rng: SimRng::new(seed),
+            pending: None,
+            tracker: BestTracker::default(),
+            first: true,
+        }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() twice without observe()");
+        // Evaluate the default first so improvement is measured against it.
+        let config = if self.first {
+            self.first = false;
+            self.space.default_config()
+        } else {
+            let values: Vec<i64> = self
+                .space
+                .defs()
+                .iter()
+                .map(|d| self.rng.uniform_i64(d.min, d.max))
+                .collect();
+            Configuration::from_values(values)
+        };
+        self.pending = Some(config.clone());
+        config
+    }
+
+    fn observe(&mut self, performance: f64) {
+        let config = self.pending.take().expect("observe() without propose()");
+        self.tracker.record(&config, performance);
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.tracker.evaluations()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Cyclic coordinate descent with a shrinking step.
+///
+/// Visits one dimension at a time, trying `current ± step`; keeps a move
+/// that improves on the best-known performance. After a full sweep with no
+/// improvement the step halves (down to 1).
+#[derive(Debug, Clone)]
+pub struct CoordinateDescent {
+    space: ParamSpace,
+    current: Configuration,
+    current_perf: Option<f64>,
+    dim: usize,
+    /// +1 trying up, -1 trying down.
+    direction: i64,
+    /// Per-dimension step size.
+    steps: Vec<i64>,
+    improved_this_sweep: bool,
+    pending: Option<Configuration>,
+    /// What the pending proposal is testing (None = evaluating `current`).
+    pending_probe: Option<(usize, i64)>,
+    tracker: BestTracker,
+}
+
+impl CoordinateDescent {
+    pub fn new(space: ParamSpace) -> Self {
+        let current = space.default_config();
+        let steps = space
+            .defs()
+            .iter()
+            .map(|d| (d.span() / 4).max(1))
+            .collect();
+        CoordinateDescent {
+            space,
+            current,
+            current_perf: None,
+            dim: 0,
+            direction: 1,
+            steps,
+            improved_this_sweep: false,
+            pending: None,
+            pending_probe: None,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    fn advance_cursor(&mut self) {
+        if self.direction == 1 {
+            self.direction = -1;
+        } else {
+            self.direction = 1;
+            self.dim += 1;
+            if self.dim == self.space.dims() {
+                self.dim = 0;
+                if !self.improved_this_sweep {
+                    for s in &mut self.steps {
+                        *s = (*s / 2).max(1);
+                    }
+                }
+                self.improved_this_sweep = false;
+            }
+        }
+    }
+
+    fn probe_config(&self) -> Configuration {
+        let mut c = self.current.clone();
+        let d = self.space.def(self.dim);
+        c.set(self.dim, d.clamp(c.get(self.dim) + self.direction * self.steps[self.dim]));
+        c
+    }
+}
+
+impl Tuner for CoordinateDescent {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Configuration {
+        assert!(self.pending.is_none(), "propose() twice without observe()");
+        let config = if self.current_perf.is_none() {
+            self.pending_probe = None;
+            self.current.clone()
+        } else {
+            // Skip probes that cannot move (clamped to the same value).
+            let mut probe = self.probe_config();
+            let mut guard = 0;
+            while probe == self.current && guard < 2 * self.space.dims() {
+                self.advance_cursor();
+                probe = self.probe_config();
+                guard += 1;
+            }
+            self.pending_probe = Some((self.dim, self.direction));
+            probe
+        };
+        self.pending = Some(config.clone());
+        config
+    }
+
+    fn observe(&mut self, performance: f64) {
+        let config = self.pending.take().expect("observe() without propose()");
+        self.tracker.record(&config, performance);
+        match self.pending_probe.take() {
+            None => {
+                self.current_perf = Some(performance);
+            }
+            Some(_) => {
+                let cur = self.current_perf.expect("current evaluated first");
+                if performance > cur {
+                    self.current = config;
+                    self.current_perf = Some(performance);
+                    self.improved_this_sweep = true;
+                }
+                self.advance_cursor();
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.tracker.evaluations()
+    }
+
+    fn name(&self) -> &'static str {
+        "coordinate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamDef;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::new("x", 0, 100, 10),
+            ParamDef::new("y", 0, 100, 90),
+        ])
+    }
+
+    fn objective(v: &[i64]) -> f64 {
+        let dx = v[0] as f64 - 70.0;
+        let dy = v[1] as f64 - 30.0;
+        -(dx * dx + dy * dy)
+    }
+
+    #[test]
+    fn random_search_stays_in_bounds_and_improves() {
+        let s = space();
+        let mut t = RandomSearch::new(s.clone(), 42);
+        let mut first_perf = None;
+        for _ in 0..100 {
+            let c = t.propose();
+            assert!(s.validate(&c).is_ok());
+            let p = objective(c.values());
+            if first_perf.is_none() {
+                first_perf = Some(p);
+            }
+            t.observe(p);
+        }
+        assert!(t.best().unwrap().1 > first_perf.unwrap());
+    }
+
+    #[test]
+    fn random_search_evaluates_default_first() {
+        let s = space();
+        let mut t = RandomSearch::new(s.clone(), 1);
+        assert_eq!(t.propose(), s.default_config());
+    }
+
+    #[test]
+    fn coordinate_descent_converges_on_separable_objective() {
+        let s = space();
+        let mut t = CoordinateDescent::new(s);
+        for _ in 0..150 {
+            let c = t.propose();
+            t.observe(objective(c.values()));
+        }
+        let (best, _) = t.best().unwrap();
+        assert!((best.get(0) - 70).abs() <= 5, "x = {}", best.get(0));
+        assert!((best.get(1) - 30).abs() <= 5, "y = {}", best.get(1));
+    }
+
+    #[test]
+    fn coordinate_descent_handles_boundary_defaults() {
+        // Default pinned at the boundary: probes must not stall.
+        let s = ParamSpace::new(vec![ParamDef::new("x", 0, 10, 0)]);
+        let mut t = CoordinateDescent::new(s);
+        for _ in 0..30 {
+            let c = t.propose();
+            t.observe(c.get(0) as f64);
+        }
+        assert_eq!(t.best().unwrap().0.get(0), 10);
+    }
+
+    #[test]
+    fn tuners_report_names_and_counts() {
+        let mut r = RandomSearch::new(space(), 5);
+        let mut c = CoordinateDescent::new(space());
+        assert_eq!(r.name(), "random");
+        assert_eq!(c.name(), "coordinate");
+        for _ in 0..10 {
+            let cfg = r.propose();
+            r.observe(objective(cfg.values()));
+            let cfg = c.propose();
+            c.observe(objective(cfg.values()));
+        }
+        assert_eq!(r.evaluations(), 10);
+        assert_eq!(c.evaluations(), 10);
+    }
+}

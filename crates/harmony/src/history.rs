@@ -1,0 +1,164 @@
+//! Tuning-trace recording: what was tried, when, with what result.
+//!
+//! The paper's figures are drawn from exactly this trace (WIPS per tuning
+//! iteration); Table 4's "iterations to converge" and stability columns
+//! are computed from it too.
+
+use crate::space::Configuration;
+use serde::{Deserialize, Serialize};
+use simkit::stats::Welford;
+
+/// One tuning iteration's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Iteration index (0-based).
+    pub iteration: u32,
+    /// Configuration evaluated.
+    pub config: Configuration,
+    /// Observed performance (WIPS).
+    pub performance: f64,
+}
+
+/// The full trace of a tuning run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TuningHistory {
+    entries: Vec<HistoryEntry>,
+}
+
+impl TuningHistory {
+    pub fn new() -> Self {
+        TuningHistory::default()
+    }
+
+    pub fn record(&mut self, config: Configuration, performance: f64) {
+        let iteration = self.entries.len() as u32;
+        self.entries.push(HistoryEntry {
+            iteration,
+            config,
+            performance,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Performance series (figure y-axis).
+    pub fn performances(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.performance).collect()
+    }
+
+    /// Best performance seen up to and including each iteration.
+    pub fn running_best(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.entries
+            .iter()
+            .map(|e| {
+                best = best.max(e.performance);
+                best
+            })
+            .collect()
+    }
+
+    /// The iteration at which the final best configuration was first
+    /// evaluated — Table 4's "Iterations" (time to reach the tuned
+    /// configuration).
+    pub fn convergence_iteration(&self) -> Option<u32> {
+        let best = self
+            .entries
+            .iter()
+            .max_by(|a, b| a.performance.total_cmp(&b.performance))?;
+        Some(best.iteration)
+    }
+
+    /// Mean and standard deviation over an iteration range (e.g. the
+    /// paper's "second 100 iterations").
+    pub fn window_stats(&self, start: usize, end: usize) -> (f64, f64) {
+        let mut w = Welford::new();
+        for e in self.entries.iter().take(end).skip(start) {
+            w.record(e.performance);
+        }
+        (w.mean(), w.std_dev())
+    }
+
+    /// Fraction of iterations in a range whose performance beats
+    /// `reference` — the paper's "performance of 78%/85% of the iterations
+    /// is better than the default configuration".
+    pub fn fraction_above(&self, start: usize, end: usize, reference: f64) -> f64 {
+        let slice: Vec<_> = self.entries.iter().take(end).skip(start).collect();
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().filter(|e| e.performance > reference).count() as f64 / slice.len() as f64
+    }
+
+    /// Best entry in the whole trace.
+    pub fn best_entry(&self) -> Option<&HistoryEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.performance.total_cmp(&b.performance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(perfs: &[f64]) -> TuningHistory {
+        let mut h = TuningHistory::new();
+        for &p in perfs {
+            h.record(Configuration::from_values(vec![0]), p);
+        }
+        h
+    }
+
+    #[test]
+    fn records_in_order() {
+        let h = history(&[1.0, 3.0, 2.0]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.entries()[1].iteration, 1);
+        assert_eq!(h.performances(), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn running_best_is_monotone() {
+        let h = history(&[1.0, 3.0, 2.0, 5.0, 4.0]);
+        assert_eq!(h.running_best(), vec![1.0, 3.0, 3.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn convergence_iteration_finds_peak() {
+        let h = history(&[1.0, 3.0, 2.0, 5.0, 4.0]);
+        assert_eq!(h.convergence_iteration(), Some(3));
+        assert!(history(&[]).convergence_iteration().is_none());
+    }
+
+    #[test]
+    fn window_stats_match_manual() {
+        let h = history(&[0.0, 0.0, 2.0, 4.0, 6.0, 100.0]);
+        let (mean, sd) = h.window_stats(2, 5);
+        assert!((mean - 4.0).abs() < 1e-12);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_reference() {
+        let h = history(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((h.fraction_above(0, 4, 2.5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.fraction_above(4, 8, 0.0), 0.0); // empty window
+    }
+
+    #[test]
+    fn best_entry() {
+        let h = history(&[1.0, 9.0, 3.0]);
+        assert_eq!(h.best_entry().unwrap().iteration, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! # harmony — the Active Harmony automated tuning system
+//!
+//! The paper's primary contribution, reimplemented: a tuning
+//! infrastructure that iteratively changes an application's tunable
+//! parameters based on observed performance.
+//!
+//! * [`param`]/[`space`] — bounded integer parameter spaces;
+//! * [`simplex`] — the Nelder–Mead kernel, adapted to discrete bounded
+//!   spaces (nearest-integer projection, restarts, optional conservative
+//!   stepping);
+//! * [`baseline`] — random-search and coordinate-descent comparators;
+//! * [`tuner`]/[`server`]/[`history`] — the ask–tell protocol, the tuning
+//!   server, and trace recording;
+//! * [`strategy`]/[`workline`] — the §III.B cluster-scaling methods
+//!   (parameter duplication and work-line partitioning);
+//! * [`monitor`]/[`reconfig`] — the §IV automatic cluster reconfiguration
+//!   algorithm (thresholds, urgency, cost model).
+//!
+//! This crate is application-agnostic: nothing here knows about web
+//! clusters. The orchestrator crate wires it to the simulated testbed.
+//!
+//! ## Tuning in five lines
+//!
+//! ```
+//! use harmony::{ParamDef, ParamSpace, SimplexTuner, Tuner};
+//!
+//! let space = ParamSpace::new(vec![
+//!     ParamDef::new("threads", 1, 256, 20),
+//!     ParamDef::new("cache_mb", 1, 64, 8),
+//! ]);
+//! let mut tuner = SimplexTuner::new(space);
+//! for _ in 0..40 {
+//!     let config = tuner.propose();
+//!     // Apply `config` to the system, measure performance...
+//!     let perf = -((config.get(0) - 96).abs() + (config.get(1) - 24).abs()) as f64;
+//!     tuner.observe(perf);
+//! }
+//! let (best, _) = tuner.best().unwrap();
+//! assert!((best.get(0) - 96).abs() < 60);
+//! ```
+
+pub mod annealing;
+pub mod baseline;
+pub mod history;
+pub mod monitor;
+pub mod param;
+pub mod reconfig;
+pub mod revalidate;
+pub mod server;
+pub mod simplex;
+pub mod space;
+pub mod strategy;
+pub mod tuner;
+pub mod workline;
+
+pub use annealing::SimulatedAnnealing;
+pub use baseline::{CoordinateDescent, RandomSearch};
+pub use history::{HistoryEntry, TuningHistory};
+pub use monitor::{Resource, UtilizationMonitor, UtilizationSnapshot};
+pub use param::ParamDef;
+pub use reconfig::{CostModel, NodeCostInputs, NodeReport, ReconfigDecision, Thresholds};
+pub use revalidate::Revalidating;
+pub use server::HarmonyServer;
+pub use simplex::SimplexTuner;
+pub use space::{Configuration, ParamSpace};
+pub use strategy::TuningMethod;
+pub use tuner::Tuner;
+pub use workline::{build_work_lines, WorkLine};

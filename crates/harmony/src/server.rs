@@ -1,0 +1,131 @@
+//! The Harmony tuning server: a tuner plus its trace.
+//!
+//! One server owns one parameter subset. The "default method" of the
+//! paper uses a single server for every parameter of every node; the
+//! scalability methods (§III.B) run several servers side by side, each
+//! tuning its own subset against its own performance signal.
+
+use crate::history::TuningHistory;
+use crate::space::{Configuration, ParamSpace};
+use crate::tuner::Tuner;
+
+/// A named tuning server.
+pub struct HarmonyServer {
+    name: String,
+    tuner: Box<dyn Tuner + Send>,
+    history: TuningHistory,
+    pending: Option<Configuration>,
+}
+
+impl HarmonyServer {
+    pub fn new(name: impl Into<String>, tuner: Box<dyn Tuner + Send>) -> Self {
+        HarmonyServer {
+            name: name.into(),
+            tuner,
+            history: TuningHistory::new(),
+            pending: None,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn space(&self) -> &ParamSpace {
+        self.tuner.space()
+    }
+
+    pub fn algorithm(&self) -> &'static str {
+        self.tuner.name()
+    }
+
+    /// Propose the configuration for the next tuning iteration.
+    pub fn next_config(&mut self) -> Configuration {
+        let c = self.tuner.propose();
+        self.pending = Some(c.clone());
+        c
+    }
+
+    /// Report the measured performance of the last proposed configuration.
+    pub fn report(&mut self, performance: f64) {
+        let config = self
+            .pending
+            .take()
+            .expect("report() without next_config()");
+        self.history.record(config, performance);
+        self.tuner.observe(performance);
+    }
+
+    /// Best configuration observed so far.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.tuner.best()
+    }
+
+    pub fn history(&self) -> &TuningHistory {
+        &self.history
+    }
+
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl std::fmt::Debug for HarmonyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarmonyServer")
+            .field("name", &self.name)
+            .field("algorithm", &self.tuner.name())
+            .field("iterations", &self.history.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamDef;
+    use crate::simplex::SimplexTuner;
+
+    fn server() -> HarmonyServer {
+        let space = ParamSpace::new(vec![
+            ParamDef::new("x", 0, 100, 50),
+            ParamDef::new("y", 0, 100, 50),
+        ]);
+        HarmonyServer::new("test", Box::new(SimplexTuner::new(space)))
+    }
+
+    #[test]
+    fn drives_tuner_and_records_history() {
+        let mut s = server();
+        for _ in 0..20 {
+            let c = s.next_config();
+            let perf = -(c.get(0) as f64 - 80.0).abs();
+            s.report(perf);
+        }
+        assert_eq!(s.iterations(), 20);
+        assert_eq!(s.history().len(), 20);
+        assert!(s.best().is_some());
+        assert_eq!(s.name(), "test");
+        assert_eq!(s.algorithm(), "simplex");
+    }
+
+    #[test]
+    fn history_matches_reported_performances() {
+        let mut s = server();
+        let mut perfs = Vec::new();
+        for i in 0..5 {
+            s.next_config();
+            let p = i as f64 * 2.0;
+            perfs.push(p);
+            s.report(p);
+        }
+        assert_eq!(s.history().performances(), perfs);
+    }
+
+    #[test]
+    #[should_panic(expected = "report() without next_config()")]
+    fn report_without_propose_panics() {
+        let mut s = server();
+        s.report(1.0);
+    }
+}

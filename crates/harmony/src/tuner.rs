@@ -1,0 +1,93 @@
+//! The ask–tell tuner interface.
+//!
+//! Active Harmony separates *what to try next* (the tuning algorithm) from
+//! *how performance is measured* (the instrumented system). A [`Tuner`]
+//! proposes one configuration per tuning iteration; the harness applies it,
+//! runs an iteration, and reports the observed performance back. Higher
+//! performance is better (WIPS in this paper).
+
+use crate::space::{Configuration, ParamSpace};
+
+/// A tuning algorithm driven in strict propose → observe alternation.
+pub trait Tuner {
+    /// The space this tuner explores.
+    fn space(&self) -> &ParamSpace;
+
+    /// Propose the next configuration to evaluate.
+    ///
+    /// Must be followed by exactly one [`Tuner::observe`] call before the
+    /// next `propose`.
+    fn propose(&mut self) -> Configuration;
+
+    /// Report the performance (higher = better) of the configuration from
+    /// the immediately preceding [`Tuner::propose`].
+    fn observe(&mut self, performance: f64);
+
+    /// Best configuration seen so far, with its performance.
+    fn best(&self) -> Option<(&Configuration, f64)>;
+
+    /// Number of observations so far.
+    fn evaluations(&self) -> u64;
+
+    /// Short algorithm name (reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared best-seen bookkeeping for tuner implementations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BestTracker {
+    best: Option<(Configuration, f64)>,
+    evaluations: u64,
+}
+
+impl BestTracker {
+    pub fn record(&mut self, config: &Configuration, perf: f64) {
+        self.evaluations += 1;
+        let improved = match &self.best {
+            Some((_, p)) => perf > *p,
+            None => true,
+        };
+        if improved {
+            self.best = Some((config.clone(), perf));
+        }
+    }
+
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.best.as_ref().map(|(c, p)| (c, *p))
+    }
+
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_tracker_keeps_maximum() {
+        let mut t = BestTracker::default();
+        assert!(t.best().is_none());
+        let a = Configuration::from_values(vec![1]);
+        let b = Configuration::from_values(vec![2]);
+        let c = Configuration::from_values(vec![3]);
+        t.record(&a, 10.0);
+        t.record(&b, 30.0);
+        t.record(&c, 20.0);
+        let (cfg, perf) = t.best().unwrap();
+        assert_eq!(cfg.values(), &[2]);
+        assert_eq!(perf, 30.0);
+        assert_eq!(t.evaluations(), 3);
+    }
+
+    #[test]
+    fn ties_keep_first() {
+        let mut t = BestTracker::default();
+        let a = Configuration::from_values(vec![1]);
+        let b = Configuration::from_values(vec![2]);
+        t.record(&a, 10.0);
+        t.record(&b, 10.0);
+        assert_eq!(t.best().unwrap().0.values(), &[1]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Work-line construction for the parameter-partitioning method (§III.B).
+//!
+//! A *work line* is a vertical slice of the cluster: at least one server
+//! from each tier, such that a request is handled by exactly one line.
+//! Each line gets its own dedicated Harmony tuning server; a configuration
+//! change in one line only affects that line's measured performance, which
+//! is what makes the partitioned tuning process stable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A work line: the node ids (into the caller's node list) it owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkLine {
+    pub nodes: Vec<usize>,
+}
+
+/// Failures when building work lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkLineError {
+    /// There are no nodes at all.
+    NoNodes,
+    /// A tier has zero nodes, so no line can cross every tier.
+    EmptyTier,
+}
+
+impl fmt::Display for WorkLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkLineError::NoNodes => write!(f, "no nodes to partition"),
+            WorkLineError::EmptyTier => write!(f, "a tier has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for WorkLineError {}
+
+/// Partition `(node, tier)` pairs into the maximum number of work lines:
+/// one line per node of the smallest tier, with every tier's nodes dealt
+/// round-robin across lines. Every line gets at least one node of each
+/// tier; tiers larger than the line count contribute extra nodes to the
+/// earlier lines.
+pub fn build_work_lines<T: Copy + Ord>(nodes: &[(usize, T)]) -> Result<Vec<WorkLine>, WorkLineError> {
+    if nodes.is_empty() {
+        return Err(WorkLineError::NoNodes);
+    }
+    let mut by_tier: BTreeMap<T, Vec<usize>> = BTreeMap::new();
+    for (id, tier) in nodes {
+        by_tier.entry(*tier).or_default().push(*id);
+    }
+    let line_count = by_tier.values().map(|v| v.len()).min().unwrap_or(0);
+    if line_count == 0 {
+        return Err(WorkLineError::EmptyTier);
+    }
+    let mut lines = vec![WorkLine { nodes: Vec::new() }; line_count];
+    for tier_nodes in by_tier.values() {
+        for (i, node) in tier_nodes.iter().enumerate() {
+            lines[i % line_count].nodes.push(*node);
+        }
+    }
+    for line in &mut lines {
+        line.nodes.sort_unstable();
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_cluster_splits_evenly() {
+        // 2 proxies (tier 0), 2 apps (tier 1), 2 dbs (tier 2).
+        let nodes = [(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2)];
+        let lines = build_work_lines(&nodes).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].nodes, vec![0, 2, 4]);
+        assert_eq!(lines[1].nodes, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn line_count_is_min_tier_size() {
+        // 4 proxies, 2 apps, 1 db => one line holding everything.
+        let nodes = [(0, 0), (1, 0), (2, 0), (3, 0), (4, 1), (5, 1), (6, 2)];
+        let lines = build_work_lines(&nodes).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].nodes.len(), 7);
+    }
+
+    #[test]
+    fn uneven_tiers_deal_extras_round_robin() {
+        // 3 proxies, 2 apps, 2 dbs => 2 lines; proxy extra goes to line 0.
+        let nodes = [(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)];
+        let lines = build_work_lines(&nodes).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].nodes, vec![0, 2, 3, 5]);
+        assert_eq!(lines[1].nodes, vec![1, 4, 6]);
+        // Every node appears in exactly one line.
+        let mut all: Vec<usize> = lines.iter().flat_map(|l| l.nodes.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn every_line_has_every_tier() {
+        let nodes = [
+            (0, 0), (1, 0), (2, 0),
+            (3, 1), (4, 1), (5, 1),
+            (6, 2), (7, 2), (8, 2),
+        ];
+        let lines = build_work_lines(&nodes).unwrap();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            for tier in 0..3 {
+                let count = line
+                    .nodes
+                    .iter()
+                    .filter(|n| nodes.iter().any(|(id, t)| id == *n && *t == tier))
+                    .count();
+                assert_eq!(count, 1, "line {line:?} tier {tier}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            build_work_lines::<u8>(&[]),
+            Err(WorkLineError::NoNodes)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Table 3: tuned parameter values per workload.
+//!
+//! Renders the default configuration next to each workload's best-found
+//! configuration, in the paper's row order, plus directional checks (the
+//! qualitative claims the paper draws from the table).
+
+use cluster::config::{ClusterConfig, Topology};
+use cluster::params::{DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES};
+use serde::{Deserialize, Serialize};
+
+/// One Table 3 row: a parameter and its values per column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    pub section: &'static str,
+    pub name: &'static str,
+    pub default: i64,
+    /// Values in [`tpcw::mix::Workload::ALL`] order.
+    pub tuned: [i64; 3],
+}
+
+/// Build Table 3 from the three tuned configurations (single topology:
+/// node 0 proxy, node 1 app, node 2 db).
+pub fn build(configs: &[ClusterConfig; 3]) -> Vec<Table3Row> {
+    let t = Topology::single();
+    debug_assert!(configs.iter().all(|c| c.len() == t.len()));
+    let mut rows = Vec::with_capacity(23);
+    for (i, def) in PROXY_TUNABLES.iter().enumerate() {
+        rows.push(Table3Row {
+            section: "Proxy Server",
+            name: def.name,
+            default: def.default,
+            tuned: [
+                configs[0].node(0).as_proxy().unwrap().to_values()[i],
+                configs[1].node(0).as_proxy().unwrap().to_values()[i],
+                configs[2].node(0).as_proxy().unwrap().to_values()[i],
+            ],
+        });
+    }
+    for (i, def) in WEB_TUNABLES.iter().enumerate() {
+        rows.push(Table3Row {
+            section: "Web Server",
+            name: def.name,
+            default: def.default,
+            tuned: [
+                configs[0].node(1).as_app().unwrap().to_values()[i],
+                configs[1].node(1).as_app().unwrap().to_values()[i],
+                configs[2].node(1).as_app().unwrap().to_values()[i],
+            ],
+        });
+    }
+    for (i, def) in DB_TUNABLES.iter().enumerate() {
+        rows.push(Table3Row {
+            section: "Database Server",
+            name: def.name,
+            default: def.default,
+            tuned: [
+                configs[0].node(2).as_db().unwrap().to_values()[i],
+                configs[1].node(2).as_db().unwrap().to_values()[i],
+                configs[2].node(2).as_db().unwrap().to_values()[i],
+            ],
+        });
+    }
+    rows
+}
+
+/// The paper's qualitative reading of Table 3, checked against our tuned
+/// values. Each check is `(claim, holds)`.
+pub fn directional_checks(rows: &[Table3Row]) -> Vec<(String, bool)> {
+    let get = |name: &str| -> &Table3Row {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    };
+    let mut checks = Vec::new();
+
+    let cache_mem = get("cache_mem");
+    checks.push((
+        "proxy raises cache_mem above the default for every workload".into(),
+        cache_mem.tuned.iter().all(|&v| v >= cache_mem.default),
+    ));
+
+    let maxp = get("maxProcessors");
+    checks.push((
+        "ordering grows the HTTP processor pool beyond the default".into(),
+        maxp.tuned[2] > maxp.default,
+    ));
+
+    let accept = get("acceptCount");
+    checks.push((
+        "ordering grows the accept queue beyond the default".into(),
+        accept.tuned[2] > accept.default,
+    ));
+
+    let binlog = get("binlog_cache_size");
+    checks.push((
+        "binlog cache grows with write intensity (ordering largest)".into(),
+        binlog.tuned[2] >= binlog.tuned[0] && binlog.tuned[2] > binlog.default,
+    ));
+
+    let join = get("join_buffer_size");
+    checks.push((
+        // The paper's stronger claim — shrinking to ~400 KB costs nothing —
+        // is verified by direct A/B evaluation in tests/paper_shapes.rs;
+        // here we check the tuner found no reason to grow it.
+        "join buffer does not grow beyond the 8 MB default".into(),
+        join.tuned.iter().all(|&v| v <= (join.default as f64 * 1.05) as i64),
+    ));
+
+    let table_cache = get("table_cache");
+    checks.push((
+        "ordering (the DB-heavy mix) grows the table cache well beyond 64".into(),
+        table_cache.tuned[2] > 4 * table_cache.default,
+    ));
+
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_23_rows_in_paper_order() {
+        let t = Topology::single();
+        let configs = [
+            ClusterConfig::defaults(&t),
+            ClusterConfig::defaults(&t),
+            ClusterConfig::defaults(&t),
+        ];
+        let rows = build(&configs);
+        assert_eq!(rows.len(), 23);
+        assert_eq!(rows[0].name, "cache_mem");
+        assert_eq!(rows[0].section, "Proxy Server");
+        assert_eq!(rows[7].name, "minProcessors");
+        assert_eq!(rows[14].name, "binlog_cache_size");
+        // Defaults everywhere: tuned == default.
+        for r in &rows {
+            assert_eq!(r.tuned, [r.default; 3]);
+        }
+    }
+
+    #[test]
+    fn directional_checks_run_on_defaults() {
+        let t = Topology::single();
+        let configs = [
+            ClusterConfig::defaults(&t),
+            ClusterConfig::defaults(&t),
+            ClusterConfig::defaults(&t),
+        ];
+        let rows = build(&configs);
+        let checks = directional_checks(&rows);
+        assert_eq!(checks.len(), 6);
+        // With untuned configs the "does not grow" claims hold trivially.
+        assert!(checks.iter().any(|(_, holds)| *holds));
+        // With untuned configs most claims fail — they must at least not
+        // panic and be well-formed.
+        for (claim, _) in &checks {
+            assert!(!claim.is_empty());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Table 4: cluster tuning methods compared.
+//!
+//! Four rows — no tuning, default method (one server, every parameter),
+//! parameter duplication, parameter partitioning — on a two-nodes-per-tier
+//! cluster. Reported per method: best-config WIPS, the standard deviation
+//! over the second half of the run (tuning stability), improvement over
+//! the untuned baseline, and iterations to reach the best configuration.
+
+use super::{table4_population, Effort};
+use crate::par::parallel_map;
+use crate::session::{tune, SessionConfig};
+use cluster::config::Topology;
+use harmony::strategy::TuningMethod;
+use serde::{Deserialize, Serialize};
+use tpcw::mix::Workload;
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    pub method: TuningMethod,
+    /// Performance of the best configuration found.
+    pub best_wips: f64,
+    /// Std-dev of per-iteration WIPS over the second half of the run.
+    pub stability_std: f64,
+    /// Improvement of `best_wips` over the untuned baseline.
+    pub improvement: f64,
+    /// First iteration reaching 99% of the run's best WIPS.
+    pub iterations_to_converge: u32,
+}
+
+/// The whole table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Result {
+    pub baseline_wips: f64,
+    pub baseline_std: f64,
+    pub rows: Vec<Table4Row>,
+}
+
+/// Which methods to include (the paper's four; add Hybrid for the
+/// future-work ablation).
+pub fn paper_methods() -> Vec<TuningMethod> {
+    vec![
+        TuningMethod::Default,
+        TuningMethod::Duplication,
+        TuningMethod::Partitioning,
+    ]
+}
+
+/// Run Table 4 on the given methods (in parallel — each method's tuning
+/// run is independent).
+pub fn run(methods: &[TuningMethod], effort: &Effort, seed: u64) -> Table4Result {
+    let topology = Topology::tiers(2, 2, 2).expect("valid topology");
+    let mut base = SessionConfig::new(topology, Workload::Shopping, table4_population(effort));
+    base.plan = effort.plan;
+    base.base_seed = seed;
+
+    let (baseline_wips, baseline_std) = base.measure_default(effort.reps.max(2));
+
+    let rows = parallel_map(methods, 0, |&method| {
+        let mut cfg = base.clone();
+        // Decorrelate methods' measurement noise.
+        cfg.base_seed = seed ^ (method as u64).wrapping_mul(0x9E37_79B9);
+        let run = tune(&cfg, method, effort.iterations);
+        let half = (effort.iterations / 2) as usize;
+        let (_, std2) = run.window_stats(half, effort.iterations as usize);
+        Table4Row {
+            method,
+            best_wips: run.best_wips,
+            stability_std: std2,
+            improvement: run.best_wips / baseline_wips - 1.0,
+            iterations_to_converge: run.first_within(0.99),
+        }
+    });
+
+    Table4Result {
+        baseline_wips,
+        baseline_std,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table_has_requested_methods() {
+        let effort = Effort::smoke();
+        let methods = vec![TuningMethod::Duplication, TuningMethod::Partitioning];
+        let r = run(&methods, &effort, 5);
+        assert!(r.baseline_wips > 0.0);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!(row.best_wips > 0.0);
+            assert!(row.iterations_to_converge < effort.iterations);
+            assert!(row.stability_std >= 0.0);
+        }
+    }
+}

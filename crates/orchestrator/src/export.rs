@@ -1,0 +1,147 @@
+//! CSV export of run traces — for plotting the figures outside the
+//! terminal (gnuplot, matplotlib, a spreadsheet).
+
+use crate::reconfigure::ReconfigRun;
+use crate::session::TuningRun;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escape one CSV field (quote when needed, double inner quotes).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a tuning run as CSV text: one row per iteration.
+pub fn tuning_run_csv(run: &TuningRun) -> String {
+    let mut out = String::from("iteration,wips,workload,failed,line_wips\n");
+    for r in &run.records {
+        let lines = r
+            .line_wips
+            .iter()
+            .map(|w| format!("{w:.3}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            out,
+            "{},{:.3},{},{},{}",
+            r.iteration,
+            r.wips,
+            field(r.workload.name()),
+            r.failed,
+            field(&lines),
+        );
+    }
+    out
+}
+
+/// Render a reconfiguration run as CSV: iterations plus an `event` column
+/// describing any move that happened at that iteration.
+pub fn reconfig_run_csv(run: &ReconfigRun) -> String {
+    let mut out = String::from("iteration,wips,workload,failed,event\n");
+    for r in &run.records {
+        let event = run
+            .events
+            .iter()
+            .find(|e| e.iteration == r.iteration)
+            .map(|e| format!("node {} {}->{}", e.node, e.from_tier, e.to_tier))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{:.3},{},{},{}",
+            r.iteration,
+            r.wips,
+            field(r.workload.name()),
+            r.failed,
+            field(&event),
+        );
+    }
+    out
+}
+
+/// Render a generic named series set as CSV (figures with several lines).
+pub fn series_csv(names: &[&str], series: &[Vec<f64>]) -> String {
+    assert_eq!(names.len(), series.len());
+    let mut out = String::from("index");
+    for n in names {
+        out.push(',');
+        out.push_str(&field(n));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let _ = write!(out, "{i}");
+        for s in series {
+            match s.get(i) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.4}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV text to a file.
+pub fn write_csv(path: impl AsRef<Path>, csv: &str) -> io::Result<()> {
+    std::fs::write(path, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{tune, SessionConfig};
+    use cluster::config::Topology;
+    use harmony::strategy::TuningMethod;
+    use tpcw::metrics::IntervalPlan;
+    use tpcw::mix::Workload;
+
+    fn tiny_run() -> TuningRun {
+        let mut cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 150);
+        cfg.plan = IntervalPlan::tiny();
+        tune(&cfg, TuningMethod::None, 3)
+    }
+
+    #[test]
+    fn tuning_csv_shape() {
+        let run = tiny_run();
+        let csv = tuning_run_csv(&run);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert_eq!(lines[0], "iteration,wips,workload,failed,line_wips");
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[1].contains("Shopping"));
+    }
+
+    #[test]
+    fn field_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn series_csv_pads_ragged_series() {
+        let csv = series_csv(&["a", "b"], &[vec![1.0, 2.0, 3.0], vec![9.0]]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "index,a,b");
+        assert_eq!(lines[1], "0,1.0000,9.0000");
+        assert_eq!(lines[3], "2,3.0000,");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let run = tiny_run();
+        let path = std::env::temp_dir().join("ah_webtune_export_test.csv");
+        write_csv(&path, &tuning_run_csv(&run)).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.starts_with("iteration,"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

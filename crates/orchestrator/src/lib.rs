@@ -1,0 +1,44 @@
+//! # orchestrator — coupling Active Harmony to the simulated cluster
+//!
+//! The glue layer of the reproduction:
+//!
+//! * [`binding`] — maps cluster tunables ↔ Harmony search spaces for the
+//!   three §III tuning layouts (full per-node, per-tier duplication,
+//!   per-work-line partitioning);
+//! * [`session`] — tuning sessions: propose → simulate one
+//!   warm-up/measure/cool-down cycle → observe WIPS;
+//! * [`schedule`] — changing-workload sessions (Figure 5);
+//! * [`reconfigure`] — tuning plus the §IV automatic reconfiguration
+//!   controller (Figure 7);
+//! * [`experiments`] — one typed runner per paper table/figure;
+//! * [`par`] — crossbeam-based parallel fan-out of independent runs;
+//! * [`report`] — text tables and sparklines for the regenerators.
+
+//!
+//! ## A complete tuning session
+//!
+//! ```
+//! use orchestrator::session::{tune, SessionConfig};
+//! use harmony::strategy::TuningMethod;
+//! use cluster::config::Topology;
+//! use tpcw::metrics::IntervalPlan;
+//! use tpcw::mix::Workload;
+//!
+//! let mut cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200);
+//! cfg.plan = IntervalPlan::tiny();
+//! let run = tune(&cfg, TuningMethod::Default, 5);
+//! assert_eq!(run.records.len(), 5);
+//! assert!(run.best_wips > 0.0);
+//! ```
+
+pub mod binding;
+pub mod experiments;
+pub mod export;
+pub mod par;
+pub mod reconfigure;
+pub mod report;
+pub mod schedule;
+pub mod session;
+
+pub use experiments::Effort;
+pub use session::{tune, SessionConfig, TuningRun};

@@ -1,0 +1,570 @@
+//! Tuning sessions: the closed loop between Active Harmony and the
+//! simulated cluster.
+//!
+//! A session fixes the environment (topology, workload, browser
+//! population, measurement plan) and runs tuning iterations: each
+//! iteration the Harmony server(s) propose a configuration, the cluster
+//! runs one warm-up/measure/cool-down cycle under it, and the measured
+//! WIPS feeds back. The per-iteration seed varies (unless pinned) so the
+//! tuner faces realistic measurement noise, exactly as on real hardware.
+
+use crate::binding;
+use cluster::config::{ClusterConfig, Role, Topology};
+use cluster::model::ClusterScenario;
+use cluster::runner::{run_iteration, IterationOutcome};
+use cluster::spec::NodeSpec;
+use harmony::server::HarmonyServer;
+use harmony::simplex::SimplexTuner;
+use harmony::strategy::TuningMethod;
+use harmony::workline::build_work_lines;
+use serde::{Deserialize, Serialize};
+use tpcw::metrics::IntervalPlan;
+use tpcw::mix::Workload;
+use tpcw::scale::CatalogScale;
+
+/// Environment of a tuning session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    pub topology: Topology,
+    pub workload: Workload,
+    pub population: u32,
+    pub plan: IntervalPlan,
+    pub scale: CatalogScale,
+    pub spec: NodeSpec,
+    /// Base RNG seed; iteration `i` runs with `base_seed + i` unless
+    /// `pin_seed` is set.
+    pub base_seed: u64,
+    /// Use the same seed every iteration (noise-free tuning, for tests).
+    pub pin_seed: bool,
+    /// Walk the TPC-W Markov navigation graph instead of i.i.d. mix
+    /// sampling (same steady-state frequencies; see `tpcw::navigation`).
+    pub markov_sessions: bool,
+    /// Per-node hardware overrides (failure injection); entry `i`
+    /// replaces `spec` for node `i`.
+    pub node_specs: Vec<Option<NodeSpec>>,
+}
+
+impl SessionConfig {
+    pub fn new(topology: Topology, workload: Workload, population: u32) -> Self {
+        SessionConfig {
+            topology,
+            workload,
+            population,
+            plan: IntervalPlan::fast(),
+            scale: CatalogScale::hpdc04(),
+            spec: NodeSpec::hpdc04(),
+            base_seed: 0x5EED,
+            pin_seed: false,
+            markov_sessions: false,
+            node_specs: Vec::new(),
+        }
+    }
+
+    /// Degrade node `node` to `cpu_scale` of nominal CPU speed.
+    pub fn degrade_cpu(&mut self, node: usize, cpu_scale: f64) {
+        if self.node_specs.len() <= node {
+            self.node_specs.resize(self.topology.len(), None);
+        }
+        let mut spec = self.node_specs[node].unwrap_or(self.spec);
+        spec.cpu_scale = cpu_scale;
+        self.node_specs[node] = Some(spec);
+    }
+
+    fn seed_for(&self, iteration: u32) -> u64 {
+        if self.pin_seed {
+            self.base_seed
+        } else {
+            self.base_seed.wrapping_add(iteration as u64)
+        }
+    }
+
+    /// Build the scenario for one iteration.
+    pub fn scenario(&self, config: ClusterConfig, iteration: u32) -> ClusterScenario {
+        ClusterScenario {
+            spec: self.spec,
+            topology: self.topology.clone(),
+            config,
+            workload: self.workload,
+            scale: self.scale,
+            browsers: tpcw::browser::BrowserConfig::hpdc04(self.population),
+            plan: self.plan,
+            seed: self.seed_for(iteration),
+            lines: None,
+            markov_sessions: self.markov_sessions,
+            load_balancing: cluster::model::LoadBalancing::default(),
+            node_specs: self.node_specs.clone(),
+        }
+    }
+
+    /// Evaluate one configuration (one iteration cycle).
+    pub fn evaluate(&self, config: ClusterConfig, iteration: u32) -> IterationOutcome {
+        run_iteration(&self.scenario(config, iteration))
+    }
+
+    /// Measure the default configuration over `reps` independent seeds:
+    /// the Table 4 "None (No Tuning)" row.
+    pub fn measure_default(&self, reps: u32) -> (f64, f64) {
+        let mut stats = simkit::stats::Welford::new();
+        for i in 0..reps {
+            let out = self.evaluate(ClusterConfig::defaults(&self.topology), i);
+            stats.record(out.metrics.wips);
+        }
+        (stats.mean(), stats.std_dev())
+    }
+
+    /// Measure a configuration with sequential sampling: add replications
+    /// until the 95% confidence half-width falls below
+    /// `target_rel × mean`, up to `max_reps`. Returns the interval.
+    pub fn measure_until_precise(
+        &self,
+        config: &ClusterConfig,
+        target_rel: f64,
+        max_reps: u32,
+    ) -> simkit::ci::ConfidenceInterval {
+        let mut samples = Vec::new();
+        for i in 0..max_reps.max(2) {
+            let out = self.evaluate(config.clone(), i);
+            samples.push(out.metrics.wips);
+            if samples.len() >= 2 {
+                let ci = simkit::ci::replication_ci(&samples);
+                if ci.relative_precision() <= target_rel {
+                    return ci;
+                }
+            }
+        }
+        simkit::ci::replication_ci(&samples)
+    }
+}
+
+/// One tuning iteration's record in a session trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationRecord {
+    pub iteration: u32,
+    /// Overall cluster WIPS measured this iteration.
+    pub wips: f64,
+    /// Per-work-line WIPS (single entry when unpartitioned).
+    pub line_wips: Vec<f64>,
+    /// Workload active this iteration (changes in schedule sessions).
+    pub workload: Workload,
+    /// Requests refused at admission.
+    pub failed: u64,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningRun {
+    pub method: TuningMethod,
+    pub records: Vec<IterationRecord>,
+    /// Best configuration evaluated, with its WIPS.
+    pub best_config: ClusterConfig,
+    pub best_wips: f64,
+    /// Iteration at which the best configuration was first evaluated.
+    pub convergence_iteration: u32,
+}
+
+impl TuningRun {
+    /// WIPS series (figure y-axis).
+    pub fn wips_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.wips).collect()
+    }
+
+    /// Mean and standard deviation over `[start, end)` iterations — the
+    /// paper's "second 100 iterations" statistics.
+    pub fn window_stats(&self, start: usize, end: usize) -> (f64, f64) {
+        let mut w = simkit::stats::Welford::new();
+        for r in self.records.iter().take(end).skip(start) {
+            w.record(r.wips);
+        }
+        (w.mean(), w.std_dev())
+    }
+
+    /// First iteration whose WIPS reaches `frac` of the best seen in the
+    /// whole run — a noise-robust "iterations to converge" (the arg-max
+    /// iteration keeps moving by measurement noise long after the tuner
+    /// has effectively converged).
+    pub fn first_within(&self, frac: f64) -> u32 {
+        let target = self.best_wips * frac;
+        self.records
+            .iter()
+            .find(|r| r.wips >= target)
+            .map(|r| r.iteration)
+            .unwrap_or(self.convergence_iteration)
+    }
+
+    /// Fraction of iterations in `[start, end)` beating `reference` WIPS.
+    pub fn fraction_above(&self, start: usize, end: usize, reference: f64) -> f64 {
+        let window: Vec<_> = self.records.iter().take(end).skip(start).collect();
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.iter().filter(|r| r.wips > reference).count() as f64 / window.len() as f64
+    }
+}
+
+/// Internal: track best-seen config across a run.
+struct BestConfig {
+    config: ClusterConfig,
+    wips: f64,
+    iteration: u32,
+}
+
+impl BestConfig {
+    fn new(initial: ClusterConfig) -> Self {
+        BestConfig {
+            config: initial,
+            wips: f64::NEG_INFINITY,
+            iteration: 0,
+        }
+    }
+
+    fn consider(&mut self, config: &ClusterConfig, wips: f64, iteration: u32) {
+        if wips > self.wips {
+            self.config = config.clone();
+            self.wips = wips;
+            self.iteration = iteration;
+        }
+    }
+}
+
+/// Tune with the paper's **default method**: one Harmony server over every
+/// parameter of every node.
+pub fn tune_default_method(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    let space = binding::full_space(&cfg.topology);
+    let mut server = HarmonyServer::new("all-nodes", Box::new(SimplexTuner::new(space)));
+    let mut records = Vec::with_capacity(iterations as usize);
+    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
+    for i in 0..iterations {
+        let proposal = server.next_config();
+        let config = binding::config_from_full(&cfg.topology, &proposal);
+        let out = cfg.evaluate(config.clone(), i);
+        let wips = out.metrics.wips;
+        server.report(wips);
+        best.consider(&config, wips, i);
+        records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips,
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+    }
+    TuningRun {
+        method: TuningMethod::Default,
+        records,
+        best_config: best.config,
+        best_wips: best.wips,
+        convergence_iteration: best.iteration,
+    }
+}
+
+/// Tune with **parameter duplication**: one server per tier (7/7/9
+/// dimensions), every tier's values replicated across its nodes, all three
+/// servers fed the same overall WIPS.
+pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    let mut servers = [
+        HarmonyServer::new(
+            "proxy-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
+        ),
+        HarmonyServer::new(
+            "web-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::App))),
+        ),
+        HarmonyServer::new(
+            "db-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
+        ),
+    ];
+    let mut records = Vec::with_capacity(iterations as usize);
+    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
+    for i in 0..iterations {
+        let pc = servers[0].next_config();
+        let wc = servers[1].next_config();
+        let dc = servers[2].next_config();
+        let config = binding::config_from_roles(&cfg.topology, &pc, &wc, &dc);
+        let out = cfg.evaluate(config.clone(), i);
+        let wips = out.metrics.wips;
+        for s in &mut servers {
+            s.report(wips);
+        }
+        best.consider(&config, wips, i);
+        records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips,
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+    }
+    TuningRun {
+        method: TuningMethod::Duplication,
+        records,
+        best_config: best.config,
+        best_wips: best.wips,
+        convergence_iteration: best.iteration,
+    }
+}
+
+/// Tune with **parameter partitioning**: the cluster is split into work
+/// lines; each line gets its own server (23 dimensions) fed by *its own
+/// line's* throughput, and requests never cross lines.
+pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    let nodes: Vec<(usize, u8)> = cfg
+        .topology
+        .roles()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                i,
+                match r {
+                    Role::Proxy => 0u8,
+                    Role::App => 1,
+                    Role::Db => 2,
+                },
+            )
+        })
+        .collect();
+    let lines = build_work_lines(&nodes).expect("topology has every tier");
+    let mut servers: Vec<HarmonyServer> = (0..lines.len())
+        .map(|i| {
+            HarmonyServer::new(
+                format!("line-{i}"),
+                Box::new(SimplexTuner::new(binding::tier_space())),
+            )
+        })
+        .collect();
+
+    let mut records = Vec::with_capacity(iterations as usize);
+    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
+    for i in 0..iterations {
+        let mut config = ClusterConfig::defaults(&cfg.topology);
+        for (server, line) in servers.iter_mut().zip(&lines) {
+            let proposal = server.next_config();
+            binding::apply_line_config(&mut config, &cfg.topology, &line.nodes, &proposal);
+        }
+        let mut scenario = cfg.scenario(config.clone(), i);
+        scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
+        let out = run_iteration(&scenario);
+        let wips = out.metrics.wips;
+        for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
+            s.report(*line_wips);
+        }
+        best.consider(&config, wips, i);
+        records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips,
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+    }
+    TuningRun {
+        method: TuningMethod::Partitioning,
+        records,
+        best_config: best.config,
+        best_wips: best.wips,
+        convergence_iteration: best.iteration,
+    }
+}
+
+/// The paper's future-work **hybrid**: duplication for the first
+/// `switch_at` iterations, then per-line fine tuning seeded from the
+/// duplication result.
+pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> TuningRun {
+    let switch_at = switch_at.min(iterations);
+    let mut coarse = tune_duplication(cfg, switch_at);
+
+    // Seed per-line tuning from the duplication best.
+    let seed_tier = binding::tier_config_from(&coarse.best_config, &cfg.topology)
+        .expect("uniform config extractable");
+    let nodes: Vec<(usize, u8)> = cfg
+        .topology
+        .roles()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                i,
+                match r {
+                    Role::Proxy => 0u8,
+                    Role::App => 1,
+                    Role::Db => 2,
+                },
+            )
+        })
+        .collect();
+    let lines = build_work_lines(&nodes).expect("topology has every tier");
+    let mut servers: Vec<HarmonyServer> = (0..lines.len())
+        .map(|i| {
+            HarmonyServer::new(
+                format!("line-{i}"),
+                Box::new(SimplexTuner::with_seed(
+                    binding::tier_space(),
+                    seed_tier.clone(),
+                )),
+            )
+        })
+        .collect();
+
+    let mut best = BestConfig::new(coarse.best_config.clone());
+    best.wips = coarse.best_wips;
+    best.iteration = coarse.convergence_iteration;
+    for i in switch_at..iterations {
+        let mut config = coarse.best_config.clone();
+        for (server, line) in servers.iter_mut().zip(&lines) {
+            let proposal = server.next_config();
+            binding::apply_line_config(&mut config, &cfg.topology, &line.nodes, &proposal);
+        }
+        let mut scenario = cfg.scenario(config.clone(), i);
+        scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
+        let out = run_iteration(&scenario);
+        let wips = out.metrics.wips;
+        for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
+            s.report(*line_wips);
+        }
+        best.consider(&config, wips, i);
+        coarse.records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips,
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+    }
+    TuningRun {
+        method: TuningMethod::Hybrid,
+        records: coarse.records,
+        best_config: best.config,
+        best_wips: best.wips,
+        convergence_iteration: best.iteration,
+    }
+}
+
+/// Dispatch by method (None yields a flat run of the default config).
+pub fn tune(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> TuningRun {
+    match method {
+        TuningMethod::None => {
+            let mut records = Vec::with_capacity(iterations as usize);
+            let default = ClusterConfig::defaults(&cfg.topology);
+            let mut best = BestConfig::new(default.clone());
+            for i in 0..iterations {
+                let out = cfg.evaluate(default.clone(), i);
+                best.consider(&default, out.metrics.wips, i);
+                records.push(IterationRecord {
+                    iteration: i,
+                    wips: out.metrics.wips,
+                    line_wips: out.line_wips,
+                    workload: cfg.workload,
+                    failed: out.total_failed,
+                });
+            }
+            TuningRun {
+                method: TuningMethod::None,
+                records,
+                best_config: best.config,
+                best_wips: best.wips,
+                convergence_iteration: 0,
+            }
+        }
+        TuningMethod::Default => tune_default_method(cfg, iterations),
+        TuningMethod::Duplication => tune_duplication(cfg, iterations),
+        TuningMethod::Partitioning => tune_partitioning(cfg, iterations),
+        TuningMethod::Hybrid => tune_hybrid(cfg, iterations, iterations / 3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(workload: Workload) -> SessionConfig {
+        let mut c = SessionConfig::new(Topology::single(), workload, 300);
+        c.plan = IntervalPlan::tiny();
+        c
+    }
+
+    #[test]
+    fn default_method_runs_and_records() {
+        let cfg = quick_cfg(Workload::Shopping);
+        let run = tune_default_method(&cfg, 8);
+        assert_eq!(run.records.len(), 8);
+        assert!(run.best_wips > 0.0);
+        assert!(run.convergence_iteration < 8);
+        assert_eq!(run.method, TuningMethod::Default);
+    }
+
+    #[test]
+    fn duplication_replicates_values() {
+        let mut cfg = quick_cfg(Workload::Browsing);
+        cfg.topology = Topology::tiers(2, 1, 1).unwrap();
+        let run = tune_duplication(&cfg, 5);
+        let best = &run.best_config;
+        assert_eq!(
+            best.node(0).as_proxy().unwrap(),
+            best.node(1).as_proxy().unwrap(),
+            "duplication must keep tier nodes identical"
+        );
+    }
+
+    #[test]
+    fn partitioning_reports_per_line() {
+        let mut cfg = quick_cfg(Workload::Shopping);
+        cfg.topology = Topology::tiers(2, 2, 2).unwrap();
+        cfg.population = 400;
+        let run = tune_partitioning(&cfg, 5);
+        assert_eq!(run.records[0].line_wips.len(), 2);
+        assert!(run.best_wips > 0.0);
+    }
+
+    #[test]
+    fn none_method_is_flat_default() {
+        let cfg = quick_cfg(Workload::Ordering);
+        let run = tune(&cfg, TuningMethod::None, 3);
+        assert_eq!(run.records.len(), 3);
+        assert_eq!(run.best_config, ClusterConfig::defaults(&cfg.topology));
+    }
+
+    #[test]
+    fn hybrid_switches_methods() {
+        let mut cfg = quick_cfg(Workload::Shopping);
+        cfg.topology = Topology::tiers(2, 2, 2).unwrap();
+        cfg.population = 400;
+        let run = tune_hybrid(&cfg, 9, 4);
+        assert_eq!(run.records.len(), 9);
+        assert_eq!(run.method, TuningMethod::Hybrid);
+    }
+
+    #[test]
+    fn pinned_seed_is_deterministic() {
+        let mut cfg = quick_cfg(Workload::Shopping);
+        cfg.pin_seed = true;
+        let a = tune_default_method(&cfg, 4);
+        let b = tune_default_method(&cfg, 4);
+        assert_eq!(a.wips_series(), b.wips_series());
+    }
+
+    #[test]
+    fn sequential_sampling_tightens_the_interval() {
+        let cfg = quick_cfg(Workload::Shopping);
+        let default = ClusterConfig::defaults(&cfg.topology);
+        let loose = cfg.measure_until_precise(&default, 0.5, 3);
+        assert!(loose.samples >= 2);
+        assert!(loose.mean > 0.0);
+        // A tight target forces more replications (up to the cap).
+        let tight = cfg.measure_until_precise(&default, 0.0001, 4);
+        assert!(tight.samples >= loose.samples);
+        assert!(tight.samples <= 4);
+    }
+
+    #[test]
+    fn window_stats_and_fraction() {
+        let cfg = quick_cfg(Workload::Shopping);
+        let run = tune(&cfg, TuningMethod::None, 6);
+        let (mean, sd) = run.window_stats(0, 6);
+        assert!(mean > 0.0);
+        assert!(sd >= 0.0);
+        assert_eq!(run.fraction_above(0, 6, 0.0), 1.0);
+        assert_eq!(run.fraction_above(0, 6, f64::INFINITY), 0.0);
+    }
+}

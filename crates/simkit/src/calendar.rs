@@ -1,0 +1,156 @@
+//! The event calendar: a time-ordered priority queue of scheduled events.
+//!
+//! Ties in time are broken by insertion order (FIFO), which makes runs with
+//! identical seeds bit-for-bit reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence of an event of type `E`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventCalendar<E> {
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventCalendar {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event (used between tuning iterations when the
+    /// world is rebuilt).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = EventCalendar::new();
+        c.schedule(SimTime::from_secs(3), "c");
+        c.schedule(SimTime::from_secs(1), "a");
+        c.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| c.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut c = EventCalendar::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            c.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| c.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut c = EventCalendar::new();
+        c.schedule(SimTime::from_secs(5), 5);
+        c.schedule(SimTime::from_secs(1), 1);
+        assert_eq!(c.pop(), Some((SimTime::from_secs(1), 1)));
+        c.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(c.pop(), Some((SimTime::from_secs(2), 2)));
+        assert_eq!(c.pop(), Some((SimTime::from_secs(5), 5)));
+        assert!(c.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut c = EventCalendar::new();
+        c.schedule(SimTime::from_secs(9), ());
+        assert_eq!(c.peek_time(), Some(SimTime::from_secs(9)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = EventCalendar::new();
+        for i in 0..10 {
+            c.schedule(SimTime::from_secs(i), i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.peek_time(), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulation output analysis: initialization-bias detection.
+//!
+//! Classic tools for deciding how much of a time series is warm-up
+//! transient: lagged autocorrelation (how dependent successive iteration
+//! measurements are) and the MSER truncation rule (White 1997), which
+//! picks the cut point minimizing the marginal standard error of the
+//! remaining observations. The experiment harness uses fixed warm-up
+//! windows calibrated per scenario; these functions are the tooling for
+//! validating those choices.
+
+/// Lag-`k` sample autocorrelation of `series` (biased estimator, the
+/// standard one for output analysis). Returns 0 for degenerate input.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if n < 2 || lag >= n {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(a, b)| (a - mean) * (b - mean))
+        .sum();
+    num / denom
+}
+
+/// MSER truncation: the prefix length `d` (0 ≤ d ≤ n/2) minimizing
+/// `variance(series[d..]) / (n - d)^2`. Observations before the returned
+/// index should be discarded as initialization bias.
+pub fn mser_truncation(series: &[f64]) -> usize {
+    let n = series.len();
+    if n < 4 {
+        return 0;
+    }
+    // Suffix sums for O(n) evaluation of all candidate cut points.
+    let mut suffix_sum = vec![0.0; n + 1];
+    let mut suffix_sq = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix_sum[i] = suffix_sum[i + 1] + series[i];
+        suffix_sq[i] = suffix_sq[i + 1] + series[i] * series[i];
+    }
+    let mut best_d = 0;
+    let mut best_score = f64::INFINITY;
+    for d in 0..=n / 2 {
+        let m = (n - d) as f64;
+        let mean = suffix_sum[d] / m;
+        let var = (suffix_sq[d] / m - mean * mean).max(0.0);
+        let score = var / (m * m);
+        if score < best_score {
+            best_score = score;
+            best_d = d;
+        }
+    }
+    best_d
+}
+
+/// Effective sample size of an autocorrelated series under an AR(1)
+/// approximation: `n (1 - ρ₁) / (1 + ρ₁)`, clamped to `[1, n]`.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let rho = autocorrelation(series, 1).clamp(-0.99, 0.99);
+    (n as f64 * (1.0 - rho) / (1.0 + rho)).clamp(1.0, n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn autocorrelation_of_iid_noise_is_small() {
+        let mut rng = SimRng::new(3);
+        let series: Vec<f64> = (0..5_000).map(|_| rng.standard_normal()).collect();
+        let r1 = autocorrelation(&series, 1);
+        assert!(r1.abs() < 0.05, "rho1 = {r1}");
+    }
+
+    #[test]
+    fn autocorrelation_of_ar1_is_rho() {
+        let mut rng = SimRng::new(5);
+        let rho = 0.8;
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..20_000)
+            .map(|_| {
+                x = rho * x + rng.standard_normal();
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&series, 1);
+        assert!((r1 - rho).abs() < 0.05, "rho1 = {r1}");
+        // Lag-2 correlation of AR(1) is rho^2.
+        let r2 = autocorrelation(&series, 2);
+        assert!((r2 - rho * rho).abs() < 0.07, "rho2 = {r2}");
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_inputs() {
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 0), 0.0);
+        assert_eq!(autocorrelation(&[5.0; 10], 1), 0.0); // zero variance
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0); // lag too large
+    }
+
+    #[test]
+    fn mser_finds_the_transient() {
+        // 50 biased warm-up points ramping into a stationary level.
+        let mut rng = SimRng::new(7);
+        let mut series = Vec::new();
+        for i in 0..50 {
+            series.push(i as f64 * 2.0 + rng.normal(0.0, 1.0)); // ramp 0..100
+        }
+        for _ in 0..450 {
+            series.push(100.0 + rng.normal(0.0, 1.0)); // steady state
+        }
+        let d = mser_truncation(&series);
+        assert!(
+            (35..=80).contains(&d),
+            "cut point {d} should land near the end of the 50-point ramp"
+        );
+    }
+
+    #[test]
+    fn mser_keeps_stationary_series_whole() {
+        let mut rng = SimRng::new(11);
+        let series: Vec<f64> = (0..500).map(|_| 10.0 + rng.normal(0.0, 1.0)).collect();
+        let d = mser_truncation(&series);
+        // No transient: the cut should stay near the start.
+        assert!(d < 100, "cut {d} on a stationary series");
+    }
+
+    #[test]
+    fn mser_short_series() {
+        assert_eq!(mser_truncation(&[]), 0);
+        assert_eq!(mser_truncation(&[1.0, 2.0, 3.0]), 0);
+    }
+
+    #[test]
+    fn effective_sample_size_shrinks_with_correlation() {
+        let mut rng = SimRng::new(13);
+        let iid: Vec<f64> = (0..2_000).map(|_| rng.standard_normal()).collect();
+        let ess_iid = effective_sample_size(&iid);
+        assert!(ess_iid > 1_500.0, "iid ESS {ess_iid}");
+
+        let mut x = 0.0;
+        let ar: Vec<f64> = (0..2_000)
+            .map(|_| {
+                x = 0.9 * x + rng.standard_normal();
+                x
+            })
+            .collect();
+        let ess_ar = effective_sample_size(&ar);
+        // AR(1) with rho 0.9: ESS ~ n/19.
+        assert!(ess_ar < 400.0, "AR ESS {ess_ar}");
+        assert!(ess_ar >= 1.0);
+    }
+}

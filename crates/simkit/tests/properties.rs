@@ -1,0 +1,181 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+use simkit::calendar::EventCalendar;
+use simkit::calqueue::CalendarQueue;
+use simkit::queue::{BoundedQueue, Offer};
+use simkit::rng::SimRng;
+use simkit::stats::{TimeWeighted, Welford};
+use simkit::time::{SimDuration, SimTime};
+
+proptest! {
+    /// The calendar always pops events in non-decreasing time order, and
+    /// FIFO within equal times.
+    #[test]
+    fn calendar_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut cal = EventCalendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = cal.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// The calendar queue and the binary heap are observationally
+    /// identical under arbitrary interleavings of schedules and pops.
+    #[test]
+    fn calqueue_equals_heap(
+        ops in prop::collection::vec((any::<bool>(), 0u64..100_000), 1..400),
+    ) {
+        let mut heap = EventCalendar::new();
+        let mut cq = CalendarQueue::new();
+        let mut i = 0u64;
+        for (push, t) in ops {
+            if push {
+                heap.schedule(SimTime::from_micros(t), i);
+                cq.schedule(SimTime::from_micros(t), i);
+                i += 1;
+            } else {
+                prop_assert_eq!(heap.pop(), cq.pop());
+            }
+            prop_assert_eq!(heap.len(), cq.len());
+        }
+        loop {
+            let a = heap.pop();
+            prop_assert_eq!(a, cq.pop());
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Welford matches the naive two-pass mean and variance.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(1.0);
+        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        let vscale = var.abs().max(1.0);
+        prop_assert!((w.variance() - var).abs() / vscale < 1e-6);
+        prop_assert!(w.min() <= w.mean() + 1e-9 && w.mean() <= w.max() + 1e-9);
+    }
+
+    /// Merging split halves equals a single accumulation.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs[..split].iter().for_each(|&x| a.record(x));
+        xs[split..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+    }
+
+    /// Bounded queues never exceed capacity and preserve FIFO order.
+    #[test]
+    fn bounded_queue_respects_capacity(
+        cap in 0usize..20,
+        ops in prop::collection::vec(prop::bool::ANY, 1..300),
+    ) {
+        let mut q = BoundedQueue::bounded(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                match q.offer(next) {
+                    Offer::Accepted => {
+                        prop_assert!(model.len() < cap);
+                        model.push_back(next);
+                    }
+                    Offer::Rejected(v) => {
+                        prop_assert_eq!(v, next);
+                        prop_assert_eq!(model.len(), cap);
+                    }
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(q.take(), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(q.len() <= cap);
+        }
+    }
+
+    /// Time-weighted average equals a brute-force integral.
+    #[test]
+    fn time_weighted_matches_brute_force(
+        steps in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut area = 0.0;
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            area += value * dt as f64;
+            t += dt;
+            tw.set(SimTime::from_micros(t), v);
+            value = v;
+        }
+        // Advance a final span.
+        let end = t + 500;
+        area += value * 500.0;
+        let expected = area / end as f64;
+        let got = tw.average(SimTime::from_micros(end));
+        prop_assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0),
+            "got {got}, expected {expected}");
+    }
+
+    /// RNG uniform helpers stay in range for arbitrary bounds.
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in -1000i64..1000, span in 0i64..1000) {
+        let hi = lo + span;
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let v = rng.uniform_i64(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+            let e = rng.exponential(3.0);
+            prop_assert!(e >= 0.0);
+        }
+    }
+
+    /// Substreams are reproducible: the same (seed, stream) pair always
+    /// yields the same sequence.
+    #[test]
+    fn rng_substreams_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::new(seed).substream(stream);
+        let mut b = SimRng::new(seed).substream(stream);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Duration arithmetic: conversions round-trip within a microsecond.
+    #[test]
+    fn duration_secs_roundtrip(us in 0u64..10_000_000_000) {
+        let d = SimDuration::from_micros(us);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_micros().abs_diff(us);
+        prop_assert!(diff <= 1, "{us} -> {}", back.as_micros());
+    }
+}

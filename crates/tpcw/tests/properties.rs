@@ -1,0 +1,106 @@
+//! Property-based tests of the TPC-W workload model.
+
+use proptest::prelude::*;
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+use tpcw::interaction::Interaction;
+use tpcw::metrics::{IntervalPlan, MetricsCollector, Phase};
+use tpcw::mix::Workload;
+
+proptest! {
+    /// Sampling from a mix only yields interactions with positive weight.
+    #[test]
+    fn sampling_respects_support(seed in any::<u64>(), w_idx in 0usize..3) {
+        let workload = Workload::ALL[w_idx];
+        let mix = workload.mix();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let ix = mix.sample(&mut rng);
+            prop_assert!(mix.percent(ix) > 0.0, "{ix} has zero weight");
+        }
+    }
+
+    /// Every instant of an iteration belongs to exactly one phase, and the
+    /// phases appear in order.
+    #[test]
+    fn phases_partition_time(
+        warm in 1u64..500, measure in 1u64..5_000, cool in 1u64..500,
+        probe in 0u64..7_000,
+    ) {
+        let plan = IntervalPlan {
+            warmup: SimDuration::from_secs(warm),
+            measure: SimDuration::from_secs(measure),
+            cooldown: SimDuration::from_secs(cool),
+        };
+        let t = SimDuration::from_secs(probe);
+        let phase = plan.phase_at(t);
+        let expected = if probe < warm {
+            Phase::Warmup
+        } else if probe < warm + measure {
+            Phase::Measure
+        } else if probe < warm + measure + cool {
+            Phase::Cooldown
+        } else {
+            Phase::Done
+        };
+        prop_assert_eq!(phase, expected);
+        prop_assert_eq!(plan.total(), SimDuration::from_secs(warm + measure + cool));
+    }
+
+    /// WIPS equals counted completions divided by the measurement window,
+    /// no matter when the completions arrive.
+    #[test]
+    fn wips_counts_only_measure_window(
+        arrivals in prop::collection::vec(0u64..400, 0..200),
+    ) {
+        let plan = IntervalPlan {
+            warmup: SimDuration::from_secs(50),
+            measure: SimDuration::from_secs(200),
+            cooldown: SimDuration::from_secs(50),
+        };
+        let start = SimTime::from_secs(1_000);
+        let mut m = MetricsCollector::new(plan, start);
+        let mut counted = 0u64;
+        for &s in &arrivals {
+            let at = start + SimDuration::from_secs(s);
+            m.record_completion(at, Interaction::Home, SimDuration::from_millis(80));
+            if (50..250).contains(&s) {
+                counted += 1;
+            }
+        }
+        prop_assert_eq!(m.total_completed(), counted);
+        let expected_wips = counted as f64 / 200.0;
+        prop_assert!((m.wips() - expected_wips).abs() < 1e-12);
+        prop_assert_eq!(m.outside_window(), arrivals.len() as u64 - counted);
+    }
+
+    /// Class counts always sum to the total.
+    #[test]
+    fn class_counts_sum(picks in prop::collection::vec(0usize..14, 1..100)) {
+        let plan = IntervalPlan::tiny();
+        let mut m = MetricsCollector::new(plan, SimTime::ZERO);
+        let inside = SimTime::from_secs(10); // measure window of tiny plan
+        for &p in &picks {
+            let ix = Interaction::from_index(p).unwrap();
+            m.record_completion(inside, ix, SimDuration::from_millis(10));
+        }
+        let s = m.summarise();
+        prop_assert_eq!(s.browse_completed + s.order_completed, s.completed);
+        prop_assert_eq!(s.completed, picks.len() as u64);
+    }
+
+    /// Demand profiles: sampled response sizes and think times stay
+    /// positive and finite for every interaction.
+    #[test]
+    fn demand_sampling_sane(seed in any::<u64>(), idx in 0usize..14) {
+        let ix = Interaction::from_index(idx).unwrap();
+        let profile = tpcw::demand::profile(ix);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            let kb = rng.lognormal_mean_cv(profile.object_kb.max(0.5), tpcw::demand::OBJECT_SIZE_CV);
+            prop_assert!(kb.is_finite() && kb > 0.0);
+            let cpu = rng.lognormal_mean_cv(profile.app_cpu_ms.max(0.05), tpcw::demand::CPU_DEMAND_CV);
+            prop_assert!(cpu.is_finite() && cpu > 0.0);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Command-line interface definitions for the `ah-webtune` binary.
+//!
+//! Hand-rolled parsing (no extra dependencies): subcommands `simulate`,
+//! `tune`, `reconfig`, and `sweep`, each with a small flag set.
+
+use cluster::config::Topology;
+use harmony::strategy::TuningMethod;
+use tpcw::metrics::IntervalPlan;
+use tpcw::mix::Workload;
+
+/// Parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one measurement iteration and print the outcome.
+    Simulate(SimArgs),
+    /// Run a tuning session.
+    Tune(TuneArgs),
+    /// Run a tuning + reconfiguration session.
+    Reconfig(SimArgs),
+    /// Sweep browser populations.
+    Sweep(SweepArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Common simulation options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    pub workload: Workload,
+    pub topology: Topology,
+    pub population: u32,
+    pub seed: u64,
+    pub markov: bool,
+    pub plan: IntervalPlan,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            workload: Workload::Shopping,
+            topology: Topology::single(),
+            population: 1_000,
+            seed: 42,
+            markov: false,
+            plan: IntervalPlan::fast(),
+        }
+    }
+}
+
+/// Tuning options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneArgs {
+    pub sim: SimArgs,
+    pub method: TuningMethod,
+    pub iterations: u32,
+}
+
+/// Sweep options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    pub sim: SimArgs,
+    pub from: u32,
+    pub to: u32,
+    pub step: u32,
+}
+
+pub const USAGE: &str = "\
+ah-webtune — automated cluster-based web service performance tuning
+
+USAGE:
+  ah-webtune simulate [options]        run one measurement iteration
+  ah-webtune tune     [options]        run a tuning session
+  ah-webtune reconfig [options]        tuning + automatic reconfiguration
+  ah-webtune sweep    [options]        sweep browser populations
+
+OPTIONS (all subcommands):
+  --workload browsing|shopping|ordering   (default shopping)
+  --topology PxAxD   e.g. 2x2x1           (default 1x1x1)
+  --population N                          (default 1000)
+  --seed N                                (default 42)
+  --markov           walk TPC-W sessions instead of i.i.d. sampling
+  --plan tiny|fast|paper                  measurement intervals (default fast)
+
+TUNE:
+  --method default|duplication|partitioning|hybrid  (default default)
+  --iterations N                                    (default 50)
+
+SWEEP:
+  --from N --to N --step N                (default 400..2000 step 400)
+";
+
+/// Parse an argument list (without `argv[0]`).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+    let mut it = args.into_iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    let rest: Vec<String> = it.collect();
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => Ok(Command::Simulate(parse_sim(&rest)?.0)),
+        "reconfig" => Ok(Command::Reconfig(parse_sim(&rest)?.0)),
+        "tune" => {
+            let (sim, leftover) = parse_sim(&rest)?;
+            let mut method = TuningMethod::Default;
+            let mut iterations = 50;
+            let mut i = 0;
+            while i < leftover.len() {
+                match leftover[i].as_str() {
+                    "--method" => {
+                        let v = leftover.get(i + 1).ok_or("--method needs a value")?;
+                        method = match v.as_str() {
+                            "default" => TuningMethod::Default,
+                            "duplication" => TuningMethod::Duplication,
+                            "partitioning" => TuningMethod::Partitioning,
+                            "hybrid" => TuningMethod::Hybrid,
+                            other => return Err(format!("unknown method '{other}'")),
+                        };
+                        i += 2;
+                    }
+                    "--iterations" => {
+                        iterations = parse_num(&leftover, i, "--iterations")?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            Ok(Command::Tune(TuneArgs {
+                sim,
+                method,
+                iterations,
+            }))
+        }
+        "sweep" => {
+            let (sim, leftover) = parse_sim(&rest)?;
+            let (mut from, mut to, mut step) = (400u32, 2_000u32, 400u32);
+            let mut i = 0;
+            while i < leftover.len() {
+                match leftover[i].as_str() {
+                    "--from" => {
+                        from = parse_num(&leftover, i, "--from")?;
+                        i += 2;
+                    }
+                    "--to" => {
+                        to = parse_num(&leftover, i, "--to")?;
+                        i += 2;
+                    }
+                    "--step" => {
+                        step = parse_num(&leftover, i, "--step")?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            if step == 0 || from > to {
+                return Err("sweep needs --from <= --to and --step > 0".into());
+            }
+            Ok(Command::Sweep(SweepArgs {
+                sim,
+                from,
+                to,
+                step,
+            }))
+        }
+        other => Err(format!("unknown subcommand '{other}' (try help)")),
+    }
+}
+
+/// Parse the common options, returning unconsumed arguments.
+fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
+    let mut sim = SimArgs::default();
+    let mut leftover = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                let v = args.get(i + 1).ok_or("--workload needs a value")?;
+                sim.workload = match v.to_lowercase().as_str() {
+                    "browsing" => Workload::Browsing,
+                    "shopping" => Workload::Shopping,
+                    "ordering" => Workload::Ordering,
+                    other => return Err(format!("unknown workload '{other}'")),
+                };
+                i += 2;
+            }
+            "--topology" => {
+                let v = args.get(i + 1).ok_or("--topology needs a value")?;
+                sim.topology = parse_topology(v)?;
+                i += 2;
+            }
+            "--population" => {
+                sim.population = parse_num(args, i, "--population")?;
+                i += 2;
+            }
+            "--seed" => {
+                sim.seed = parse_num(args, i, "--seed")?;
+                i += 2;
+            }
+            "--markov" => {
+                sim.markov = true;
+                i += 1;
+            }
+            "--plan" => {
+                let v = args.get(i + 1).ok_or("--plan needs a value")?;
+                sim.plan = match v.as_str() {
+                    "tiny" => IntervalPlan::tiny(),
+                    "fast" => IntervalPlan::fast(),
+                    "paper" => IntervalPlan::hpdc04(),
+                    other => return Err(format!("unknown plan '{other}'")),
+                };
+                i += 2;
+            }
+            _ => {
+                leftover.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((sim, leftover))
+}
+
+fn parse_topology(v: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = v.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("topology '{v}' is not PxAxD"));
+    }
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let nums = nums.map_err(|_| format!("topology '{v}' is not numeric"))?;
+    Topology::tiers(nums[0], nums[1], nums[2]).map_err(|e| e.to_string())
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+    let v = args.get(i + 1).ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("{flag}: bad value '{v}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(argv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(argv(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.workload, Workload::Shopping);
+                assert_eq!(sim.population, 1_000);
+                assert!(!sim.markov);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_full_options() {
+        let cmd = parse(argv(&[
+            "simulate",
+            "--workload",
+            "browsing",
+            "--topology",
+            "2x3x1",
+            "--population",
+            "1500",
+            "--seed",
+            "7",
+            "--markov",
+            "--plan",
+            "tiny",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.workload, Workload::Browsing);
+                assert_eq!(sim.topology, Topology::tiers(2, 3, 1).unwrap());
+                assert_eq!(sim.population, 1_500);
+                assert_eq!(sim.seed, 7);
+                assert!(sim.markov);
+                assert_eq!(sim.plan, IntervalPlan::tiny());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_method_and_iterations() {
+        match parse(argv(&["tune", "--method", "duplication", "--iterations", "25"])).unwrap() {
+            Command::Tune(t) => {
+                assert_eq!(t.method, TuningMethod::Duplication);
+                assert_eq!(t.iterations, 25);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_bounds_validated() {
+        assert!(parse(argv(&["sweep", "--from", "100", "--to", "50"])).is_err());
+        assert!(parse(argv(&["sweep", "--step", "0"])).is_err());
+        match parse(argv(&["sweep", "--from", "100", "--to", "300", "--step", "100"])).unwrap() {
+            Command::Sweep(s) => {
+                assert_eq!((s.from, s.to, s.step), (100, 300, 100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(argv(&["bogus"])).is_err());
+        assert!(parse(argv(&["simulate", "--workload", "gaming"])).is_err());
+        assert!(parse(argv(&["simulate", "--topology", "2x2"])).is_err());
+        assert!(parse(argv(&["simulate", "--topology", "0x1x1"])).is_err());
+        assert!(parse(argv(&["tune", "--method", "magic"])).is_err());
+        assert!(parse(argv(&["simulate", "--population"])).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Facade crate: re-exports the whole HPDC'04 reproduction and hosts the
+//! command-line interface.
+//!
+//! * [`simkit`] — the discrete-event simulation engine;
+//! * [`tpcw`] — the TPC-W workload model;
+//! * [`cluster`] — the simulated three-tier testbed;
+//! * [`harmony`] — the Active Harmony tuning system;
+//! * [`orchestrator`] — sessions, experiments, reports.
+
+pub mod cli;
+
+pub use cluster;
+pub use harmony;
+pub use orchestrator;
+pub use simkit;
+pub use tpcw;

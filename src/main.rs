@@ -1,0 +1,150 @@
+//! `ah-webtune` — drive the reproduction from the command line.
+//!
+//! See `ah-webtune help` (or [`cli::USAGE`]) for the subcommands.
+
+use ah_webtune::cli::{self, Command, SimArgs, SweepArgs, TuneArgs};
+use cluster::config::ClusterConfig;
+use cluster::pricing::PriceList;
+use cluster::runner::run_iteration;
+use orchestrator::report::{fmt_f, fmt_pct, sparkline, TextTable};
+use orchestrator::session::{tune, SessionConfig};
+
+fn main() {
+    let cmd = match cli::parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cmd {
+        Command::Help => print!("{}", cli::USAGE),
+        Command::Simulate(sim) => simulate(&sim),
+        Command::Tune(t) => run_tune(&t),
+        Command::Reconfig(sim) => reconfig(&sim),
+        Command::Sweep(s) => sweep(&s),
+    }
+}
+
+fn session_of(sim: &SimArgs) -> SessionConfig {
+    let mut cfg = SessionConfig::new(sim.topology.clone(), sim.workload, sim.population);
+    cfg.plan = sim.plan;
+    cfg.base_seed = sim.seed;
+    cfg.markov_sessions = sim.markov;
+    cfg
+}
+
+fn simulate(sim: &SimArgs) {
+    let cfg = session_of(sim);
+    let scenario = cfg.scenario(ClusterConfig::defaults(&sim.topology), 0);
+    let out = run_iteration(&scenario);
+    let prices = PriceList::hpdc04();
+    println!(
+        "{} workload on {} at {} browsers (seed {}):",
+        sim.workload, sim.topology, sim.population, sim.seed
+    );
+    println!(
+        "  {:.1} WIPS | mean response {:.0} ms | p90 {:.0} ms | {} refused",
+        out.metrics.wips,
+        out.metrics.mean_response_secs * 1_000.0,
+        out.metrics.p90_response.as_millis_f64(),
+        out.total_failed,
+    );
+    println!(
+        "  system cost ${:.0} -> {:.2} $/WIPS",
+        prices.system_cost(&sim.topology, 1),
+        prices.dollars_per_wips(&sim.topology, 1, out.metrics.wips)
+    );
+    let mut table = TextTable::new(["Node", "Role", "CPU", "Disk", "Net", "Mem"]);
+    for (i, u) in out.node_utilization.iter().enumerate() {
+        table.row([
+            i.to_string(),
+            sim.topology.role(i).to_string(),
+            fmt_f(u.cpu, 2),
+            fmt_f(u.disk, 2),
+            fmt_f(u.net, 2),
+            fmt_f(u.mem, 2),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn run_tune(t: &TuneArgs) {
+    let cfg = session_of(&t.sim);
+    let (default_wips, _) = cfg.measure_default(2);
+    println!(
+        "tuning {} on {} with the {} method, {} iterations (default {:.1} WIPS)...",
+        t.sim.workload,
+        t.sim.topology,
+        t.method.label(),
+        t.iterations,
+        default_wips
+    );
+    let run = tune(&cfg, t.method, t.iterations);
+    println!("WIPS: {}", sparkline(&run.wips_series()));
+    println!(
+        "best {:.1} WIPS ({}) first reached within 1% at iteration {}",
+        run.best_wips,
+        fmt_pct(run.best_wips / default_wips - 1.0),
+        run.first_within(0.99),
+    );
+}
+
+fn reconfig(sim: &SimArgs) {
+    use orchestrator::reconfigure::{run_reconfig_session, ReconfigSettings};
+    let cfg = session_of(sim);
+    let settings = ReconfigSettings {
+        check_every: Some(10),
+        ..Default::default()
+    };
+    let iterations = 60;
+    println!(
+        "tuning + reconfiguration on {} ({} iterations, checks every 10)...",
+        sim.topology, iterations
+    );
+    let run = run_reconfig_session(&cfg, &settings, iterations, |_| sim.workload);
+    println!("WIPS: {}", sparkline(&run.wips_series()));
+    if run.events.is_empty() {
+        println!("no reconfiguration needed; final layout {}", run.final_topology);
+    }
+    for e in &run.events {
+        println!(
+            "iteration {:3}: node {} moved {} -> {} ({})",
+            e.iteration,
+            e.node,
+            e.from_tier,
+            e.to_tier,
+            if e.immediate { "immediate" } else { "drained" }
+        );
+    }
+    println!("final layout: {}", run.final_topology);
+}
+
+fn sweep(s: &SweepArgs) {
+    let prices = PriceList::hpdc04();
+    println!(
+        "population sweep, {} on {}:",
+        s.sim.workload, s.sim.topology
+    );
+    let mut table = TextTable::new(["Browsers", "WIPS", "Resp (ms)", "Refused", "$/WIPS"]);
+    let mut pop = s.from;
+    while pop <= s.to {
+        let mut sim = s.sim.clone();
+        sim.population = pop;
+        let cfg = session_of(&sim);
+        let scenario = cfg.scenario(ClusterConfig::defaults(&sim.topology), 0);
+        let out = run_iteration(&scenario);
+        table.row([
+            pop.to_string(),
+            fmt_f(out.metrics.wips, 1),
+            fmt_f(out.metrics.mean_response_secs * 1_000.0, 0),
+            out.total_failed.to_string(),
+            fmt_f(
+                prices.dollars_per_wips(&sim.topology, 1, out.metrics.wips),
+                2,
+            ),
+        ]);
+        pop = pop.saturating_add(s.step);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,119 @@
+//! Shape tests: do the paper's qualitative findings hold end to end?
+//!
+//! These run the real experiment code paths at reduced effort. The light
+//! ones run in the normal suite; the heavier ones are `#[ignore]`d and
+//! meant for `cargo test --release -- --ignored` (a few minutes).
+
+use ah_webtune::orchestrator::experiments::{
+    fig7::{self, Fig7Variant},
+    table4, tuning_process, Effort,
+};
+use ah_webtune::harmony::strategy::TuningMethod;
+use ah_webtune::tpcw::mix::Workload;
+
+#[test]
+fn smoke_experiments_produce_finite_results() {
+    let effort = Effort::smoke();
+    let (r, _) = tuning_process::run(Workload::Browsing, &effort, 3);
+    assert!(r.best_wips.is_finite() && r.best_wips > 0.0);
+    let t4 = table4::run(&[TuningMethod::Duplication], &effort, 3);
+    assert!(t4.rows[0].best_wips > 0.0);
+}
+
+/// The paper's §III.A headline: tuning helps browsing substantially and
+/// ordering only a little. Heavier (quick effort, release recommended).
+#[test]
+#[ignore = "several minutes; run with --release -- --ignored"]
+fn browsing_gains_exceed_ordering_gains() {
+    let effort = Effort::quick();
+    let (browsing, _) = tuning_process::run(Workload::Browsing, &effort, 42);
+    let (ordering, _) = tuning_process::run(Workload::Ordering, &effort, 42);
+    assert!(
+        browsing.best_improvement > 0.08,
+        "browsing gain too small: {:.3}",
+        browsing.best_improvement
+    );
+    assert!(
+        ordering.best_improvement < browsing.best_improvement,
+        "ordering ({:.3}) should gain less than browsing ({:.3})",
+        ordering.best_improvement,
+        browsing.best_improvement
+    );
+    // Most of the second half should beat the default in both cases.
+    assert!(browsing.fraction_better_than_default > 0.6);
+    assert!(ordering.fraction_better_than_default > 0.6);
+}
+
+/// Table 4's headline: duplication converges fastest; partitioning is more
+/// stable than the default method; all reach similar best WIPS.
+#[test]
+#[ignore = "several minutes; run with --release -- --ignored"]
+fn cluster_tuning_methods_rank_as_in_table4() {
+    let effort = Effort::quick();
+    let methods = vec![
+        TuningMethod::Default,
+        TuningMethod::Duplication,
+        TuningMethod::Partitioning,
+    ];
+    let r = table4::run(&methods, &effort, 42);
+    let by = |m: TuningMethod| r.rows.iter().find(|row| row.method == m).unwrap();
+    let default = by(TuningMethod::Default);
+    let dup = by(TuningMethod::Duplication);
+    let part = by(TuningMethod::Partitioning);
+
+    // Similar best performance (within 10% of each other).
+    let best = default.best_wips.max(dup.best_wips).max(part.best_wips);
+    for row in &r.rows {
+        assert!(row.best_wips > 0.9 * best, "{:?}", row.method);
+    }
+    // Everyone improves over the baseline.
+    for row in &r.rows {
+        assert!(row.improvement > 0.05, "{:?}: {:.3}", row.method, row.improvement);
+    }
+    // Duplication reaches near-best soonest.
+    assert!(dup.iterations_to_converge <= default.iterations_to_converge);
+    // Partitioning is more stable than the default method.
+    assert!(part.stability_std < default.stability_std);
+}
+
+/// Figure 7's headline: the algorithm moves a node into the bottleneck
+/// tier and throughput jumps.
+#[test]
+#[ignore = "several minutes; run with --release -- --ignored"]
+fn reconfiguration_moves_and_gains() {
+    let effort = Effort::quick();
+    let b = fig7::run(Fig7Variant::AppToProxy, &effort, 42);
+    assert_eq!(b.to_tier, Some(ah_webtune::cluster::config::Role::Proxy));
+    assert!(b.improvement > 0.25, "gain {:.3}", b.improvement);
+
+    let a = fig7::run(Fig7Variant::ProxyToApp, &effort, 42);
+    assert_eq!(a.to_tier, Some(ah_webtune::cluster::config::Role::App));
+    assert!(a.improvement > 0.15, "gain {:.3}", a.improvement);
+}
+
+/// The paper's join-buffer finding, verified by direct A/B evaluation:
+/// shrinking `join_buffer_size` from the 8 MB default to the paper's
+/// tuned ~400 KB does not hurt throughput.
+#[test]
+fn shrinking_join_buffer_costs_nothing() {
+    use ah_webtune::cluster::config::{ClusterConfig, NodeParams, Topology};
+    use ah_webtune::orchestrator::session::SessionConfig;
+    use ah_webtune::tpcw::metrics::IntervalPlan;
+
+    let topology = Topology::single();
+    let mut cfg = SessionConfig::new(topology.clone(), Workload::Ordering, 400);
+    cfg.plan = IntervalPlan::tiny();
+    cfg.pin_seed = true;
+
+    let default = ClusterConfig::defaults(&topology);
+    let mut shrunk = default.clone();
+    if let NodeParams::Db(db) = shrunk.node_mut(2) {
+        db.join_buffer_size = 407_552; // the paper's tuned value
+    }
+    let base = cfg.evaluate(default, 0).metrics.wips;
+    let small = cfg.evaluate(shrunk, 0).metrics.wips;
+    assert!(
+        small >= base * 0.97,
+        "shrinking the join buffer must not hurt: {base:.1} -> {small:.1}"
+    );
+}
