@@ -1,12 +1,15 @@
 //! Benchmarks of one full cluster iteration (the unit of tuning cost):
-//! per-workload, and per-topology size.
+//! per-workload, per-topology size, and the observability overhead of
+//! running the same iteration with a live metrics registry attached.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{measure, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use cluster::config::{ClusterConfig, Topology};
 use cluster::model::ClusterScenario;
-use cluster::runner::run_iteration;
+use cluster::runner::{run_iteration, run_iteration_observed};
+use obs::Registry;
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
 
@@ -57,5 +60,47 @@ fn bench_worklines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_workloads, bench_cluster_sizes, bench_worklines);
-criterion_main!(benches);
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration/metrics");
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        let s = scenario(Topology::single(), Workload::Shopping, 400);
+        b.iter(|| black_box(run_iteration(&s).metrics.wips))
+    });
+    g.bench_function("observed", |b| {
+        let s = scenario(Topology::single(), Workload::Shopping, 400);
+        let reg = Registry::new();
+        b.iter(|| black_box(run_iteration_observed(&s, &reg).metrics.wips))
+    });
+    g.finish();
+}
+
+/// Head-to-head: the observability layer must cost < 5% per iteration.
+/// Printed as a percentage so regressions are visible in bench output.
+fn report_overhead() {
+    let s = scenario(Topology::single(), Workload::Shopping, 400);
+    let min_time = Duration::from_millis(400);
+    let plain = measure(|| black_box(run_iteration(&s).metrics.wips), min_time, 20);
+    let reg = Registry::new();
+    let observed = measure(
+        || black_box(run_iteration_observed(&s, &reg).metrics.wips),
+        min_time,
+        20,
+    );
+    let delta = observed.secs_per_iter() / plain.secs_per_iter() - 1.0;
+    println!(
+        "iteration/metrics overhead: {:+.2}% (plain {:.3} ms, observed {:.3} ms)",
+        delta * 100.0,
+        plain.secs_per_iter() * 1e3,
+        observed.secs_per_iter() * 1e3
+    );
+}
+
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_workloads(&mut c);
+    bench_cluster_sizes(&mut c);
+    bench_worklines(&mut c);
+    bench_metrics_overhead(&mut c);
+    report_overhead();
+}

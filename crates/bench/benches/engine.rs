@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulation substrate: event calendar, RNG,
 //! LRU cache, multi-server resource, and the simplex kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use std::hint::black_box;
 
 use cluster::cache::LruCache;
@@ -161,12 +161,11 @@ fn bench_simplex(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_calendar,
-    bench_engine_loop,
-    bench_rng,
-    bench_lru,
-    bench_simplex
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_calendar(&mut c);
+    bench_engine_loop(&mut c);
+    bench_rng(&mut c);
+    bench_lru(&mut c);
+    bench_simplex(&mut c);
+}

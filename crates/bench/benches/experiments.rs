@@ -3,7 +3,7 @@
 //! (Full-fidelity regeneration is done by the `exp_*` binaries with
 //! `--effort paper`; these benches use smoke effort.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use std::hint::black_box;
 
 use cluster::config::{ClusterConfig, Topology};
@@ -87,13 +87,12 @@ fn bench_fig7(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tuning_process,
-    bench_fig4,
-    bench_table3,
-    bench_fig5,
-    bench_table4,
-    bench_fig7
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_tuning_process(&mut c);
+    bench_fig4(&mut c);
+    bench_table3(&mut c);
+    bench_fig5(&mut c);
+    bench_table4(&mut c);
+    bench_fig7(&mut c);
+}

@@ -4,7 +4,9 @@
 //! * `--effort smoke|quick|paper` (default `quick`)
 //! * `--seed <u64>` (default 42)
 //! * `--csv <dir>` (optional: also write raw series as CSV files)
+//! * `--trace <path>` (optional: structured JSONL trace of the run)
 
+use obs::JsonlWriter;
 use orchestrator::experiments::Effort;
 
 /// Parsed common options.
@@ -15,6 +17,8 @@ pub struct Options {
     pub seed: u64,
     /// Directory for optional CSV dumps.
     pub csv_dir: Option<std::path::PathBuf>,
+    /// Path for an optional JSONL trace of the run.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Options {
@@ -28,6 +32,21 @@ impl Options {
             }
         }
     }
+
+    /// Open the `--trace` JSONL sink, if requested. Exits on I/O errors.
+    pub fn maybe_trace_sink(
+        &self,
+    ) -> Option<JsonlWriter<std::io::BufWriter<std::fs::File>>> {
+        self.trace_path.as_deref().map(|path| {
+            match JsonlWriter::create(path) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("could not open trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        })
+    }
 }
 
 /// Parse from an iterator of arguments (excluding `argv[0]`).
@@ -36,6 +55,7 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut effort_name = "quick";
     let mut seed = 42u64;
     let mut csv_dir = None;
+    let mut trace_path = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,8 +76,15 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 let v = it.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                trace_path = Some(std::path::PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: [--effort smoke|quick|paper] [--seed N] [--csv DIR]".into());
+                return Err(
+                    "usage: [--effort smoke|quick|paper] [--seed N] [--csv DIR] [--trace PATH]"
+                        .into(),
+                );
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -67,6 +94,7 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         effort_name,
         seed,
         csv_dir,
+        trace_path,
     })
 }
 
@@ -109,6 +137,13 @@ mod tests {
         let o = parse_from(args(&["--csv", "/tmp/out"])).unwrap();
         assert_eq!(o.csv_dir, Some(std::path::PathBuf::from("/tmp/out")));
         assert!(parse_from(args(&["--csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_path() {
+        let o = parse_from(args(&["--trace", "/tmp/run.jsonl"])).unwrap();
+        assert_eq!(o.trace_path, Some(std::path::PathBuf::from("/tmp/run.jsonl")));
+        assert!(parse_from(args(&["--trace"])).is_err());
     }
 
     #[test]

@@ -24,13 +24,13 @@ fn main() {
         opts.effort_name, opts.seed
     );
     let workload = Workload::Browsing;
-    let mut base = SessionConfig::new(
+    let base = SessionConfig::new(
         Topology::single(),
         workload,
         population_for(workload, &opts.effort),
-    );
-    base.plan = opts.effort.plan;
-    base.base_seed = opts.seed;
+    )
+    .plan(opts.effort.plan)
+    .base_seed(opts.seed);
 
     let space = binding::full_space(&base.topology);
     let mut tuner = Revalidating::new(SimplexTuner::new(space), 5);
@@ -49,8 +49,9 @@ fn main() {
 
     // Honest re-measurement of both configurations on fresh seeds
     // (disjoint from every seed the tuning run used).
-    let mut check = base.clone();
-    check.base_seed = opts.seed.wrapping_add(0x00F5_E5ED_0000);
+    let check = base
+        .clone()
+        .base_seed(opts.seed.wrapping_add(0x00F5_E5ED_0000));
     let fresh = |cfg: &harmony::space::Configuration| -> f64 {
         let config = binding::config_from_full(&check.topology, cfg);
         let ci = check.measure_until_precise(&config, 0.02, opts.effort.reps.max(3));

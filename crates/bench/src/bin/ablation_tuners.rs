@@ -38,13 +38,13 @@ fn main() {
         opts.effort_name, opts.seed
     );
     let workload = Workload::Browsing;
-    let mut base = SessionConfig::new(
+    let base = SessionConfig::new(
         Topology::single(),
         workload,
         population_for(workload, &opts.effort),
-    );
-    base.plan = opts.effort.plan;
-    base.base_seed = opts.seed;
+    )
+    .plan(opts.effort.plan)
+    .base_seed(opts.seed);
     let (default_wips, _) = base.measure_default(opts.effort.reps);
 
     let names = [

@@ -2,6 +2,7 @@
 //! other workloads — no universal configuration exists.
 
 use bench::{args, tuned};
+use obs::{TraceRecord, TraceSink};
 use orchestrator::experiments::{fig4, table3};
 use orchestrator::report::{fmt_f, fmt_pct, TextTable};
 use tpcw::mix::Workload;
@@ -47,6 +48,20 @@ fn main() {
         fmt_f(r.default_wips[2], 1),
     ]);
     println!("{}", table.render());
+
+    if let Some(mut sink) = opts.maybe_trace_sink() {
+        for (c, cw) in Workload::ALL.iter().enumerate() {
+            for (w, ww) in Workload::ALL.iter().enumerate() {
+                let rec = TraceRecord::new("fig4_cell")
+                    .field("config", format!("best-for-{}", cw.name()))
+                    .field("workload", ww.name())
+                    .field("wips", r.wips[c][w])
+                    .field("default_wips", r.default_wips[w]);
+                sink.emit(&rec);
+            }
+        }
+        sink.flush();
+    }
 
     let mut imp = TextTable::new(["", "Browsing", "Shopping", "Ordering"]);
     imp.row([

@@ -1,6 +1,7 @@
 //! Figure 5 (EXP-F5): tuning responsiveness to changing workloads.
 
 use bench::args;
+use obs::{TraceRecord, TraceSink};
 use orchestrator::experiments::fig5;
 use orchestrator::report::sparkline;
 
@@ -52,5 +53,16 @@ fn main() {
         "fig5_wips.csv",
         &orchestrator::export::series_csv(&["wips"], std::slice::from_ref(&r.wips_series)),
     );
+    if let Some(mut sink) = opts.maybe_trace_sink() {
+        for (i, (wips, workload)) in r.wips_series.iter().zip(&r.workloads).enumerate() {
+            let rec = TraceRecord::new("fig5_iteration")
+                .field("iteration", i as u32)
+                .field("workload", workload.name())
+                .field("wips", *wips)
+                .field("change_point", r.change_points.contains(&(i as u32)));
+            sink.emit(&rec);
+        }
+        sink.flush();
+    }
     println!("Paper claim: only a few iterations are needed to adapt to the new workload.");
 }

@@ -1,6 +1,7 @@
 //! Figure 7 (EXP-F7A / EXP-F7B): automatic cluster reconfiguration.
 
 use bench::args;
+use obs::{TraceRecord, TraceSink};
 use orchestrator::experiments::fig7::{self, Fig7Variant};
 use orchestrator::par::parallel_map;
 use orchestrator::report::{fmt_f, fmt_pct, sparkline, TextTable};
@@ -50,6 +51,37 @@ fn main() {
             Fig7Variant::AppToProxy => "(b)",
         };
         println!("{name} WIPS/iteration: {}", sparkline(&r.wips_series));
+    }
+    if let Some(mut sink) = opts.maybe_trace_sink() {
+        for r in &results {
+            let variant = match r.variant {
+                Fig7Variant::ProxyToApp => "proxy_to_app",
+                Fig7Variant::AppToProxy => "app_to_proxy",
+            };
+            let rec = TraceRecord::new("fig7_variant")
+                .field("variant", variant)
+                .field(
+                    "layout_before",
+                    format!(
+                        "{}p/{}a/{}d",
+                        r.initial_layout.0, r.initial_layout.1, r.initial_layout.2
+                    ),
+                )
+                .field(
+                    "layout_after",
+                    format!(
+                        "{}p/{}a/{}d",
+                        r.final_layout.0, r.final_layout.1, r.final_layout.2
+                    ),
+                )
+                .field("reconfig_iteration", r.reconfig_iteration.map(f64::from).unwrap_or(-1.0))
+                .field("before_wips", r.before_wips)
+                .field("after_wips", r.after_wips)
+                .field("improvement", r.improvement)
+                .field("wips_series", r.wips_series.clone());
+            sink.emit(&rec);
+        }
+        sink.flush();
     }
     println!();
     println!("Paper shape: (a) one node moves proxy->app after the workload turns to");

@@ -21,9 +21,9 @@ fn saturated_wips(topology: &Topology, opts: &args::Options) -> (f64, f64, u32) 
     let mut last = 0.0f64;
     let mut best_ci = (0.0, 0.0);
     for _ in 0..8 {
-        let mut cfg = SessionConfig::new(topology.clone(), Workload::Shopping, population);
-        cfg.plan = opts.effort.plan;
-        cfg.base_seed = opts.seed;
+        let cfg = SessionConfig::new(topology.clone(), Workload::Shopping, population)
+            .plan(opts.effort.plan)
+            .base_seed(opts.seed);
         let samples: Vec<f64> = (0..opts.effort.reps.max(2))
             .map(|i| {
                 cfg.evaluate(ClusterConfig::defaults(topology), i)

@@ -1,7 +1,8 @@
 //! Shared helpers for the table/figure regeneration binaries and the
-//! Criterion benches. Each binary in `src/bin/` regenerates one paper
+//! benchmark targets. Each binary in `src/bin/` regenerates one paper
 //! artifact; see EXPERIMENTS.md for the index.
 
 pub mod args;
+pub mod harness;
 pub mod tuned;
 pub mod util;

@@ -7,11 +7,10 @@
 //! change the configuration.
 
 use crate::params::{DbParams, ProxyParams, WebParams};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Tier role of a server node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Role {
     /// Tier 1: Squid proxy / presentation.
     Proxy,
@@ -43,7 +42,7 @@ impl fmt::Display for Role {
 pub type NodeId = usize;
 
 /// The tier layout of the cluster's server machines.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     roles: Vec<Role>,
 }
@@ -166,7 +165,7 @@ impl fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// Tunable parameters of one node, tagged by role.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NodeParams {
     Proxy(ProxyParams),
     App(WebParams),
@@ -214,7 +213,7 @@ impl NodeParams {
 }
 
 /// Full cluster configuration: one [`NodeParams`] per topology node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     node_params: Vec<NodeParams>,
 }

@@ -7,7 +7,6 @@ use crate::memory::{app_memory_mb, db_memory_mb, pressure_factor, proxy_memory_m
 use crate::proxy::ProxyState;
 use crate::request::ReqId;
 use crate::spec::NodeSpec;
-use serde::{Deserialize, Serialize};
 use simkit::resource::MultiServer;
 use simkit::time::{SimDuration, SimTime};
 
@@ -162,7 +161,7 @@ impl Node {
 
 /// Utilization of the four monitored resources — the `R_ij` of the
 /// Section IV reconfiguration algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NodeUtilization {
     pub cpu: f64,
     pub disk: f64,

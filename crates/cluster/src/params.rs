@@ -8,10 +8,9 @@
 //! construction — the tuner explores freely, and [`WebParams::http_pool`]
 //! resolves conflicts the way the real servers do (the max acts as a cap).
 
-use serde::{Deserialize, Serialize};
 
 /// Metadata of one tunable parameter: what the tuner needs to know.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TunableDef {
     /// Paper's parameter name.
     pub name: &'static str,
@@ -40,7 +39,7 @@ impl TunableDef {
 // ---------------------------------------------------------------------------
 
 /// Squid proxy tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProxyParams {
     /// `cache_mem`: memory cache size, MB.
     pub cache_mem: i64,
@@ -121,7 +120,7 @@ impl ProxyParams {
 // ---------------------------------------------------------------------------
 
 /// Tomcat HTTP + AJP connector tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WebParams {
     /// `minProcessors`: threads kept warm in the HTTP pool.
     pub min_processors: i64,
@@ -216,7 +215,7 @@ impl WebParams {
 // ---------------------------------------------------------------------------
 
 /// MySQL tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbParams {
     /// `binlog_cache_size`: per-transaction binary-log cache, bytes.
     pub binlog_cache_size: i64,

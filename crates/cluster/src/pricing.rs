@@ -7,10 +7,9 @@
 //! against cost.
 
 use crate::config::{Role, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Component prices in dollars (2002-era defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriceList {
     /// One commodity dual-CPU server.
     pub server: f64,

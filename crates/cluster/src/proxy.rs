@@ -50,6 +50,16 @@ impl ProxyState {
         }
     }
 
+    /// The in-memory object store (hit/miss statistics live here).
+    pub fn mem_store(&self) -> &LruCache {
+        &self.mem_store
+    }
+
+    /// The on-disk object store.
+    pub fn disk_store(&self) -> &LruCache {
+        &self.disk_store
+    }
+
     /// CPU cost of one cache lookup + request handling. The hash chain is
     /// `store_objects_per_bucket` long on average; each link costs a couple
     /// of microseconds of pointer chasing.

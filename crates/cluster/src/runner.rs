@@ -9,13 +9,12 @@
 
 use crate::model::{start_simulation, ClusterScenario};
 use crate::node::NodeUtilization;
-use serde::{Deserialize, Serialize};
 use simkit::engine::StopReason;
 use simkit::time::SimTime;
 use tpcw::metrics::IterationMetrics;
 
 /// Result of one iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationOutcome {
     /// WIPS and companion metrics over the measurement window.
     pub metrics: IterationMetrics,
@@ -70,6 +69,83 @@ pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
     }
 }
 
+/// Execute one iteration and publish per-tier resource metrics into
+/// `registry`: CPU/disk/NIC utilization and queue depth per node, cache
+/// hit ratios on the proxy tier, engine event counts, and cluster-level
+/// completion counters. Metric names are `cluster.n<i>.<tier>.<resource>.*`
+/// so a session-long registry keeps per-node series distinct.
+pub fn run_iteration_observed(
+    scenario: &ClusterScenario,
+    registry: &obs::Registry,
+) -> IterationOutcome {
+    if let Err(msg) = scenario.validate() {
+        panic!("invalid scenario: {msg}");
+    }
+    let mut sim = start_simulation(scenario);
+    let horizon = SimTime::ZERO + scenario.plan.total();
+    let warm_end = SimTime::ZERO + scenario.plan.warmup;
+    let reason = sim.run_until(warm_end);
+    assert_eq!(
+        reason,
+        StopReason::HorizonReached,
+        "cluster went idle during warmup — no browsers scheduled?"
+    );
+    let now = sim.now();
+    for node in &mut sim.model_mut().nodes {
+        node.reset_windows(now);
+    }
+    let reason = sim.run_until(horizon);
+    assert_eq!(reason, StopReason::HorizonReached);
+    let events = sim.events_executed();
+    let end = sim.now();
+    sim.publish_metrics(registry, "sim");
+    let model = sim.model();
+    for (i, node) in model.nodes.iter().enumerate() {
+        let tier = node.role().name();
+        let prefix = format!("cluster.n{i}.{tier}");
+        node.cpu
+            .publish_metrics(registry, &format!("{prefix}.cpu"), end);
+        node.disk
+            .publish_metrics(registry, &format!("{prefix}.disk"), end);
+        node.nic
+            .publish_metrics(registry, &format!("{prefix}.nic"), end);
+        if let Some(proxy) = node.proxy() {
+            registry
+                .gauge(&format!("{prefix}.cache.mem_hit_ratio"))
+                .set(proxy.mem_store().hit_ratio());
+            registry
+                .gauge(&format!("{prefix}.cache.disk_hit_ratio"))
+                .set(proxy.disk_store().hit_ratio());
+            registry
+                .counter(&format!("{prefix}.cache.forwards"))
+                .add(proxy.forwards());
+        }
+        if let Some(app) = node.app() {
+            app.http_pool
+                .publish_metrics(registry, &format!("{prefix}.http_pool"), end);
+            app.ajp_pool
+                .publish_metrics(registry, &format!("{prefix}.ajp_pool"), end);
+        }
+        if let Some(db) = node.db() {
+            db.conn_pool
+                .publish_metrics(registry, &format!("{prefix}.conn_pool"), end);
+            db.run_slots
+                .publish_metrics(registry, &format!("{prefix}.run_slots"), end);
+        }
+    }
+    registry.counter("cluster.done").add(model.total_done());
+    registry.counter("cluster.failed").add(model.total_failed());
+    registry.histogram("cluster.wips").record(model.metrics.wips());
+    IterationOutcome {
+        metrics: model.metrics.summarise(),
+        node_utilization: model.utilizations(end),
+        total_done: model.total_done(),
+        total_failed: model.total_failed(),
+        line_wips: model.line_wips(),
+        events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +165,36 @@ mod tests {
         assert!(out.total_done > 0);
         assert!(out.events > 1_000);
         assert_eq!(out.node_utilization.len(), 3);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_publishes_metrics() {
+        let s = tiny_scenario(Workload::Shopping, 1);
+        let plain = run_iteration(&s);
+        let reg = obs::Registry::new();
+        let observed = run_iteration_observed(&s, &reg);
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.metrics.completed, observed.metrics.completed);
+        assert_eq!(plain.events, observed.events);
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("sim.events"), observed.events);
+        assert_eq!(counter("cluster.done"), observed.total_done);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(k, v)| k == "cluster.n0.proxy.cache.mem_hit_ratio" && (0.0..=1.0).contains(v)));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(k, v)| k == "cluster.n2.db.cpu.utilization" && *v > 0.0));
+        assert!(snap.hists.iter().any(|(k, h)| k == "cluster.wips" && h.count == 1));
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Hardware specification of cluster nodes (Table 2 of the paper).
 
-use serde::{Deserialize, Serialize};
 use simkit::time::SimDuration;
 
 /// Hardware of one cluster machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Number of processors (paper: dual Athlon).
     pub cores: u32,

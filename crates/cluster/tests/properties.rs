@@ -1,144 +1,167 @@
-//! Property-based tests of the cluster substrate.
+//! Randomised invariant tests of the cluster substrate (seeded `SimRng`
+//! loops; no external test crates).
 
 use cluster::cache::LruCache;
 use cluster::config::{ClusterConfig, NodeParams, Role, Topology};
 use cluster::memory::{app_memory_mb, db_memory_mb, pressure_factor, proxy_memory_mb};
-use cluster::params::{DbParams, ProxyParams, WebParams, DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES};
-use proptest::prelude::*;
+use cluster::params::{
+    DbParams, ProxyParams, WebParams, DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES,
+};
+use simkit::rng::SimRng;
 
-/// Arbitrary in-bounds value vectors per role.
-fn arb_values(defs: &'static [cluster::params::TunableDef]) -> impl Strategy<Value = Vec<i64>> {
-    defs.iter()
-        .map(|d| (d.min..=d.max).boxed())
-        .collect::<Vec<_>>()
-        .prop_map(|v| v)
+/// A random in-bounds value vector for a tunable set.
+fn random_values(rng: &mut SimRng, defs: &'static [cluster::params::TunableDef]) -> Vec<i64> {
+    defs.iter().map(|d| rng.uniform_i64(d.min, d.max)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The LRU cache maintains its byte accounting under arbitrary
-    /// operation sequences and never exceeds capacity.
-    #[test]
-    fn lru_accounting_invariant(
-        capacity in 1_000u64..100_000,
-        ops in prop::collection::vec((0u64..200, 1u64..5_000, 0u8..3), 1..500),
-    ) {
+/// The LRU cache maintains its byte accounting under arbitrary
+/// operation sequences and never exceeds capacity.
+#[test]
+fn lru_accounting_invariant() {
+    let mut rng = SimRng::new(0x1AC8);
+    for case in 0..40 {
+        let capacity = rng.uniform_i64(1_000, 99_999) as u64;
+        let ops = rng.uniform_i64(1, 500) as usize;
         let mut cache = LruCache::new(capacity);
-        for (key, size, op) in ops {
-            match op {
-                0 => { cache.insert(key, size); }
-                1 => { cache.get(key); }
-                _ => { cache.remove(key); }
+        for _ in 0..ops {
+            let key = rng.uniform_i64(0, 199) as u64;
+            let size = rng.uniform_i64(1, 4_999) as u64;
+            match rng.uniform_i64(0, 2) {
+                0 => {
+                    cache.insert(key, size);
+                }
+                1 => {
+                    cache.get(key);
+                }
+                _ => {
+                    cache.remove(key);
+                }
             }
-            prop_assert!(cache.used_bytes() <= capacity);
+            assert!(cache.used_bytes() <= capacity, "case {case}");
         }
     }
+}
 
-    /// Inserted-and-never-evicted objects are found; eviction only happens
-    /// under byte pressure.
-    #[test]
-    fn lru_small_working_set_never_evicts(
-        keys in prop::collection::vec(0u64..50, 1..100),
-    ) {
+/// Inserted-and-never-evicted objects are found; eviction only happens
+/// under byte pressure.
+#[test]
+fn lru_small_working_set_never_evicts() {
+    let mut rng = SimRng::new(0x1AC9);
+    for _ in 0..40 {
+        let n = rng.uniform_i64(1, 100) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.uniform_i64(0, 49) as u64).collect();
         // Each object 100 bytes, capacity fits all 50 possible keys.
         let mut cache = LruCache::new(50 * 100);
         for &k in &keys {
             cache.insert(k, 100);
         }
-        prop_assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.evictions(), 0);
         for &k in &keys {
-            prop_assert!(cache.contains(k));
+            assert!(cache.contains(k));
         }
     }
+}
 
-    /// Parameter structs round-trip through value vectors for any
-    /// in-bounds assignment.
-    #[test]
-    fn params_roundtrip(
-        pv in arb_values(&PROXY_TUNABLES),
-        wv in arb_values(&WEB_TUNABLES),
-        dv in arb_values(&DB_TUNABLES),
-    ) {
+/// Parameter structs round-trip through value vectors for any
+/// in-bounds assignment.
+#[test]
+fn params_roundtrip() {
+    let mut rng = SimRng::new(0x9A3A);
+    for _ in 0..100 {
+        let pv = random_values(&mut rng, &PROXY_TUNABLES);
+        let wv = random_values(&mut rng, &WEB_TUNABLES);
+        let dv = random_values(&mut rng, &DB_TUNABLES);
         let p = ProxyParams::from_values(&pv).unwrap();
-        prop_assert_eq!(p.to_values().to_vec(), pv);
+        assert_eq!(p.to_values().to_vec(), pv);
         let w = WebParams::from_values(&wv).unwrap();
-        prop_assert_eq!(w.to_values().to_vec(), wv);
+        assert_eq!(w.to_values().to_vec(), wv);
         let d = DbParams::from_values(&dv).unwrap();
-        prop_assert_eq!(d.to_values().to_vec(), dv);
+        assert_eq!(d.to_values().to_vec(), dv);
         // Effective pools always have min <= max and positive sizes.
         let pool = w.http_pool();
-        prop_assert!(pool.min >= 1 && pool.min <= pool.max);
+        assert!(pool.min >= 1 && pool.min <= pool.max);
         let (lo, hi) = p.effective_swap_watermarks();
-        prop_assert!(lo < hi && hi <= 100);
+        assert!(lo < hi && hi <= 100);
     }
+}
 
-    /// Memory demand is monotone in each consumer and the pressure factor
-    /// is monotone in usage.
-    #[test]
-    fn memory_monotone(
-        dv in arb_values(&DB_TUNABLES),
-        bump_dim in 0usize..9,
-    ) {
+/// Memory demand is monotone in each consumer and the pressure factor
+/// is monotone in usage.
+#[test]
+fn memory_monotone() {
+    let mut rng = SimRng::new(0x3E30);
+    for _ in 0..60 {
+        let dv = random_values(&mut rng, &DB_TUNABLES);
+        let bump_dim = rng.uniform_i64(0, DB_TUNABLES.len() as i64 - 1) as usize;
         let d = DbParams::from_values(&dv).unwrap();
         let base = db_memory_mb(&d);
         let mut bumped_values = dv.clone();
         let def = &DB_TUNABLES[bump_dim];
         bumped_values[bump_dim] = def.max;
         let bumped = db_memory_mb(&DbParams::from_values(&bumped_values).unwrap());
-        prop_assert!(bumped >= base - 1e-9, "dim {} shrank memory", def.name);
+        assert!(bumped >= base - 1e-9, "dim {} shrank memory", def.name);
         // Pressure monotonicity.
-        prop_assert!(pressure_factor(bumped, 1024.0) >= pressure_factor(base, 1024.0) - 1e-12);
-        // Proxy/app memory positive for any bounds.
-        prop_assert!(proxy_memory_mb(&ProxyParams::default_config()) > 0.0);
-        prop_assert!(app_memory_mb(&WebParams::default_config()) > 0.0);
+        assert!(pressure_factor(bumped, 1024.0) >= pressure_factor(base, 1024.0) - 1e-12);
     }
+    // Proxy/app memory positive for default bounds.
+    assert!(proxy_memory_mb(&ProxyParams::default_config()) > 0.0);
+    assert!(app_memory_mb(&WebParams::default_config()) > 0.0);
+}
 
-    /// Any topology reassignment that succeeds preserves the node count
-    /// and never empties a tier; the adapted config stays role-aligned.
-    #[test]
-    fn reassignment_preserves_invariants(
-        p in 1usize..4, a in 1usize..4, d in 1usize..4,
-        node in 0usize..12, to in 0u8..3,
-    ) {
-        let topology = Topology::tiers(p, a, d).unwrap();
-        let to_role = [Role::Proxy, Role::App, Role::Db][to as usize];
-        let config = ClusterConfig::defaults(&topology);
-        match topology.reassign(node % topology.len(), to_role) {
-            Ok(new_topology) => {
-                prop_assert_eq!(new_topology.len(), topology.len());
-                for role in Role::ALL {
-                    prop_assert!(new_topology.count(role) >= 1);
+/// Any topology reassignment that succeeds preserves the node count
+/// and never empties a tier; the adapted config stays role-aligned.
+#[test]
+fn reassignment_preserves_invariants() {
+    for p in 1..4usize {
+        for a in 1..4usize {
+            for d in 1..4usize {
+                let topology = Topology::tiers(p, a, d).unwrap();
+                let config = ClusterConfig::defaults(&topology);
+                for node in 0..topology.len() {
+                    for to_role in Role::ALL {
+                        match topology.reassign(node, to_role) {
+                            Ok(new_topology) => {
+                                assert_eq!(new_topology.len(), topology.len());
+                                for role in Role::ALL {
+                                    assert!(new_topology.count(role) >= 1);
+                                }
+                                let adapted = config.adapt_to(&new_topology);
+                                for (i, params) in adapted.nodes().iter().enumerate() {
+                                    assert_eq!(params.role(), new_topology.role(i));
+                                }
+                            }
+                            Err(_) => {
+                                // Refusals must be for a real reason: same
+                                // tier or emptying guard.
+                                let same = topology.role(node) == to_role;
+                                let would_empty = topology.count(topology.role(node)) == 1;
+                                assert!(same || would_empty);
+                            }
+                        }
+                    }
                 }
-                let adapted = config.adapt_to(&new_topology);
-                for (i, params) in adapted.nodes().iter().enumerate() {
-                    prop_assert_eq!(params.role(), new_topology.role(i));
-                }
-            }
-            Err(_) => {
-                // Refusals must be for a real reason: same tier, missing
-                // node, or emptying guard.
-                let n = node % topology.len();
-                let same = topology.role(n) == to_role;
-                let would_empty = topology.count(topology.role(n)) == 1;
-                prop_assert!(same || would_empty);
             }
         }
     }
+}
 
-    /// Object sizes are deterministic and within the documented clamp.
-    #[test]
-    fn object_sizes_stable(id in any::<u64>()) {
+/// Object sizes are deterministic and within the documented clamp.
+#[test]
+fn object_sizes_stable() {
+    let mut rng = SimRng::new(0x0B1E);
+    for _ in 0..200 {
+        let id = rng.next_u64();
         let a = cluster::object::object_size_bytes(id);
         let b = cluster::object::object_size_bytes(id);
-        prop_assert_eq!(a, b);
-        prop_assert!((512..=2 * 1024 * 1024).contains(&a));
+        assert_eq!(a, b);
+        assert!((512..=2 * 1024 * 1024).contains(&a));
     }
+}
 
-    /// NodeParams defaults align with their role for every role.
-    #[test]
-    fn node_params_roles(role_idx in 0u8..3) {
-        let role = [Role::Proxy, Role::App, Role::Db][role_idx as usize];
-        prop_assert_eq!(NodeParams::default_for(role).role(), role);
+/// NodeParams defaults align with their role for every role.
+#[test]
+fn node_params_roles() {
+    for role in Role::ALL {
+        assert_eq!(NodeParams::default_for(role).role(), role);
     }
 }

@@ -5,11 +5,10 @@
 //! are computed from it too.
 
 use crate::space::Configuration;
-use serde::{Deserialize, Serialize};
 use simkit::stats::Welford;
 
 /// One tuning iteration's record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistoryEntry {
     /// Iteration index (0-based).
     pub iteration: u32,
@@ -20,7 +19,7 @@ pub struct HistoryEntry {
 }
 
 /// The full trace of a tuning run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TuningHistory {
     entries: Vec<HistoryEntry>,
 }

@@ -7,11 +7,10 @@
 //! snapshots with an exponential moving average before the algorithm reads
 //! them.
 
-use serde::{Deserialize, Serialize};
 
 /// The four monitored resources, in urgency order (most urgent first by
 /// default — an overloaded CPU hurts more than a busy NIC; §IV footnote 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
     Cpu,
     Disk,
@@ -43,7 +42,7 @@ impl Resource {
 }
 
 /// One node's utilization snapshot: `R_ij` for the four resources.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct UtilizationSnapshot {
     pub cpu: f64,
     pub disk: f64,

@@ -4,11 +4,10 @@
 //! bounded integer search space. Applications register parameters with a
 //! name, an inclusive `[min, max]` range, and a default (starting) value.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One tunable parameter: a bounded integer dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamDef {
     /// Human-readable name, e.g. `"proxy0.cache_mem"`.
     pub name: String,

@@ -14,11 +14,10 @@
 //!    after the node's jobs finish.
 
 use crate::monitor::{Resource, UtilizationSnapshot};
-use serde::{Deserialize, Serialize};
 
 /// Per-resource high/low thresholds (`HT_ij`, `LT_ij` — uniform across
 /// nodes here, as in the paper's experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     pub high: f64,
     pub low: f64,
@@ -35,7 +34,7 @@ impl Default for Thresholds {
 }
 
 /// Cost-model inputs for Step 4(c), per node `k`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeCostInputs {
     /// `N_k`: jobs currently on the node.
     pub jobs: f64,
@@ -46,7 +45,7 @@ pub struct NodeCostInputs {
 }
 
 /// Global reconfiguration cost `F` (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     pub reconfiguration_cost: f64,
 }
@@ -60,7 +59,7 @@ impl Default for CostModel {
 }
 
 /// Everything the algorithm needs to know about one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeReport<T> {
     /// Caller's node identifier.
     pub node: usize,
@@ -73,7 +72,7 @@ pub struct NodeReport<T> {
 }
 
 /// The algorithm's output: move `node` into `to_tier`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReconfigDecision<T> {
     /// Node to reconfigure (`k`).
     pub node: usize,

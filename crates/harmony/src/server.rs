@@ -68,6 +68,19 @@ impl HarmonyServer {
     pub fn iterations(&self) -> usize {
         self.history.len()
     }
+
+    /// Reset the underlying tuner's search state (see [`Tuner::reset`]).
+    /// History and the best-seen record are kept; any pending proposal is
+    /// dropped so the next `next_config` starts the fresh search.
+    pub fn reset(&mut self) {
+        self.pending = None;
+        self.tuner.reset();
+    }
+
+    /// The tuner's internal diagnostics for the current iteration.
+    pub fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        self.tuner.diagnostics()
+    }
 }
 
 impl std::fmt::Debug for HarmonyServer {

@@ -388,6 +388,34 @@ impl Tuner for SimplexTuner {
             "simplex"
         }
     }
+
+    /// Fresh search from the original seed: full-size initial steps, an
+    /// empty simplex, and no best-seen memory. Unlike the internal
+    /// degeneracy [`restart`](Self::restart), this forgets everything —
+    /// it is meant for workload changes, where the old optimum is stale.
+    fn reset(&mut self) {
+        let seed = self.space.default_config();
+        let fresh = SimplexTuner::with_seed(self.space.clone(), seed).conservative(self.conservative);
+        *self = fresh;
+    }
+
+    /// Simplex vertex state: size, restarts, and the cost spread between
+    /// the best and worst vertex (zero spread = converged or degenerate).
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        let mut d = vec![
+            ("simplex_size", self.vertices.len() as f64),
+            ("restarts", self.restarts as f64),
+        ];
+        if !self.vertices.is_empty() {
+            let (worst, best, _) = self.worst_and_indices();
+            d.push((
+                "vertex_cost_spread",
+                self.vertices[worst].cost - self.vertices[best].cost,
+            ));
+            d.push(("best_vertex_perf", -self.vertices[best].cost));
+        }
+        d
+    }
 }
 
 impl SimplexTuner {
@@ -529,6 +557,46 @@ mod tests {
         // Collapse must have triggered at least one restart in 60 iters of
         // a 5-point space.
         assert!(t.restarts() > 0);
+    }
+
+    #[test]
+    fn ask_tell_aliases_drive_the_search() {
+        let mut t = SimplexTuner::new(space2d());
+        for _ in 0..30 {
+            let c = t.ask();
+            t.tell(-(c.get(0) as f64 - 120.0).abs());
+        }
+        assert_eq!(t.evaluations(), 30);
+        assert!(t.best().is_some());
+    }
+
+    #[test]
+    fn reset_forgets_search_state() {
+        let mut t = SimplexTuner::new(space2d());
+        run(&mut t, |v| v[0] as f64, 40);
+        assert!(t.evaluations() == 40 && t.best().is_some());
+        t.reset();
+        assert_eq!(t.evaluations(), 0);
+        assert!(t.best().is_none());
+        assert_eq!(t.simplex_size(), 0);
+        // And it can tune again from scratch.
+        run(&mut t, |v| -(v[0] as f64 - 50.0).abs(), 40);
+        assert_eq!(t.evaluations(), 40);
+    }
+
+    #[test]
+    fn diagnostics_expose_vertex_state() {
+        let mut t = SimplexTuner::new(space2d());
+        run(&mut t, |v| v[0] as f64, 10);
+        let d = t.diagnostics();
+        let get = |name: &str| {
+            d.iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing diagnostic {name}"))
+        };
+        assert_eq!(get("simplex_size"), 3.0);
+        assert!(get("vertex_cost_spread") >= 0.0);
     }
 
     #[test]

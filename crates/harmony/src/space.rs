@@ -1,7 +1,6 @@
 //! The tuning search space and points within it.
 
 use crate::param::ParamDef;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -109,7 +108,7 @@ impl ParamSpace {
 }
 
 /// A point in a [`ParamSpace`]: one integer value per dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Configuration {
     values: Vec<i64>,
 }

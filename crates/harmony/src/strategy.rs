@@ -16,11 +16,10 @@
 //! The actual wiring of spaces to cluster nodes lives in the orchestrator
 //! crate; this module defines the method vocabulary shared by reports.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cluster tuning method from Table 4 (plus the future-work hybrid).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TuningMethod {
     /// No tuning: defaults throughout.
     None,

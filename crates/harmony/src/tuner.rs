@@ -31,6 +31,30 @@ pub trait Tuner {
 
     /// Short algorithm name (reports).
     fn name(&self) -> &'static str;
+
+    /// Ask for the next configuration — alias for [`Tuner::propose`] in
+    /// the ask/tell vocabulary used by the optimisation literature.
+    fn ask(&mut self) -> Configuration {
+        self.propose()
+    }
+
+    /// Tell the tuner the observed performance — alias for
+    /// [`Tuner::observe`].
+    fn tell(&mut self, performance: f64) {
+        self.observe(performance)
+    }
+
+    /// Forget search state (simplex geometry, step sizes, cursor
+    /// position) but keep the parameter space, so the tuner can restart
+    /// cleanly after a workload change instead of being rebuilt by hand.
+    /// The default is a no-op: memoryless tuners are already reset.
+    fn reset(&mut self) {}
+
+    /// Per-iteration internal state worth tracing (e.g. the simplex
+    /// vertex spread), as ordered name/value pairs. Default: none.
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// Shared best-seen bookkeeping for tuner implementations.

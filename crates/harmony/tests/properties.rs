@@ -1,41 +1,39 @@
-//! Property-based tests of the tuning kernel and reconfiguration logic.
+//! Randomised invariant tests of the tuning kernel and reconfiguration
+//! logic (seeded `SimRng` loops; no external test crates).
 
 use harmony::baseline::{CoordinateDescent, RandomSearch};
+use harmony::monitor::UtilizationSnapshot;
 use harmony::param::ParamDef;
 use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
-use harmony::monitor::UtilizationSnapshot;
 use harmony::simplex::SimplexTuner;
 use harmony::space::ParamSpace;
 use harmony::tuner::Tuner;
 use harmony::workline::build_work_lines;
-use proptest::prelude::*;
+use simkit::rng::SimRng;
 
-/// Strategy: a random bounded integer space of 1..6 dimensions.
-fn arb_space() -> impl Strategy<Value = ParamSpace> {
-    prop::collection::vec((-1000i64..1000, 0i64..2000), 1..6).prop_map(|dims| {
-        ParamSpace::new(
-            dims.into_iter()
-                .enumerate()
-                .map(|(i, (min, span))| {
-                    let max = min + span;
-                    ParamDef::new(format!("p{i}"), min, max, (min + max) / 2)
-                })
-                .collect(),
-        )
-    })
+/// A random bounded integer space of 1..6 dimensions.
+fn random_space(rng: &mut SimRng) -> ParamSpace {
+    let dims = rng.uniform_i64(1, 5) as usize;
+    ParamSpace::new(
+        (0..dims)
+            .map(|i| {
+                let min = rng.uniform_i64(-1000, 999);
+                let max = min + rng.uniform_i64(0, 2000);
+                ParamDef::new(format!("p{i}"), min, max, (min + max) / 2)
+            })
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every proposal of every tuner is inside the bounds, for arbitrary
-    /// spaces and arbitrary (even adversarial) performance feedback.
-    #[test]
-    fn tuners_always_propose_in_bounds(
-        space in arb_space(),
-        seed in any::<u64>(),
-        perfs in prop::collection::vec(-1e6f64..1e6, 40),
-    ) {
+/// Every proposal of every tuner is inside the bounds, for arbitrary
+/// spaces and arbitrary (even adversarial) performance feedback.
+#[test]
+fn tuners_always_propose_in_bounds() {
+    let mut rng = SimRng::new(0x7B1D);
+    for case in 0..30 {
+        let space = random_space(&mut rng);
+        let seed = rng.next_u64();
+        let perfs: Vec<f64> = (0..40).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let tuners: Vec<Box<dyn Tuner>> = vec![
             Box::new(SimplexTuner::new(space.clone())),
             Box::new(SimplexTuner::new(space.clone()).conservative(true)),
@@ -45,20 +43,29 @@ proptest! {
         for mut tuner in tuners {
             for &p in &perfs {
                 let c = tuner.propose();
-                prop_assert!(space.validate(&c).is_ok(), "{} proposed {c}", tuner.name());
+                assert!(
+                    space.validate(&c).is_ok(),
+                    "case {case}: {} proposed {c}",
+                    tuner.name()
+                );
                 tuner.observe(p);
             }
-            prop_assert_eq!(tuner.evaluations(), perfs.len() as u64);
+            assert_eq!(tuner.evaluations(), perfs.len() as u64);
             // Best must be one of the observed performances.
             let (_, best) = tuner.best().unwrap();
-            prop_assert!(perfs.iter().any(|&p| (p - best).abs() < 1e-12));
+            assert!(perfs.iter().any(|&p| (p - best).abs() < 1e-12));
         }
     }
+}
 
-    /// The simplex on a separable concave objective never ends worse than
-    /// the default configuration.
-    #[test]
-    fn simplex_never_worse_than_default(space in arb_space(), target_frac in 0.0f64..1.0) {
+/// The simplex on a separable concave objective never ends worse than
+/// the default configuration.
+#[test]
+fn simplex_never_worse_than_default() {
+    let mut rng = SimRng::new(0x51AB);
+    for case in 0..40 {
+        let space = random_space(&mut rng);
+        let target_frac = rng.next_f64();
         let objective = |c: &harmony::space::Configuration| -> f64 {
             space
                 .defs()
@@ -78,40 +85,64 @@ proptest! {
             t.observe(p);
         }
         let (_, best) = t.best().unwrap();
-        prop_assert!(best >= default_perf - 1e-12);
+        assert!(best >= default_perf - 1e-12, "case {case}");
     }
+}
 
-    /// Work lines partition the nodes exactly: every node appears in
-    /// exactly one line, and every line has at least one node per tier.
-    #[test]
-    fn worklines_partition_nodes(
-        p in 1usize..5, a in 1usize..5, d in 1usize..5,
-    ) {
-        let mut nodes = Vec::new();
-        let mut id = 0;
-        for _ in 0..p { nodes.push((id, 0u8)); id += 1; }
-        for _ in 0..a { nodes.push((id, 1u8)); id += 1; }
-        for _ in 0..d { nodes.push((id, 2u8)); id += 1; }
-        let lines = build_work_lines(&nodes).unwrap();
-        prop_assert_eq!(lines.len(), p.min(a).min(d));
-        let mut seen: Vec<usize> = lines.iter().flat_map(|l| l.nodes.clone()).collect();
-        seen.sort_unstable();
-        let expected: Vec<usize> = (0..nodes.len()).collect();
-        prop_assert_eq!(seen, expected, "every node in exactly one line");
-        for line in &lines {
-            for tier in 0..3u8 {
-                prop_assert!(line.nodes.iter().any(|n| nodes[*n].1 == tier));
+/// Work lines partition the nodes exactly: every node appears in
+/// exactly one line, and every line has at least one node per tier.
+#[test]
+fn worklines_partition_nodes() {
+    for p in 1..5usize {
+        for a in 1..5usize {
+            for d in 1..5usize {
+                let mut nodes = Vec::new();
+                let mut id = 0;
+                for _ in 0..p {
+                    nodes.push((id, 0u8));
+                    id += 1;
+                }
+                for _ in 0..a {
+                    nodes.push((id, 1u8));
+                    id += 1;
+                }
+                for _ in 0..d {
+                    nodes.push((id, 2u8));
+                    id += 1;
+                }
+                let lines = build_work_lines(&nodes).unwrap();
+                assert_eq!(lines.len(), p.min(a).min(d));
+                let mut seen: Vec<usize> = lines.iter().flat_map(|l| l.nodes.clone()).collect();
+                seen.sort_unstable();
+                let expected: Vec<usize> = (0..nodes.len()).collect();
+                assert_eq!(seen, expected, "every node in exactly one line");
+                for line in &lines {
+                    for tier in 0..3u8 {
+                        assert!(line.nodes.iter().any(|n| nodes[*n].1 == tier));
+                    }
+                }
             }
         }
     }
+}
 
-    /// The reconfiguration decision, when made, always satisfies the
-    /// algorithm's constraints: donor under-utilized, different tier,
-    /// donor's tier keeps at least one node, destination overloaded.
-    #[test]
-    fn reconfig_decisions_satisfy_constraints(
-        utils in prop::collection::vec((0.0f64..1.2, 0.0f64..1.2, 0u8..3), 2..10),
-    ) {
+/// The reconfiguration decision, when made, always satisfies the
+/// algorithm's constraints: donor under-utilized, different tier,
+/// donor's tier keeps at least one node, destination overloaded.
+#[test]
+fn reconfig_decisions_satisfy_constraints() {
+    let mut rng = SimRng::new(0x4EC0);
+    for case in 0..100 {
+        let n = rng.uniform_i64(2, 9) as usize;
+        let utils: Vec<(f64, f64, u8)> = (0..n)
+            .map(|_| {
+                (
+                    rng.next_f64() * 1.2,
+                    rng.next_f64() * 1.2,
+                    rng.uniform_i64(0, 2) as u8,
+                )
+            })
+            .collect();
         let thresholds = Thresholds::default();
         let reports: Vec<NodeReport<u8>> = utils
             .iter()
@@ -119,29 +150,50 @@ proptest! {
             .map(|(i, &(cpu, disk, tier))| NodeReport {
                 node: i,
                 tier,
-                util: UtilizationSnapshot { cpu, disk, net: 0.1, mem: 0.1 },
-                cost: NodeCostInputs { jobs: 3.0, move_cost: 0.3, avg_process_time: 1.0 },
+                util: UtilizationSnapshot {
+                    cpu,
+                    disk,
+                    net: 0.1,
+                    mem: 0.1,
+                },
+                cost: NodeCostInputs {
+                    jobs: 3.0,
+                    move_cost: 0.3,
+                    avg_process_time: 1.0,
+                },
             })
             .collect();
         let size = |t: u8| reports.iter().filter(|r| r.tier == t).count();
         if let Some(d) = decide(&reports, &thresholds, &CostModel::default(), size) {
             let donor = &reports[d.node];
             let relieved = &reports[d.relieves];
-            prop_assert!(donor.util.cpu <= thresholds.low && donor.util.disk <= thresholds.low);
-            prop_assert!(relieved.util.cpu > thresholds.high || relieved.util.disk > thresholds.high);
-            prop_assert_ne!(donor.tier, relieved.tier);
-            prop_assert_eq!(d.to_tier, relieved.tier);
-            prop_assert!(size(donor.tier) > 1, "would empty tier {}", donor.tier);
+            assert!(
+                donor.util.cpu <= thresholds.low && donor.util.disk <= thresholds.low,
+                "case {case}"
+            );
+            assert!(
+                relieved.util.cpu > thresholds.high || relieved.util.disk > thresholds.high,
+                "case {case}"
+            );
+            assert_ne!(donor.tier, relieved.tier, "case {case}");
+            assert_eq!(d.to_tier, relieved.tier, "case {case}");
+            assert!(size(donor.tier) > 1, "case {case}: would empty tier {}", donor.tier);
         }
     }
+}
 
-    /// Space projection is idempotent and always lands in bounds.
-    #[test]
-    fn projection_idempotent(space in arb_space(), point in prop::collection::vec(-1e9f64..1e9, 6)) {
-        let point = &point[..space.dims()];
-        let c = space.project(point);
-        prop_assert!(space.validate(&c).is_ok());
+/// Space projection is idempotent and always lands in bounds.
+#[test]
+fn projection_idempotent() {
+    let mut rng = SimRng::new(0x9201);
+    for _ in 0..100 {
+        let space = random_space(&mut rng);
+        let point: Vec<f64> = (0..space.dims())
+            .map(|_| (rng.next_f64() - 0.5) * 2e9)
+            .collect();
+        let c = space.project(&point);
+        assert!(space.validate(&c).is_ok());
         let again = space.project(&c.as_f64());
-        prop_assert_eq!(c, again);
+        assert_eq!(c, again);
     }
 }

@@ -9,11 +9,10 @@ use super::{population_for, Effort};
 use crate::par::parallel_map;
 use crate::session::SessionConfig;
 use cluster::config::{ClusterConfig, Topology};
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// The Figure 4 matrix and improvement table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Result {
     /// `wips[c][w]`: config tuned for workload `c` run under workload `w`
     /// (indices follow [`Workload::ALL`]).
@@ -47,13 +46,13 @@ pub fn run_with_configs(configs: &[ClusterConfig; 3], effort: &Effort, seed: u64
     let reps = effort.reps.max(1);
     let results = parallel_map(&cells, 0, |&(c, w)| {
         let workload = Workload::ALL[w];
-        let mut cfg = SessionConfig::new(
+        let cfg = SessionConfig::new(
             Topology::single(),
             workload,
             population_for(workload, effort),
-        );
-        cfg.plan = effort.plan;
-        cfg.base_seed = seed ^ ((c as u64) << 32) ^ w as u64;
+        )
+        .plan(effort.plan)
+        .base_seed(seed ^ ((c as u64) << 32) ^ w as u64);
         let config = if c < 3 {
             configs[c].clone()
         } else {

@@ -8,11 +8,10 @@ use super::{fig5_population, Effort};
 use crate::schedule::{recovery_iterations, tune_with_schedule, WorkloadSchedule};
 use crate::session::SessionConfig;
 use cluster::config::Topology;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// Result of the responsiveness experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Result {
     /// Per-iteration WIPS.
     pub wips_series: Vec<f64>,
@@ -44,13 +43,13 @@ impl Fig5Result {
 pub fn run(effort: &Effort, seed: u64) -> Fig5Result {
     let period = (effort.iterations / 2).max(2);
     let schedule = WorkloadSchedule::cycling(period, 1); // B, S, O once each
-    let mut cfg = SessionConfig::new(
+    let cfg = SessionConfig::new(
         Topology::single(),
         Workload::Browsing,
         fig5_population(effort),
-    );
-    cfg.plan = effort.plan;
-    cfg.base_seed = seed;
+    )
+    .plan(effort.plan)
+    .base_seed(seed);
     let run = tune_with_schedule(&cfg, &schedule);
     let recovery = recovery_iterations(&run, &schedule, 0.9);
     Fig5Result {

@@ -17,11 +17,10 @@ use crate::reconfigure::{run_reconfig_session, ReconfigRun, ReconfigSettings};
 use crate::session::SessionConfig;
 use cluster::config::{Role, Topology};
 use harmony::reconfig::Thresholds;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// Which of the two Figure 7 experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fig7Variant {
     /// (a) proxy → app under a browsing→ordering switch.
     ProxyToApp,
@@ -30,7 +29,7 @@ pub enum Fig7Variant {
 }
 
 /// Result of one Figure 7 run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Result {
     pub variant: Fig7Variant,
     pub wips_series: Vec<f64>,
@@ -87,9 +86,9 @@ pub fn run(variant: Fig7Variant, effort: &Effort, seed: u64) -> Fig7Result {
         ),
     };
     let initial_layout = layout(&topology);
-    let mut base = SessionConfig::new(topology, Workload::Browsing, population);
-    base.plan = effort.plan;
-    base.base_seed = seed;
+    let base = SessionConfig::new(topology, Workload::Browsing, population)
+        .plan(effort.plan)
+        .base_seed(seed);
 
     let settings = ReconfigSettings {
         check_every: None,

@@ -14,11 +14,10 @@ use crate::binding;
 use crate::par::parallel_map;
 use crate::session::SessionConfig;
 use cluster::config::Topology;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// Sensitivity of one parameter.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParamSensitivity {
     pub name: String,
     /// WIPS with the parameter at its minimum (all else default).
@@ -30,7 +29,7 @@ pub struct ParamSensitivity {
 }
 
 /// Result of the sweep for one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityResult {
     pub workload: Workload,
     pub default_wips: f64,
@@ -52,12 +51,12 @@ impl SensitivityResult {
 /// Run the one-at-a-time sweep on the single-work-line topology.
 pub fn run(workload: Workload, effort: &Effort, seed: u64) -> SensitivityResult {
     let topology = Topology::single();
-    let mut base = SessionConfig::new(topology.clone(), workload, population_for(workload, effort));
-    base.plan = effort.plan;
-    base.base_seed = seed;
     // Pin the seed: sensitivity compares configurations, so measurement
     // noise between cells would masquerade as impact.
-    base.pin_seed = true;
+    let base = SessionConfig::new(topology.clone(), workload, population_for(workload, effort))
+        .plan(effort.plan)
+        .base_seed(seed)
+        .pin_seed(true);
 
     let space = binding::full_space(&topology);
     let default_config = space.default_config();

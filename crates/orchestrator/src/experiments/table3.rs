@@ -6,10 +6,9 @@
 
 use cluster::config::{ClusterConfig, Topology};
 use cluster::params::{DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES};
-use serde::{Deserialize, Serialize};
 
 /// One Table 3 row: a parameter and its values per column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     pub section: &'static str,
     pub name: &'static str,

@@ -11,11 +11,10 @@ use crate::par::parallel_map;
 use crate::session::{tune, SessionConfig};
 use cluster::config::Topology;
 use harmony::strategy::TuningMethod;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// One Table 4 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     pub method: TuningMethod,
     /// Performance of the best configuration found.
@@ -29,7 +28,7 @@ pub struct Table4Row {
 }
 
 /// The whole table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Result {
     pub baseline_wips: f64,
     pub baseline_std: f64,
@@ -50,16 +49,17 @@ pub fn paper_methods() -> Vec<TuningMethod> {
 /// run is independent).
 pub fn run(methods: &[TuningMethod], effort: &Effort, seed: u64) -> Table4Result {
     let topology = Topology::tiers(2, 2, 2).expect("valid topology");
-    let mut base = SessionConfig::new(topology, Workload::Shopping, table4_population(effort));
-    base.plan = effort.plan;
-    base.base_seed = seed;
+    let base = SessionConfig::new(topology, Workload::Shopping, table4_population(effort))
+        .plan(effort.plan)
+        .base_seed(seed);
 
     let (baseline_wips, baseline_std) = base.measure_default(effort.reps.max(2));
 
     let rows = parallel_map(methods, 0, |&method| {
-        let mut cfg = base.clone();
         // Decorrelate methods' measurement noise.
-        cfg.base_seed = seed ^ (method as u64).wrapping_mul(0x9E37_79B9);
+        let cfg = base
+            .clone()
+            .base_seed(seed ^ (method as u64).wrapping_mul(0x9E37_79B9));
         let run = tune(&cfg, method, effort.iterations);
         let half = (effort.iterations / 2) as usize;
         let (_, std2) = run.window_stats(half, effort.iterations as usize);

@@ -10,11 +10,10 @@
 use super::{population_for, Effort};
 use crate::session::{tune_default_method, SessionConfig, TuningRun};
 use cluster::config::Topology;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// Result of one workload's tuning-process run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuningProcessResult {
     pub workload: Workload,
     /// Default-configuration WIPS (mean over replicas).
@@ -40,9 +39,9 @@ pub struct TuningProcessResult {
 
 /// Run the tuning process for one workload on the single-line topology.
 pub fn run(workload: Workload, effort: &Effort, seed: u64) -> (TuningProcessResult, TuningRun) {
-    let mut cfg = SessionConfig::new(Topology::single(), workload, population_for(workload, effort));
-    cfg.plan = effort.plan;
-    cfg.base_seed = seed;
+    let cfg = SessionConfig::new(Topology::single(), workload, population_for(workload, effort))
+        .plan(effort.plan)
+        .base_seed(seed);
     let (default_wips, default_std) = cfg.measure_default(effort.reps);
     let run = tune_default_method(&cfg, effort.iterations);
 

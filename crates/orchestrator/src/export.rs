@@ -1,91 +1,80 @@
 //! CSV export of run traces — for plotting the figures outside the
 //! terminal (gnuplot, matplotlib, a spreadsheet).
+//!
+//! Everything here is a thin layer over [`obs::CsvWriter`]: runs are
+//! turned into [`obs::TraceRecord`] streams and rendered by the shared
+//! sink, so the quoting rules and cell formats match the `--trace` output.
 
 use crate::reconfigure::ReconfigRun;
-use crate::session::TuningRun;
-use std::fmt::Write as _;
+use crate::session::{IterationRecord, TuningRun};
+use obs::{CsvWriter, TraceRecord, TraceSink};
 use std::io;
 use std::path::Path;
 
-/// Escape one CSV field (quote when needed, double inner quotes).
-fn field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
+/// Round to 3 decimals so CSV cells stay short (shortest-round-trip
+/// formatting would print the full double).
+fn round3(v: f64) -> f64 {
+    (v * 1_000.0).round() / 1_000.0
+}
+
+fn iteration_record(r: &IterationRecord) -> TraceRecord {
+    TraceRecord::new("iteration")
+        .field("iteration", r.iteration)
+        .field("wips", round3(r.wips))
+        .field("workload", r.workload.name())
+        .field("failed", r.failed)
+        .field("line_wips", r.line_wips.clone())
+}
+
+/// Render records through a [`CsvWriter`] into a string.
+fn csv_text(records: impl IntoIterator<Item = TraceRecord>) -> String {
+    let mut w = CsvWriter::new(Vec::new());
+    for r in records {
+        w.emit(&r);
     }
+    String::from_utf8(w.into_inner()).expect("CSV output is UTF-8")
 }
 
 /// Render a tuning run as CSV text: one row per iteration.
+/// Header: `iteration,wips,workload,failed,line_wips`.
 pub fn tuning_run_csv(run: &TuningRun) -> String {
-    let mut out = String::from("iteration,wips,workload,failed,line_wips\n");
-    for r in &run.records {
-        let lines = r
-            .line_wips
-            .iter()
-            .map(|w| format!("{w:.3}"))
-            .collect::<Vec<_>>()
-            .join(";");
-        let _ = writeln!(
-            out,
-            "{},{:.3},{},{},{}",
-            r.iteration,
-            r.wips,
-            field(r.workload.name()),
-            r.failed,
-            field(&lines),
-        );
-    }
-    out
+    csv_text(run.records.iter().map(iteration_record))
 }
 
 /// Render a reconfiguration run as CSV: iterations plus an `event` column
 /// describing any move that happened at that iteration.
 pub fn reconfig_run_csv(run: &ReconfigRun) -> String {
-    let mut out = String::from("iteration,wips,workload,failed,event\n");
-    for r in &run.records {
+    csv_text(run.records.iter().map(|r| {
         let event = run
             .events
             .iter()
             .find(|e| e.iteration == r.iteration)
             .map(|e| format!("node {} {}->{}", e.node, e.from_tier, e.to_tier))
             .unwrap_or_default();
-        let _ = writeln!(
-            out,
-            "{},{:.3},{},{},{}",
-            r.iteration,
-            r.wips,
-            field(r.workload.name()),
-            r.failed,
-            field(&event),
-        );
-    }
-    out
+        TraceRecord::new("iteration")
+            .field("iteration", r.iteration)
+            .field("wips", round3(r.wips))
+            .field("workload", r.workload.name())
+            .field("failed", r.failed)
+            .field("event", event)
+    }))
 }
 
 /// Render a generic named series set as CSV (figures with several lines).
+/// Ragged series pad with empty cells.
 pub fn series_csv(names: &[&str], series: &[Vec<f64>]) -> String {
     assert_eq!(names.len(), series.len());
-    let mut out = String::from("index");
-    for n in names {
-        out.push(',');
-        out.push_str(&field(n));
-    }
-    out.push('\n');
     let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
-    for i in 0..rows {
-        let _ = write!(out, "{i}");
-        for s in series {
+    csv_text((0..rows).map(|i| {
+        let mut rec = TraceRecord::new("series").field("index", i);
+        for (name, s) in names.iter().zip(series) {
             match s.get(i) {
-                Some(v) => {
-                    let _ = write!(out, ",{v:.4}");
-                }
-                None => out.push(','),
+                Some(v) => rec.push(*name, round3(*v)),
+                None => rec.push(*name, ""),
             }
         }
-        out.push('\n');
-    }
-    out
+        rec
+    }))
 }
 
 /// Write CSV text to a file.
@@ -103,8 +92,8 @@ mod tests {
     use tpcw::mix::Workload;
 
     fn tiny_run() -> TuningRun {
-        let mut cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 150);
-        cfg.plan = IntervalPlan::tiny();
+        let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 150)
+            .plan(IntervalPlan::tiny());
         tune(&cfg, TuningMethod::None, 3)
     }
 
@@ -120,19 +109,12 @@ mod tests {
     }
 
     #[test]
-    fn field_escaping() {
-        assert_eq!(field("plain"), "plain");
-        assert_eq!(field("a,b"), "\"a,b\"");
-        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
-    }
-
-    #[test]
     fn series_csv_pads_ragged_series() {
         let csv = series_csv(&["a", "b"], &[vec![1.0, 2.0, 3.0], vec![9.0]]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "index,a,b");
-        assert_eq!(lines[1], "0,1.0000,9.0000");
-        assert_eq!(lines[3], "2,3.0000,");
+        assert_eq!(lines[1], "0,1.0,9.0");
+        assert_eq!(lines[3], "2,3.0,");
     }
 
     #[test]

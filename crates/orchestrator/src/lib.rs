@@ -24,8 +24,8 @@
 //! use tpcw::metrics::IntervalPlan;
 //! use tpcw::mix::Workload;
 //!
-//! let mut cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200);
-//! cfg.plan = IntervalPlan::tiny();
+//! let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
+//!     .plan(IntervalPlan::tiny());
 //! let run = tune(&cfg, TuningMethod::Default, 5);
 //! assert_eq!(run.records.len(), 5);
 //! assert!(run.best_wips > 0.0);

@@ -3,14 +3,16 @@
 //! Tuning itself is sequential (each iteration depends on the last
 //! observation), but the experiment harness runs many *independent*
 //! simulations: replicas over seeds, the 3×3 matrix of Figure 4, the four
-//! Table 4 methods. Those fan out across cores with crossbeam scoped
-//! threads — no `unsafe`, no leaked threads, results returned in input
-//! order.
+//! Table 4 methods. Those fan out across cores with `std::thread::scope`
+//! — no `unsafe`, no leaked threads, no external crates, results
+//! returned in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Map `f` over `items` in parallel, preserving order. Uses up to
 /// `max_threads` worker threads (0 = number of available cores).
+///
+/// A panic in `f` propagates to the caller when the scope joins.
 pub fn parallel_map<I, O, F>(items: &[I], max_threads: usize, f: F) -> Vec<O>
 where
     I: Sync,
@@ -26,12 +28,12 @@ where
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
@@ -42,8 +44,9 @@ where
                 }
             });
         }
-    })
-    .expect("worker panicked");
+        // `std::thread::scope` joins every worker here and re-raises the
+        // first panic, so a poisoned result can never be observed below.
+    });
     drop(tx);
     let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
     for (idx, out) in rx {
@@ -110,6 +113,20 @@ mod tests {
         let out = parallel_seeds(17, |s| s * 3);
         assert_eq!(out.len(), 17);
         assert_eq!(out[16], 48);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let items: Vec<u64> = (0..32).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must not be swallowed");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! rebuilds and rewarms the world).
 
 use crate::binding;
-use crate::session::{IterationRecord, SessionConfig};
+use crate::session::{IterationRecord, SessionConfig, SessionObserver};
 use cluster::config::{Role, Topology};
 use cluster::node::NodeUtilization;
 use harmony::monitor::{UtilizationMonitor, UtilizationSnapshot};
@@ -18,7 +18,6 @@ use harmony::reconfig::{
 };
 use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
-use serde::{Deserialize, Serialize};
 use tpcw::mix::Workload;
 
 /// Reconfiguration-session settings.
@@ -53,7 +52,7 @@ impl Default for ReconfigSettings {
 }
 
 /// A topology change that happened during the run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReconfigEvent {
     pub iteration: u32,
     pub node: usize,
@@ -103,6 +102,25 @@ pub fn run_reconfig_session(
     iterations: u32,
     workload_at: impl Fn(u32) -> Workload,
 ) -> ReconfigRun {
+    run_reconfig_session_observed(
+        base,
+        settings,
+        iterations,
+        workload_at,
+        &mut SessionObserver::none(),
+    )
+}
+
+/// [`run_reconfig_session`] with per-iteration trace/metrics observation.
+/// Besides the usual `iteration` records, every accepted node move emits a
+/// `reconfig` record.
+pub fn run_reconfig_session_observed(
+    base: &SessionConfig,
+    settings: &ReconfigSettings,
+    iterations: u32,
+    workload_at: impl Fn(u32) -> Workload,
+    observer: &mut SessionObserver,
+) -> ReconfigRun {
     let mut topology = base.topology.clone();
     let mut servers = [
         HarmonyServer::new(
@@ -121,8 +139,11 @@ pub fn run_reconfig_session(
     let mut monitor = UtilizationMonitor::new(topology.len(), settings.monitor_alpha);
     let mut records = Vec::with_capacity(iterations as usize);
     let mut events = Vec::new();
+    let mut best_wips = f64::NEG_INFINITY;
+    let mut best_iter = 0;
 
     for i in 0..iterations {
+        let t0 = std::time::Instant::now();
         let workload = workload_at(i);
         let config = if settings.tune_during {
             let pc = servers[0].next_config();
@@ -133,19 +154,32 @@ pub fn run_reconfig_session(
             cluster::config::ClusterConfig::defaults(&topology)
         };
 
-        let mut cfg = base.clone();
-        cfg.topology = topology.clone();
-        cfg.workload = workload;
-        let out = cfg.evaluate(config, i);
+        let cfg = base.clone().topology(topology.clone()).workload(workload);
+        let out = cfg.evaluate_observed(config.clone(), i, observer.registry());
         let wips = out.metrics.wips;
         if settings.tune_during {
             for s in &mut servers {
                 s.report(wips);
             }
         }
+        if wips > best_wips {
+            best_wips = wips;
+            best_iter = i;
+        }
         let snapshots: Vec<UtilizationSnapshot> =
             out.node_utilization.iter().map(to_snapshot).collect();
         monitor.observe(&snapshots);
+        observer.record_iteration(
+            &cfg,
+            "reconfig",
+            i,
+            &config,
+            &out,
+            best_wips,
+            best_iter,
+            &servers[0].diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -163,6 +197,14 @@ pub fn run_reconfig_session(
             if let Some(decision) = check(&topology, &monitor, settings, &out.node_utilization) {
                 let from = topology.role(decision.node);
                 if let Ok(next) = topology.reassign(decision.node, decision.to_tier) {
+                    observer.record_reconfig(
+                        i,
+                        decision.node,
+                        from.name(),
+                        decision.to_tier.name(),
+                        decision.immediate,
+                        decision.cost_value,
+                    );
                     events.push(ReconfigEvent {
                         iteration: i,
                         node: decision.node,
@@ -177,6 +219,7 @@ pub fn run_reconfig_session(
             }
         }
     }
+    observer.flush();
     ReconfigRun {
         records,
         events,
@@ -226,9 +269,7 @@ mod tests {
     use tpcw::metrics::IntervalPlan;
 
     fn base(topology: Topology, pop: u32) -> SessionConfig {
-        let mut cfg = SessionConfig::new(topology, Workload::Browsing, pop);
-        cfg.plan = IntervalPlan::tiny();
-        cfg
+        SessionConfig::new(topology, Workload::Browsing, pop).plan(IntervalPlan::tiny())
     }
 
     #[test]

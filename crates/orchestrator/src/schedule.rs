@@ -7,9 +7,8 @@
 //! switch.
 
 use crate::binding;
-use crate::session::{IterationRecord, SessionConfig, TuningRun};
+use crate::session::{run_scenario, IterationRecord, SessionConfig, SessionObserver, TuningRun};
 use cluster::config::ClusterConfig;
-use cluster::runner::run_iteration;
 use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
 use harmony::strategy::TuningMethod;
@@ -68,7 +67,27 @@ impl WorkloadSchedule {
 /// Run a single Harmony server (the §III.A setup: every parameter of the
 /// single work line) against a workload schedule.
 pub fn tune_with_schedule(base: &SessionConfig, schedule: &WorkloadSchedule) -> TuningRun {
+    tune_with_schedule_observed(base, schedule, false, &mut SessionObserver::none())
+}
+
+/// Like [`tune_with_schedule`], but the tuner's search state is reset at
+/// every workload change point — the "told about the change" variant the
+/// paper contrasts against. With `reset_on_change = false` this is exactly
+/// the paper's continuous run.
+pub fn tune_with_schedule_reset(base: &SessionConfig, schedule: &WorkloadSchedule) -> TuningRun {
+    tune_with_schedule_observed(base, schedule, true, &mut SessionObserver::none())
+}
+
+/// [`tune_with_schedule`] with optional tuner reset at change points and
+/// per-iteration trace/metrics observation.
+pub fn tune_with_schedule_observed(
+    base: &SessionConfig,
+    schedule: &WorkloadSchedule,
+    reset_on_change: bool,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     let iterations = schedule.total_iterations();
+    let change_points = schedule.change_points();
     let space = binding::full_space(&base.topology);
     let mut server = HarmonyServer::new("scheduled", Box::new(SimplexTuner::new(space)));
     let mut records = Vec::with_capacity(iterations as usize);
@@ -76,19 +95,33 @@ pub fn tune_with_schedule(base: &SessionConfig, schedule: &WorkloadSchedule) -> 
     let mut best_wips = f64::NEG_INFINITY;
     let mut best_iter = 0;
     for i in 0..iterations {
+        let t0 = std::time::Instant::now();
         let workload = schedule.workload_at(i);
+        if reset_on_change && change_points.contains(&i) {
+            server.reset();
+        }
         let proposal = server.next_config();
         let config = binding::config_from_full(&base.topology, &proposal);
-        let mut cfg = base.clone();
-        cfg.workload = workload;
-        let out = run_iteration(&cfg.scenario(config.clone(), i));
+        let cfg = base.clone().workload(workload);
+        let out = run_scenario(&cfg.scenario(config.clone(), i), observer.registry());
         let wips = out.metrics.wips;
         server.report(wips);
         if wips > best_wips {
             best_wips = wips;
-            best_config = config;
+            best_config = config.clone();
             best_iter = i;
         }
+        observer.record_iteration(
+            &cfg,
+            "scheduled",
+            i,
+            &config,
+            &out,
+            best_wips,
+            best_iter,
+            &server.diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -97,6 +130,7 @@ pub fn tune_with_schedule(base: &SessionConfig, schedule: &WorkloadSchedule) -> 
             failed: out.total_failed,
         });
     }
+    observer.flush();
     TuningRun {
         method: TuningMethod::Default,
         records,
@@ -167,8 +201,8 @@ mod tests {
 
     #[test]
     fn scheduled_run_switches_workloads() {
-        let mut cfg = SessionConfig::new(Topology::single(), Workload::Browsing, 300);
-        cfg.plan = IntervalPlan::tiny();
+        let cfg = SessionConfig::new(Topology::single(), Workload::Browsing, 300)
+            .plan(IntervalPlan::tiny());
         let schedule = WorkloadSchedule {
             segments: vec![(3, Workload::Browsing), (3, Workload::Ordering)],
         };
@@ -180,8 +214,8 @@ mod tests {
 
     #[test]
     fn recovery_metric_computes() {
-        let mut cfg = SessionConfig::new(Topology::single(), Workload::Browsing, 200);
-        cfg.plan = IntervalPlan::tiny();
+        let cfg = SessionConfig::new(Topology::single(), Workload::Browsing, 200)
+            .plan(IntervalPlan::tiny());
         let schedule = WorkloadSchedule {
             segments: vec![(4, Workload::Browsing), (4, Workload::Shopping)],
         };
@@ -189,5 +223,22 @@ mod tests {
         let rec = recovery_iterations(&run, &schedule, 0.9);
         assert_eq!(rec.len(), 1);
         assert_eq!(rec[0].0, 4);
+    }
+
+    #[test]
+    fn reset_on_change_still_switches_and_completes() {
+        let cfg = SessionConfig::new(Topology::single(), Workload::Browsing, 300)
+            .plan(IntervalPlan::tiny())
+            .pin_seed(true);
+        let schedule = WorkloadSchedule {
+            segments: vec![(3, Workload::Browsing), (3, Workload::Ordering)],
+        };
+        let plain = tune_with_schedule(&cfg, &schedule);
+        let reset = tune_with_schedule_reset(&cfg, &schedule);
+        assert_eq!(reset.records.len(), 6);
+        // Identical until the first change point, then the reset run
+        // diverges (fresh simplex from the space default).
+        assert_eq!(plain.wips_series()[..3], reset.wips_series()[..3]);
+        assert!(reset.wips_series().iter().all(|w| w.is_finite()));
     }
 }

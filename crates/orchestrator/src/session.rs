@@ -11,16 +11,18 @@
 use crate::binding;
 use cluster::config::{ClusterConfig, Role, Topology};
 use cluster::model::ClusterScenario;
-use cluster::runner::{run_iteration, IterationOutcome};
+use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
 use harmony::server::HarmonyServer;
+use obs::{Registry, TraceRecord, TraceSink};
 use harmony::simplex::SimplexTuner;
 use harmony::strategy::TuningMethod;
 use harmony::workline::build_work_lines;
-use serde::{Deserialize, Serialize};
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
+
+use std::time::Instant;
 
 /// Environment of a tuning session.
 #[derive(Debug, Clone)]
@@ -58,6 +60,70 @@ impl SessionConfig {
             markov_sessions: false,
             node_specs: Vec::new(),
         }
+    }
+
+    /// Builder: set the measurement plan.
+    pub fn plan(mut self, plan: IntervalPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builder: set the base RNG seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Builder: pin the seed (every iteration re-uses `base_seed`).
+    pub fn pin_seed(mut self, on: bool) -> Self {
+        self.pin_seed = on;
+        self
+    }
+
+    /// Builder: walk the Markov navigation graph instead of i.i.d. mixes.
+    pub fn markov(mut self, on: bool) -> Self {
+        self.markov_sessions = on;
+        self
+    }
+
+    /// Builder: set the catalogue scale.
+    pub fn scale(mut self, scale: CatalogScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder: set the baseline hardware spec for every node.
+    pub fn spec(mut self, spec: NodeSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Builder: override the hardware spec of one node (failure
+    /// injection, heterogeneous clusters).
+    pub fn node_spec(mut self, node: usize, spec: NodeSpec) -> Self {
+        if self.node_specs.len() <= node {
+            self.node_specs.resize(self.topology.len().max(node + 1), None);
+        }
+        self.node_specs[node] = Some(spec);
+        self
+    }
+
+    /// Builder: replace the topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builder: replace the workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder: replace the browser population.
+    pub fn population(mut self, population: u32) -> Self {
+        self.population = population;
+        self
     }
 
     /// Degrade node `node` to `cpu_scale` of nominal CPU speed.
@@ -101,6 +167,17 @@ impl SessionConfig {
         run_iteration(&self.scenario(config, iteration))
     }
 
+    /// Like [`SessionConfig::evaluate`], but publishes engine and
+    /// per-tier resource metrics when a registry is attached.
+    pub fn evaluate_observed(
+        &self,
+        config: ClusterConfig,
+        iteration: u32,
+        registry: Option<&Registry>,
+    ) -> IterationOutcome {
+        run_scenario(&self.scenario(config, iteration), registry)
+    }
+
     /// Measure the default configuration over `reps` independent seeds:
     /// the Table 4 "None (No Tuning)" row.
     pub fn measure_default(&self, reps: u32) -> (f64, f64) {
@@ -137,7 +214,7 @@ impl SessionConfig {
 }
 
 /// One tuning iteration's record in a session trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationRecord {
     pub iteration: u32,
     /// Overall cluster WIPS measured this iteration.
@@ -201,6 +278,163 @@ impl TuningRun {
     }
 }
 
+/// Optional per-iteration observation hooks for a tuning session: a
+/// [`TraceSink`] receiving one structured `iteration` record per tuning
+/// iteration, and/or a [`Registry`] collecting engine/resource metrics
+/// from every simulation run. [`SessionObserver::none`] makes the whole
+/// layer free.
+pub struct SessionObserver<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+    registry: Option<&'a Registry>,
+}
+
+impl<'a> SessionObserver<'a> {
+    /// No observation: observed tuning behaves exactly like plain tuning.
+    pub fn none() -> SessionObserver<'static> {
+        SessionObserver {
+            sink: None,
+            registry: None,
+        }
+    }
+
+    pub fn new(
+        sink: Option<&'a mut dyn TraceSink>,
+        registry: Option<&'a Registry>,
+    ) -> SessionObserver<'a> {
+        SessionObserver { sink, registry }
+    }
+
+    /// Trace-only observation.
+    pub fn with_sink(sink: &'a mut dyn TraceSink) -> SessionObserver<'a> {
+        SessionObserver {
+            sink: Some(sink),
+            registry: None,
+        }
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn registry(&self) -> Option<&'a Registry> {
+        self.registry
+    }
+
+    /// Flush the attached sink (end of session).
+    pub fn flush(&mut self) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.flush();
+        }
+    }
+
+    /// Emit one `iteration` trace record. Field order is part of the
+    /// trace schema (see DESIGN.md "Observability") — extend at the end,
+    /// before `wall_ms`, and update the golden-file test.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_iteration(
+        &mut self,
+        cfg: &SessionConfig,
+        method_label: &str,
+        iteration: u32,
+        config: &ClusterConfig,
+        out: &IterationOutcome,
+        best_wips: f64,
+        best_iteration: u32,
+        diagnostics: &[(&'static str, f64)],
+        wall_ms: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        // 95% half-width under the Poisson completion model: WIPS is a
+        // count over the measurement window, so its sampling std-dev is
+        // ~sqrt(count)/window.
+        let measure_secs = cfg.plan.measure.as_secs_f64();
+        let ci_half = if measure_secs > 0.0 {
+            1.96 * (out.metrics.completed as f64).sqrt() / measure_secs
+        } else {
+            0.0
+        };
+        let mut rec = TraceRecord::new("iteration")
+            .field("method", method_label)
+            .field("iteration", iteration)
+            .field("workload", cfg.workload.name())
+            .field("seed", cfg.seed_for(iteration))
+            .field("config", config_summary(config))
+            .field("wips", out.metrics.wips)
+            .field("ci_half", ci_half)
+            .field("completed", out.metrics.completed)
+            .field("failed", out.total_failed)
+            .field("line_wips", out.line_wips.clone())
+            .field("best_wips", best_wips)
+            .field("best_iteration", best_iteration)
+            .field("events", out.events);
+        for (k, v) in diagnostics {
+            rec.push(format!("tuner_{k}"), *v);
+        }
+        rec.push("wall_ms", wall_ms);
+        sink.emit(&rec);
+    }
+
+    /// Emit one `reconfig` trace record for an accepted node move.
+    pub(crate) fn record_reconfig(
+        &mut self,
+        iteration: u32,
+        node: usize,
+        from_tier: &str,
+        to_tier: &str,
+        immediate: bool,
+        cost_value: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("reconfig")
+            .field("iteration", iteration)
+            .field("node", node)
+            .field("from_tier", from_tier)
+            .field("to_tier", to_tier)
+            .field("immediate", immediate)
+            .field("cost_value", cost_value);
+        sink.emit(&rec);
+    }
+}
+
+/// Run a prepared scenario, through the metrics-publishing runner when a
+/// registry is attached.
+pub fn run_scenario(
+    scenario: &cluster::model::ClusterScenario,
+    registry: Option<&Registry>,
+) -> IterationOutcome {
+    match registry {
+        Some(r) => run_iteration_observed(scenario, r),
+        None => run_iteration(scenario),
+    }
+}
+
+fn node_values(n: &cluster::config::NodeParams) -> Vec<i64> {
+    if let Some(p) = n.as_proxy() {
+        p.to_values().to_vec()
+    } else if let Some(w) = n.as_app() {
+        w.to_values().to_vec()
+    } else if let Some(d) = n.as_db() {
+        d.to_values().to_vec()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Compact one-line rendering of a full cluster configuration:
+/// `proxy[v,v,..]|app[v,..]|db[v,..]`, one segment per node.
+fn config_summary(config: &ClusterConfig) -> String {
+    config
+        .nodes()
+        .iter()
+        .map(|n| {
+            let vals: Vec<String> = node_values(n).iter().map(|v| v.to_string()).collect();
+            format!("{}[{}]", n.role().name(), vals.join(","))
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 /// Internal: track best-seen config across a run.
 struct BestConfig {
     config: ClusterConfig,
@@ -229,17 +463,38 @@ impl BestConfig {
 /// Tune with the paper's **default method**: one Harmony server over every
 /// parameter of every node.
 pub fn tune_default_method(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    tune_default_method_observed(cfg, iterations, &mut SessionObserver::none())
+}
+
+/// [`tune_default_method`] with per-iteration trace/metrics observation.
+pub fn tune_default_method_observed(
+    cfg: &SessionConfig,
+    iterations: u32,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     let space = binding::full_space(&cfg.topology);
     let mut server = HarmonyServer::new("all-nodes", Box::new(SimplexTuner::new(space)));
     let mut records = Vec::with_capacity(iterations as usize);
     let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
     for i in 0..iterations {
+        let t0 = Instant::now();
         let proposal = server.next_config();
         let config = binding::config_from_full(&cfg.topology, &proposal);
-        let out = cfg.evaluate(config.clone(), i);
+        let out = cfg.evaluate_observed(config.clone(), i, observer.registry());
         let wips = out.metrics.wips;
         server.report(wips);
         best.consider(&config, wips, i);
+        observer.record_iteration(
+            cfg,
+            TuningMethod::Default.label(),
+            i,
+            &config,
+            &out,
+            best.wips,
+            best.iteration,
+            &server.diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -248,6 +503,7 @@ pub fn tune_default_method(cfg: &SessionConfig, iterations: u32) -> TuningRun {
             failed: out.total_failed,
         });
     }
+    observer.flush();
     TuningRun {
         method: TuningMethod::Default,
         records,
@@ -261,6 +517,16 @@ pub fn tune_default_method(cfg: &SessionConfig, iterations: u32) -> TuningRun {
 /// dimensions), every tier's values replicated across its nodes, all three
 /// servers fed the same overall WIPS.
 pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    tune_duplication_observed(cfg, iterations, &mut SessionObserver::none())
+}
+
+/// [`tune_duplication`] with per-iteration trace/metrics observation.
+/// Tuner diagnostics come from the proxy-tier server.
+pub fn tune_duplication_observed(
+    cfg: &SessionConfig,
+    iterations: u32,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     let mut servers = [
         HarmonyServer::new(
             "proxy-tier",
@@ -278,16 +544,28 @@ pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
     let mut records = Vec::with_capacity(iterations as usize);
     let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
     for i in 0..iterations {
+        let t0 = Instant::now();
         let pc = servers[0].next_config();
         let wc = servers[1].next_config();
         let dc = servers[2].next_config();
         let config = binding::config_from_roles(&cfg.topology, &pc, &wc, &dc);
-        let out = cfg.evaluate(config.clone(), i);
+        let out = cfg.evaluate_observed(config.clone(), i, observer.registry());
         let wips = out.metrics.wips;
         for s in &mut servers {
             s.report(wips);
         }
         best.consider(&config, wips, i);
+        observer.record_iteration(
+            cfg,
+            TuningMethod::Duplication.label(),
+            i,
+            &config,
+            &out,
+            best.wips,
+            best.iteration,
+            &servers[0].diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -296,6 +574,7 @@ pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
             failed: out.total_failed,
         });
     }
+    observer.flush();
     TuningRun {
         method: TuningMethod::Duplication,
         records,
@@ -309,6 +588,16 @@ pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
 /// lines; each line gets its own server (23 dimensions) fed by *its own
 /// line's* throughput, and requests never cross lines.
 pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+    tune_partitioning_observed(cfg, iterations, &mut SessionObserver::none())
+}
+
+/// [`tune_partitioning`] with per-iteration trace/metrics observation.
+/// Tuner diagnostics come from the first work line's server.
+pub fn tune_partitioning_observed(
+    cfg: &SessionConfig,
+    iterations: u32,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     let nodes: Vec<(usize, u8)> = cfg
         .topology
         .roles()
@@ -338,6 +627,7 @@ pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
     let mut records = Vec::with_capacity(iterations as usize);
     let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
     for i in 0..iterations {
+        let t0 = Instant::now();
         let mut config = ClusterConfig::defaults(&cfg.topology);
         for (server, line) in servers.iter_mut().zip(&lines) {
             let proposal = server.next_config();
@@ -345,12 +635,23 @@ pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
         }
         let mut scenario = cfg.scenario(config.clone(), i);
         scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let out = run_iteration(&scenario);
+        let out = run_scenario(&scenario, observer.registry());
         let wips = out.metrics.wips;
         for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
             s.report(*line_wips);
         }
         best.consider(&config, wips, i);
+        observer.record_iteration(
+            cfg,
+            TuningMethod::Partitioning.label(),
+            i,
+            &config,
+            &out,
+            best.wips,
+            best.iteration,
+            &servers[0].diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -359,6 +660,7 @@ pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
             failed: out.total_failed,
         });
     }
+    observer.flush();
     TuningRun {
         method: TuningMethod::Partitioning,
         records,
@@ -372,8 +674,20 @@ pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
 /// `switch_at` iterations, then per-line fine tuning seeded from the
 /// duplication result.
 pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> TuningRun {
+    tune_hybrid_observed(cfg, iterations, switch_at, &mut SessionObserver::none())
+}
+
+/// [`tune_hybrid`] with per-iteration trace/metrics observation. The
+/// coarse phase emits records labelled `duplication`, the fine phase
+/// `hybrid` — the phase switch is visible in the trace.
+pub fn tune_hybrid_observed(
+    cfg: &SessionConfig,
+    iterations: u32,
+    switch_at: u32,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     let switch_at = switch_at.min(iterations);
-    let mut coarse = tune_duplication(cfg, switch_at);
+    let mut coarse = tune_duplication_observed(cfg, switch_at, observer);
 
     // Seed per-line tuning from the duplication best.
     let seed_tier = binding::tier_config_from(&coarse.best_config, &cfg.topology)
@@ -411,6 +725,7 @@ pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> Tuni
     best.wips = coarse.best_wips;
     best.iteration = coarse.convergence_iteration;
     for i in switch_at..iterations {
+        let t0 = Instant::now();
         let mut config = coarse.best_config.clone();
         for (server, line) in servers.iter_mut().zip(&lines) {
             let proposal = server.next_config();
@@ -418,12 +733,23 @@ pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> Tuni
         }
         let mut scenario = cfg.scenario(config.clone(), i);
         scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let out = run_iteration(&scenario);
+        let out = run_scenario(&scenario, observer.registry());
         let wips = out.metrics.wips;
         for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
             s.report(*line_wips);
         }
         best.consider(&config, wips, i);
+        observer.record_iteration(
+            cfg,
+            TuningMethod::Hybrid.label(),
+            i,
+            &config,
+            &out,
+            best.wips,
+            best.iteration,
+            &servers[0].diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
         coarse.records.push(IterationRecord {
             iteration: i,
             wips,
@@ -432,6 +758,7 @@ pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> Tuni
             failed: out.total_failed,
         });
     }
+    observer.flush();
     TuningRun {
         method: TuningMethod::Hybrid,
         records: coarse.records,
@@ -443,14 +770,36 @@ pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> Tuni
 
 /// Dispatch by method (None yields a flat run of the default config).
 pub fn tune(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> TuningRun {
+    tune_observed(cfg, method, iterations, &mut SessionObserver::none())
+}
+
+/// [`tune`] with per-iteration trace/metrics observation.
+pub fn tune_observed(
+    cfg: &SessionConfig,
+    method: TuningMethod,
+    iterations: u32,
+    observer: &mut SessionObserver,
+) -> TuningRun {
     match method {
         TuningMethod::None => {
             let mut records = Vec::with_capacity(iterations as usize);
             let default = ClusterConfig::defaults(&cfg.topology);
             let mut best = BestConfig::new(default.clone());
             for i in 0..iterations {
-                let out = cfg.evaluate(default.clone(), i);
+                let t0 = Instant::now();
+                let out = cfg.evaluate_observed(default.clone(), i, observer.registry());
                 best.consider(&default, out.metrics.wips, i);
+                observer.record_iteration(
+                    cfg,
+                    TuningMethod::None.label(),
+                    i,
+                    &default,
+                    &out,
+                    best.wips,
+                    best.iteration,
+                    &[],
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
                 records.push(IterationRecord {
                     iteration: i,
                     wips: out.metrics.wips,
@@ -459,6 +808,7 @@ pub fn tune(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> Tunin
                     failed: out.total_failed,
                 });
             }
+            observer.flush();
             TuningRun {
                 method: TuningMethod::None,
                 records,
@@ -467,10 +817,12 @@ pub fn tune(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> Tunin
                 convergence_iteration: 0,
             }
         }
-        TuningMethod::Default => tune_default_method(cfg, iterations),
-        TuningMethod::Duplication => tune_duplication(cfg, iterations),
-        TuningMethod::Partitioning => tune_partitioning(cfg, iterations),
-        TuningMethod::Hybrid => tune_hybrid(cfg, iterations, iterations / 3),
+        TuningMethod::Default => tune_default_method_observed(cfg, iterations, observer),
+        TuningMethod::Duplication => tune_duplication_observed(cfg, iterations, observer),
+        TuningMethod::Partitioning => tune_partitioning_observed(cfg, iterations, observer),
+        TuningMethod::Hybrid => {
+            tune_hybrid_observed(cfg, iterations, iterations / 3, observer)
+        }
     }
 }
 
@@ -479,9 +831,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg(workload: Workload) -> SessionConfig {
-        let mut c = SessionConfig::new(Topology::single(), workload, 300);
-        c.plan = IntervalPlan::tiny();
-        c
+        SessionConfig::new(Topology::single(), workload, 300).plan(IntervalPlan::tiny())
     }
 
     #[test]
@@ -496,8 +846,7 @@ mod tests {
 
     #[test]
     fn duplication_replicates_values() {
-        let mut cfg = quick_cfg(Workload::Browsing);
-        cfg.topology = Topology::tiers(2, 1, 1).unwrap();
+        let cfg = quick_cfg(Workload::Browsing).topology(Topology::tiers(2, 1, 1).unwrap());
         let run = tune_duplication(&cfg, 5);
         let best = &run.best_config;
         assert_eq!(
@@ -509,9 +858,9 @@ mod tests {
 
     #[test]
     fn partitioning_reports_per_line() {
-        let mut cfg = quick_cfg(Workload::Shopping);
-        cfg.topology = Topology::tiers(2, 2, 2).unwrap();
-        cfg.population = 400;
+        let cfg = quick_cfg(Workload::Shopping)
+            .topology(Topology::tiers(2, 2, 2).unwrap())
+            .population(400);
         let run = tune_partitioning(&cfg, 5);
         assert_eq!(run.records[0].line_wips.len(), 2);
         assert!(run.best_wips > 0.0);
@@ -527,9 +876,9 @@ mod tests {
 
     #[test]
     fn hybrid_switches_methods() {
-        let mut cfg = quick_cfg(Workload::Shopping);
-        cfg.topology = Topology::tiers(2, 2, 2).unwrap();
-        cfg.population = 400;
+        let cfg = quick_cfg(Workload::Shopping)
+            .topology(Topology::tiers(2, 2, 2).unwrap())
+            .population(400);
         let run = tune_hybrid(&cfg, 9, 4);
         assert_eq!(run.records.len(), 9);
         assert_eq!(run.method, TuningMethod::Hybrid);
@@ -537,8 +886,7 @@ mod tests {
 
     #[test]
     fn pinned_seed_is_deterministic() {
-        let mut cfg = quick_cfg(Workload::Shopping);
-        cfg.pin_seed = true;
+        let cfg = quick_cfg(Workload::Shopping).pin_seed(true);
         let a = tune_default_method(&cfg, 4);
         let b = tune_default_method(&cfg, 4);
         assert_eq!(a.wips_series(), b.wips_series());
@@ -566,5 +914,103 @@ mod tests {
         assert!(sd >= 0.0);
         assert_eq!(run.fraction_above(0, 6, 0.0), 1.0);
         assert_eq!(run.fraction_above(0, 6, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn builder_matches_field_mutation() {
+        let spec = NodeSpec {
+            cpu_scale: 0.5,
+            ..NodeSpec::hpdc04()
+        };
+        let built = SessionConfig::new(Topology::single(), Workload::Shopping, 300)
+            .plan(IntervalPlan::tiny())
+            .base_seed(99)
+            .pin_seed(true)
+            .markov(true)
+            .node_spec(1, spec);
+        let mut mutated = SessionConfig::new(Topology::single(), Workload::Shopping, 300);
+        mutated.plan = IntervalPlan::tiny();
+        mutated.base_seed = 99;
+        mutated.pin_seed = true;
+        mutated.markov_sessions = true;
+        mutated.node_specs = vec![None, Some(spec), None];
+        assert_eq!(built.base_seed, mutated.base_seed);
+        assert_eq!(built.pin_seed, mutated.pin_seed);
+        assert_eq!(built.markov_sessions, mutated.markov_sessions);
+        assert_eq!(built.node_specs, mutated.node_specs);
+        assert_eq!(built.seed_for(7), mutated.seed_for(7));
+    }
+
+    #[test]
+    fn observed_tuning_matches_plain_and_traces_every_iteration() {
+        let cfg = quick_cfg(Workload::Shopping).pin_seed(true);
+        let plain = tune(&cfg, TuningMethod::Default, 5);
+
+        let mut sink = obs::MemorySink::new();
+        let registry = Registry::new();
+        let mut observer = SessionObserver::new(Some(&mut sink), Some(&registry));
+        let observed = tune_observed(&cfg, TuningMethod::Default, 5, &mut observer);
+
+        // Observation must not perturb the search.
+        assert_eq!(plain.wips_series(), observed.wips_series());
+        assert_eq!(plain.best_wips, observed.best_wips);
+
+        // One trace record per iteration, with the schema fields in order.
+        let records = sink.records();
+        assert_eq!(records.len(), 5);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.kind(), "iteration");
+            let keys: Vec<&str> = r.fields().iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                &keys[..13],
+                &[
+                    "method",
+                    "iteration",
+                    "workload",
+                    "seed",
+                    "config",
+                    "wips",
+                    "ci_half",
+                    "completed",
+                    "failed",
+                    "line_wips",
+                    "best_wips",
+                    "best_iteration",
+                    "events",
+                ]
+            );
+            assert_eq!(keys.last().copied(), Some("wall_ms"));
+            assert_eq!(r.get("iteration").and_then(|v| v.as_f64()), Some(i as f64));
+            assert!(r.get("wips").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            assert!(r.get("ci_half").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+        // best_wips in the last record equals the run's best.
+        let last_best = records[4].get("best_wips").and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(last_best, observed.best_wips);
+
+        // The registry accumulated engine metrics across all runs.
+        let snap = registry.snapshot();
+        let events = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sim.events")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(events > 0);
+    }
+
+    #[test]
+    fn trace_records_survive_jsonl_roundtrip_shape() {
+        let cfg = quick_cfg(Workload::Browsing).pin_seed(true);
+        let mut sink = obs::MemorySink::new();
+        let mut observer = SessionObserver::with_sink(&mut sink);
+        tune_observed(&cfg, TuningMethod::None, 2, &mut observer);
+        for r in sink.records() {
+            let line = r.to_json();
+            assert!(line.starts_with("{\"kind\":\"iteration\""));
+            assert!(line.ends_with('}'));
+            // None method carries no tuner diagnostics.
+            assert!(r.fields().iter().all(|(k, _)| !k.starts_with("tuner_")));
+        }
     }
 }

@@ -5,7 +5,6 @@
 //! steady-state run whose samples are autocorrelated.
 
 use crate::stats::Welford;
-use serde::{Deserialize, Serialize};
 
 /// Two-sided Student-t critical value for the given degrees of freedom at
 /// 95% confidence (table for small df, normal approximation beyond).
@@ -26,7 +25,7 @@ pub fn t_critical_95(df: u64) -> f64 {
 }
 
 /// A mean with its 95% confidence half-width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     pub mean: f64,
     pub half_width: f64,

@@ -25,6 +25,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     calendar: EventCalendar<E>,
     events_executed: u64,
+    max_pending: usize,
 }
 
 impl<E> Scheduler<E> {
@@ -33,6 +34,14 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             calendar: EventCalendar::new(),
             events_executed: 0,
+            max_pending: 0,
+        }
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        if self.calendar.len() > self.max_pending {
+            self.max_pending = self.calendar.len();
         }
     }
 
@@ -46,6 +55,7 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn after(&mut self, delay: SimDuration, event: E) {
         self.calendar.schedule(self.now + delay, event);
+        self.note_depth();
     }
 
     /// Schedule `event` at the current instant (runs after already-pending
@@ -53,6 +63,7 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn immediately(&mut self, event: E) {
         self.calendar.schedule(self.now, event);
+        self.note_depth();
     }
 
     /// Schedule `event` at an absolute time. Panics (debug) if in the past.
@@ -60,6 +71,7 @@ impl<E> Scheduler<E> {
     pub fn at(&mut self, time: SimTime, event: E) {
         debug_assert!(time >= self.now, "scheduling into the past");
         self.calendar.schedule(time.max(self.now), event);
+        self.note_depth();
     }
 
     /// Number of pending events.
@@ -70,6 +82,11 @@ impl<E> Scheduler<E> {
     /// Total events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.events_executed
+    }
+
+    /// High-water mark of the calendar depth since the start.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
     }
 }
 
@@ -127,6 +144,27 @@ impl<M: Model> Simulation<M> {
     /// Total events executed.
     pub fn events_executed(&self) -> u64 {
         self.sched.events_executed
+    }
+
+    /// High-water mark of the calendar depth since the start.
+    pub fn max_pending(&self) -> usize {
+        self.sched.max_pending
+    }
+
+    /// Publish engine counters into `registry` under `prefix` (e.g.
+    /// `prefix = "sim"` yields `sim.events`, `sim.calendar_depth_max`).
+    /// Call once per run; the events counter accumulates across calls so a
+    /// shared registry totals a whole tuning session.
+    pub fn publish_metrics(&self, registry: &obs::Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.events"))
+            .add(self.sched.events_executed);
+        registry
+            .gauge(&format!("{prefix}.calendar_depth_max"))
+            .set_max(self.sched.max_pending as f64);
+        registry
+            .histogram(&format!("{prefix}.events_per_run"))
+            .record(self.sched.events_executed as f64);
     }
 
     /// Schedule an event from outside the model (setup, phase boundaries).

@@ -183,6 +183,27 @@ impl<T> MultiServer<T> {
     }
 
     /// Mean queueing delay (seconds) of jobs started so far.
+    /// Publish this resource's busy-time and queue state into `registry`
+    /// under `prefix`: utilization/busy/queue gauges plus throughput
+    /// counters. Counters accumulate across calls on a shared registry.
+    pub fn publish_metrics(&self, registry: &obs::Registry, prefix: &str, now: SimTime) {
+        registry
+            .gauge(&format!("{prefix}.utilization"))
+            .set(self.utilization(now));
+        registry
+            .gauge(&format!("{prefix}.busy"))
+            .set(self.busy() as f64);
+        registry
+            .histogram(&format!("{prefix}.queue_len"))
+            .record(self.queue_len() as f64);
+        registry
+            .counter(&format!("{prefix}.completed"))
+            .add(self.completed());
+        registry
+            .counter(&format!("{prefix}.rejected"))
+            .add(self.rejected());
+    }
+
     pub fn mean_wait_secs(&self) -> f64 {
         self.wait.mean()
     }

@@ -14,10 +14,9 @@
 //! where slowdown under sharing matters — e.g. interactive latency tails.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One job in the PS station.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct PsJob<T> {
     token: T,
     /// Remaining service demand, in microseconds of *dedicated* service.

@@ -4,10 +4,9 @@
 //! following the HPC guidance to keep hot-loop bookkeeping cheap.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Welford online mean/variance accumulator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -111,7 +110,7 @@ impl Welford {
 
 /// Time-weighted average of a piecewise-constant signal (queue lengths,
 /// busy-server counts). Integrates `value * dt` between updates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
@@ -175,7 +174,7 @@ impl TimeWeighted {
 
 /// Busy-time tracker for a resource with a fixed capacity: utilization is
 /// (integral of busy servers) / (capacity * window).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationTracker {
     busy: TimeWeighted,
     capacity: f64,
@@ -222,7 +221,7 @@ impl UtilizationTracker {
 }
 
 /// Fixed-bin histogram over durations, with approximate percentile queries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DurationHistogram {
     bin_width: SimDuration,
     bins: Vec<u64>,
@@ -299,7 +298,7 @@ impl DurationHistogram {
 }
 
 /// A windowed throughput counter: events per second over a window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputCounter {
     window_start: SimTime,
     events: u64,

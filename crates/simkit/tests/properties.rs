@@ -1,6 +1,9 @@
-//! Property-based tests of the simulation substrate.
+//! Randomised invariant tests of the simulation substrate.
+//!
+//! These used to be proptest properties; they now drive the same checks
+//! from seeded `SimRng` loops so the workspace builds with no external
+//! crates. Each case runs many random instances deterministically.
 
-use proptest::prelude::*;
 use simkit::calendar::EventCalendar;
 use simkit::calqueue::CalendarQueue;
 use simkit::queue::{BoundedQueue, Offer};
@@ -8,77 +11,105 @@ use simkit::rng::SimRng;
 use simkit::stats::{TimeWeighted, Welford};
 use simkit::time::{SimDuration, SimTime};
 
-proptest! {
-    /// The calendar always pops events in non-decreasing time order, and
-    /// FIFO within equal times.
-    #[test]
-    fn calendar_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The calendar always pops events in non-decreasing time order, and
+/// FIFO within equal times.
+#[test]
+fn calendar_pops_sorted_stable() {
+    let mut rng = SimRng::new(0xCA1E);
+    for case in 0..50 {
+        let n = rng.uniform_i64(1, 200) as usize;
         let mut cal = EventCalendar::new();
-        for (i, &t) in times.iter().enumerate() {
+        for i in 0..n {
+            let t = rng.uniform_i64(0, 999) as u64;
             cal.schedule(SimTime::from_micros(t), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, idx)) = cal.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt, "case {case}: time went backwards");
                 if t == lt {
-                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                    assert!(idx > lidx, "case {case}: FIFO violated at equal times");
                 }
             }
             last = Some((t, idx));
         }
     }
+}
 
-    /// The calendar queue and the binary heap are observationally
-    /// identical under arbitrary interleavings of schedules and pops.
-    #[test]
-    fn calqueue_equals_heap(
-        ops in prop::collection::vec((any::<bool>(), 0u64..100_000), 1..400),
-    ) {
+/// The calendar queue and the binary heap are observationally identical
+/// under arbitrary interleavings of schedules and pops.
+#[test]
+fn calqueue_equals_heap() {
+    let mut rng = SimRng::new(0xCA17);
+    for case in 0..40 {
+        let ops = rng.uniform_i64(1, 400) as usize;
         let mut heap = EventCalendar::new();
         let mut cq = CalendarQueue::new();
         let mut i = 0u64;
-        for (push, t) in ops {
+        for _ in 0..ops {
+            let push = rng.next_f64() < 0.5;
             if push {
+                let t = rng.uniform_i64(0, 99_999) as u64;
                 heap.schedule(SimTime::from_micros(t), i);
                 cq.schedule(SimTime::from_micros(t), i);
                 i += 1;
             } else {
-                prop_assert_eq!(heap.pop(), cq.pop());
+                assert_eq!(heap.pop(), cq.pop(), "case {case}: pop diverged");
             }
-            prop_assert_eq!(heap.len(), cq.len());
+            assert_eq!(heap.len(), cq.len(), "case {case}: len diverged");
         }
         loop {
             let a = heap.pop();
-            prop_assert_eq!(a, cq.pop());
-            if a.is_none() { break; }
+            assert_eq!(a, cq.pop(), "case {case}: drain diverged");
+            if a.is_none() {
+                break;
+            }
         }
     }
+}
 
-    /// Welford matches the naive two-pass mean and variance.
-    #[test]
-    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+/// Welford matches the naive two-pass mean and variance.
+#[test]
+fn welford_matches_naive() {
+    let mut rng = SimRng::new(0x3E1F);
+    for case in 0..50 {
+        let n = rng.uniform_i64(2, 300) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.next_f64() - 0.5) * 2e6)
+            .collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.record(x);
         }
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let nf = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nf - 1.0);
         let scale = mean.abs().max(1.0);
-        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        assert!(
+            (w.mean() - mean).abs() / scale < 1e-9,
+            "case {case}: mean {} vs {mean}",
+            w.mean()
+        );
         let vscale = var.abs().max(1.0);
-        prop_assert!((w.variance() - var).abs() / vscale < 1e-6);
-        prop_assert!(w.min() <= w.mean() + 1e-9 && w.mean() <= w.max() + 1e-9);
+        assert!(
+            (w.variance() - var).abs() / vscale < 1e-6,
+            "case {case}: var {} vs {var}",
+            w.variance()
+        );
+        assert!(w.min() <= w.mean() + 1e-9 && w.mean() <= w.max() + 1e-9);
     }
+}
 
-    /// Merging split halves equals a single accumulation.
-    #[test]
-    fn welford_merge_associative(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
-        split in 0usize..100,
-    ) {
-        let split = split % xs.len();
+/// Merging split halves equals a single accumulation.
+#[test]
+fn welford_merge_associative() {
+    let mut rng = SimRng::new(0x3E20);
+    for case in 0..50 {
+        let n = rng.uniform_i64(2, 100) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.next_f64() - 0.5) * 2e3)
+            .collect();
+        let split = rng.uniform_i64(0, n as i64 - 1) as usize;
         let mut whole = Welford::new();
         xs.iter().for_each(|&x| whole.record(x));
         let mut a = Welford::new();
@@ -86,96 +117,120 @@ proptest! {
         xs[..split].iter().for_each(|&x| a.record(x));
         xs[split..].iter().for_each(|&x| b.record(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!(
+            (a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0),
+            "case {case}: merged mean diverged"
+        );
     }
+}
 
-    /// Bounded queues never exceed capacity and preserve FIFO order.
-    #[test]
-    fn bounded_queue_respects_capacity(
-        cap in 0usize..20,
-        ops in prop::collection::vec(prop::bool::ANY, 1..300),
-    ) {
+/// Bounded queues never exceed capacity and preserve FIFO order.
+#[test]
+fn bounded_queue_respects_capacity() {
+    let mut rng = SimRng::new(0xB0DE);
+    for case in 0..50 {
+        let cap = rng.uniform_i64(0, 19) as usize;
+        let ops = rng.uniform_i64(1, 300) as usize;
         let mut q = BoundedQueue::bounded(cap);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut next = 0u32;
-        for push in ops {
-            if push {
+        for _ in 0..ops {
+            if rng.next_f64() < 0.5 {
                 match q.offer(next) {
                     Offer::Accepted => {
-                        prop_assert!(model.len() < cap);
+                        assert!(model.len() < cap, "case {case}: accepted past capacity");
                         model.push_back(next);
                     }
                     Offer::Rejected(v) => {
-                        prop_assert_eq!(v, next);
-                        prop_assert_eq!(model.len(), cap);
+                        assert_eq!(v, next, "case {case}");
+                        assert_eq!(model.len(), cap, "case {case}: rejected while not full");
                     }
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(q.take(), model.pop_front());
+                assert_eq!(q.take(), model.pop_front(), "case {case}: FIFO violated");
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert!(q.len() <= cap);
+            assert_eq!(q.len(), model.len(), "case {case}");
+            assert!(q.len() <= cap, "case {case}");
         }
     }
+}
 
-    /// Time-weighted average equals a brute-force integral.
-    #[test]
-    fn time_weighted_matches_brute_force(
-        steps in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..50),
-    ) {
+/// Time-weighted average equals a brute-force integral.
+#[test]
+fn time_weighted_matches_brute_force() {
+    let mut rng = SimRng::new(0x71AE);
+    for case in 0..50 {
+        let n = rng.uniform_i64(1, 50) as usize;
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         let mut t = 0u64;
         let mut area = 0.0;
         let mut value = 0.0;
-        for &(dt, v) in &steps {
+        for _ in 0..n {
+            let dt = rng.uniform_i64(1, 999) as u64;
+            let v = rng.next_f64() * 100.0;
             area += value * dt as f64;
             t += dt;
             tw.set(SimTime::from_micros(t), v);
             value = v;
         }
-        // Advance a final span.
         let end = t + 500;
         area += value * 500.0;
         let expected = area / end as f64;
         let got = tw.average(SimTime::from_micros(end));
-        prop_assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0),
-            "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6 * expected.abs().max(1.0),
+            "case {case}: got {got}, expected {expected}"
+        );
     }
+}
 
-    /// RNG uniform helpers stay in range for arbitrary bounds.
-    #[test]
-    fn rng_ranges_hold(seed in any::<u64>(), lo in -1000i64..1000, span in 0i64..1000) {
-        let hi = lo + span;
+/// RNG uniform helpers stay in range for arbitrary bounds.
+#[test]
+fn rng_ranges_hold() {
+    let mut meta = SimRng::new(0x4A96);
+    for _ in 0..30 {
+        let seed = meta.next_u64();
+        let lo = meta.uniform_i64(-1000, 1000);
+        let hi = lo + meta.uniform_i64(0, 1000);
         let mut rng = SimRng::new(seed);
         for _ in 0..50 {
             let v = rng.uniform_i64(lo, hi);
-            prop_assert!((lo..=hi).contains(&v));
+            assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
             let e = rng.exponential(3.0);
-            prop_assert!(e >= 0.0);
+            assert!(e >= 0.0);
         }
     }
+}
 
-    /// Substreams are reproducible: the same (seed, stream) pair always
-    /// yields the same sequence.
-    #[test]
-    fn rng_substreams_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+/// Substreams are reproducible: the same (seed, stream) pair always
+/// yields the same sequence.
+#[test]
+fn rng_substreams_reproducible() {
+    let mut meta = SimRng::new(0x5EED);
+    for _ in 0..30 {
+        let seed = meta.next_u64();
+        let stream = meta.next_u64();
         let mut a = SimRng::new(seed).substream(stream);
         let mut b = SimRng::new(seed).substream(stream);
         for _ in 0..20 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    /// Duration arithmetic: conversions round-trip within a microsecond.
-    #[test]
-    fn duration_secs_roundtrip(us in 0u64..10_000_000_000) {
+/// Duration arithmetic: conversions round-trip within a microsecond.
+#[test]
+fn duration_secs_roundtrip() {
+    let mut rng = SimRng::new(0xD00D);
+    for _ in 0..200 {
+        let us = rng.next_u64() % 10_000_000_000;
         let d = SimDuration::from_micros(us);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
         let diff = back.as_micros().abs_diff(us);
-        prop_assert!(diff <= 1, "{us} -> {}", back.as_micros());
+        assert!(diff <= 1, "{us} -> {}", back.as_micros());
     }
 }

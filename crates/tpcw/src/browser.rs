@@ -7,7 +7,6 @@
 
 use crate::interaction::Interaction;
 use crate::mix::Mix;
-use serde::{Deserialize, Serialize};
 use simkit::rng::SimRng;
 use simkit::time::SimDuration;
 
@@ -15,7 +14,7 @@ use simkit::time::SimDuration;
 pub type BrowserId = u32;
 
 /// Configuration of the emulated-browser population.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BrowserConfig {
     /// Number of concurrent emulated browsers.
     pub population: u32,

@@ -21,10 +21,9 @@
 //!   pays a binlog flush unless the binlog cache absorbs it.
 
 use crate::interaction::Interaction;
-use serde::{Deserialize, Serialize};
 
 /// Static demand profile of one interaction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandProfile {
     /// Probability the response is static/cacheable content.
     pub cacheable: f64,

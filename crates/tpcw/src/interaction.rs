@@ -6,11 +6,10 @@
 //! explicit role in the ordering process) — the classification used by
 //! Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the fourteen TPC-W web interactions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Interaction {
     Home,
     NewProducts,
@@ -29,7 +28,7 @@ pub enum Interaction {
 }
 
 /// Browse-vs-Order classification (Table 1's two groups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InteractionClass {
     Browse,
     Order,

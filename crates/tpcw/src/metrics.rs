@@ -5,12 +5,11 @@
 //! completing inside the measurement window count toward WIPS.
 
 use crate::interaction::{Interaction, InteractionClass};
-use serde::{Deserialize, Serialize};
 use simkit::stats::{DurationHistogram, Welford};
 use simkit::time::{SimDuration, SimTime};
 
 /// The three phases of a measurement iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     Warmup,
     Measure,
@@ -20,7 +19,7 @@ pub enum Phase {
 }
 
 /// Interval plan for one iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntervalPlan {
     pub warmup: SimDuration,
     pub measure: SimDuration,
@@ -227,7 +226,7 @@ impl MetricsCollector {
 }
 
 /// Immutable summary of one iteration's measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationMetrics {
     pub wips: f64,
     pub completed: u64,

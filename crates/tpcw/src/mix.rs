@@ -6,12 +6,11 @@
 //! here are exactly the percentages printed in Table 1.
 
 use crate::interaction::{Interaction, InteractionClass};
-use serde::{Deserialize, Serialize};
 use simkit::rng::SimRng;
 use std::fmt;
 
 /// One of the three standard TPC-W workload mixes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// 95% browse / 5% order — the WIPSb interval.
     Browsing,
@@ -58,7 +57,7 @@ impl fmt::Display for Workload {
 }
 
 /// An interaction mix: per-interaction weights in percent (summing to 100).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mix {
     /// Percent weight per interaction, indexed by [`Interaction::index`].
     weights: [f64; Interaction::COUNT],

@@ -6,10 +6,9 @@
 //! needed for a given hit ratio, and how many database tables/segments the
 //! table cache must cover.
 
-use serde::{Deserialize, Serialize};
 
 /// Catalogue scale parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogScale {
     /// Number of items the store sells (paper: 10,000).
     pub items: u64,

@@ -1,32 +1,38 @@
-//! Property-based tests of the TPC-W workload model.
+//! Randomised invariant tests of the TPC-W workload model (seeded
+//! `SimRng` loops; no external test crates).
 
-use proptest::prelude::*;
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime};
 use tpcw::interaction::Interaction;
 use tpcw::metrics::{IntervalPlan, MetricsCollector, Phase};
 use tpcw::mix::Workload;
 
-proptest! {
-    /// Sampling from a mix only yields interactions with positive weight.
-    #[test]
-    fn sampling_respects_support(seed in any::<u64>(), w_idx in 0usize..3) {
-        let workload = Workload::ALL[w_idx];
+/// Sampling from a mix only yields interactions with positive weight.
+#[test]
+fn sampling_respects_support() {
+    let mut meta = SimRng::new(0x7C91);
+    for workload in Workload::ALL {
         let mix = workload.mix();
-        let mut rng = SimRng::new(seed);
-        for _ in 0..200 {
-            let ix = mix.sample(&mut rng);
-            prop_assert!(mix.percent(ix) > 0.0, "{ix} has zero weight");
+        for _ in 0..10 {
+            let mut rng = SimRng::new(meta.next_u64());
+            for _ in 0..200 {
+                let ix = mix.sample(&mut rng);
+                assert!(mix.percent(ix) > 0.0, "{ix:?} has zero weight");
+            }
         }
     }
+}
 
-    /// Every instant of an iteration belongs to exactly one phase, and the
-    /// phases appear in order.
-    #[test]
-    fn phases_partition_time(
-        warm in 1u64..500, measure in 1u64..5_000, cool in 1u64..500,
-        probe in 0u64..7_000,
-    ) {
+/// Every instant of an iteration belongs to exactly one phase, and the
+/// phases appear in order.
+#[test]
+fn phases_partition_time() {
+    let mut rng = SimRng::new(0x9A5E);
+    for case in 0..200 {
+        let warm = rng.uniform_i64(1, 500) as u64;
+        let measure = rng.uniform_i64(1, 5_000) as u64;
+        let cool = rng.uniform_i64(1, 500) as u64;
+        let probe = rng.uniform_i64(0, 7_000) as u64;
         let plan = IntervalPlan {
             warmup: SimDuration::from_secs(warm),
             measure: SimDuration::from_secs(measure),
@@ -43,16 +49,19 @@ proptest! {
         } else {
             Phase::Done
         };
-        prop_assert_eq!(phase, expected);
-        prop_assert_eq!(plan.total(), SimDuration::from_secs(warm + measure + cool));
+        assert_eq!(phase, expected, "case {case}");
+        assert_eq!(plan.total(), SimDuration::from_secs(warm + measure + cool));
     }
+}
 
-    /// WIPS equals counted completions divided by the measurement window,
-    /// no matter when the completions arrive.
-    #[test]
-    fn wips_counts_only_measure_window(
-        arrivals in prop::collection::vec(0u64..400, 0..200),
-    ) {
+/// WIPS equals counted completions divided by the measurement window,
+/// no matter when the completions arrive.
+#[test]
+fn wips_counts_only_measure_window() {
+    let mut rng = SimRng::new(0x317F);
+    for case in 0..50 {
+        let n = rng.uniform_i64(0, 200) as usize;
+        let arrivals: Vec<u64> = (0..n).map(|_| rng.uniform_i64(0, 399) as u64).collect();
         let plan = IntervalPlan {
             warmup: SimDuration::from_secs(50),
             measure: SimDuration::from_secs(200),
@@ -68,39 +77,51 @@ proptest! {
                 counted += 1;
             }
         }
-        prop_assert_eq!(m.total_completed(), counted);
+        assert_eq!(m.total_completed(), counted, "case {case}");
         let expected_wips = counted as f64 / 200.0;
-        prop_assert!((m.wips() - expected_wips).abs() < 1e-12);
-        prop_assert_eq!(m.outside_window(), arrivals.len() as u64 - counted);
+        assert!((m.wips() - expected_wips).abs() < 1e-12, "case {case}");
+        assert_eq!(m.outside_window(), arrivals.len() as u64 - counted, "case {case}");
     }
+}
 
-    /// Class counts always sum to the total.
-    #[test]
-    fn class_counts_sum(picks in prop::collection::vec(0usize..14, 1..100)) {
+/// Class counts always sum to the total.
+#[test]
+fn class_counts_sum() {
+    let mut rng = SimRng::new(0xC1A5);
+    for case in 0..50 {
+        let n = rng.uniform_i64(1, 100) as usize;
         let plan = IntervalPlan::tiny();
         let mut m = MetricsCollector::new(plan, SimTime::ZERO);
         let inside = SimTime::from_secs(10); // measure window of tiny plan
-        for &p in &picks {
+        for _ in 0..n {
+            let p = rng.uniform_i64(0, 13) as usize;
             let ix = Interaction::from_index(p).unwrap();
             m.record_completion(inside, ix, SimDuration::from_millis(10));
         }
         let s = m.summarise();
-        prop_assert_eq!(s.browse_completed + s.order_completed, s.completed);
-        prop_assert_eq!(s.completed, picks.len() as u64);
+        assert_eq!(s.browse_completed + s.order_completed, s.completed, "case {case}");
+        assert_eq!(s.completed, n as u64, "case {case}");
     }
+}
 
-    /// Demand profiles: sampled response sizes and think times stay
-    /// positive and finite for every interaction.
-    #[test]
-    fn demand_sampling_sane(seed in any::<u64>(), idx in 0usize..14) {
+/// Demand profiles: sampled response sizes and think times stay
+/// positive and finite for every interaction.
+#[test]
+fn demand_sampling_sane() {
+    let mut meta = SimRng::new(0xDE3A);
+    for idx in 0..14 {
         let ix = Interaction::from_index(idx).unwrap();
         let profile = tpcw::demand::profile(ix);
-        let mut rng = SimRng::new(seed);
-        for _ in 0..20 {
-            let kb = rng.lognormal_mean_cv(profile.object_kb.max(0.5), tpcw::demand::OBJECT_SIZE_CV);
-            prop_assert!(kb.is_finite() && kb > 0.0);
-            let cpu = rng.lognormal_mean_cv(profile.app_cpu_ms.max(0.05), tpcw::demand::CPU_DEMAND_CV);
-            prop_assert!(cpu.is_finite() && cpu > 0.0);
+        for _ in 0..10 {
+            let mut rng = SimRng::new(meta.next_u64());
+            for _ in 0..20 {
+                let kb =
+                    rng.lognormal_mean_cv(profile.object_kb.max(0.5), tpcw::demand::OBJECT_SIZE_CV);
+                assert!(kb.is_finite() && kb > 0.0);
+                let cpu = rng
+                    .lognormal_mean_cv(profile.app_cpu_ms.max(0.05), tpcw::demand::CPU_DEMAND_CV);
+                assert!(cpu.is_finite() && cpu > 0.0);
+            }
         }
     }
 }

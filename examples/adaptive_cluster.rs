@@ -18,8 +18,8 @@ use ah_webtune::tpcw::mix::Workload;
 fn main() {
     // Proxy-heavy initial layout: fine for browsing, wrong for ordering.
     let topology = Topology::tiers(4, 2, 3).expect("valid layout");
-    let mut base = SessionConfig::new(topology, Workload::Browsing, 4_200);
-    base.plan = IntervalPlan::fast();
+    let base =
+        SessionConfig::new(topology, Workload::Browsing, 4_200).plan(IntervalPlan::fast());
 
     let settings = ReconfigSettings {
         check_every: Some(20), // autonomous periodic checks

@@ -33,8 +33,7 @@ fn main() {
     }
     println!();
 
-    let mut cfg = SessionConfig::new(topology, Workload::Shopping, 3_400);
-    cfg.plan = IntervalPlan::fast();
+    let cfg = SessionConfig::new(topology, Workload::Shopping, 3_400).plan(IntervalPlan::fast());
     let iterations = 40;
     let (baseline, _) = cfg.measure_default(2);
     println!("untuned baseline: {baseline:.1} WIPS; tuning {iterations} iterations per method...\n");

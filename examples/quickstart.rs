@@ -15,12 +15,12 @@ use ah_webtune::tpcw::mix::Workload;
 fn main() {
     // A session fixes the environment: topology, workload, load level and
     // the per-iteration measurement plan.
-    let mut session = SessionConfig::new(
+    let session = SessionConfig::new(
         Topology::single(),       // 1 proxy / 1 app / 1 db
         Workload::Shopping,       // the primary TPC-W mix (WIPS)
         1_700,                    // emulated browsers (saturating load)
-    );
-    session.plan = IntervalPlan::fast(); // 20 s warm-up, 200 s measure
+    )
+    .plan(IntervalPlan::fast()); // 20 s warm-up, 200 s measure
 
     // Baseline: the default configuration.
     let (default_wips, sd) = session.measure_default(2);

@@ -32,6 +32,10 @@ pub struct SimArgs {
     pub seed: u64,
     pub markov: bool,
     pub plan: IntervalPlan,
+    /// Write one JSONL trace record per iteration to this path.
+    pub trace: Option<String>,
+    /// Collect and print engine/resource metrics at the end of the run.
+    pub metrics: bool,
 }
 
 impl Default for SimArgs {
@@ -43,6 +47,8 @@ impl Default for SimArgs {
             seed: 42,
             markov: false,
             plan: IntervalPlan::fast(),
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -80,6 +86,8 @@ OPTIONS (all subcommands):
   --seed N                                (default 42)
   --markov           walk TPC-W sessions instead of i.i.d. sampling
   --plan tiny|fast|paper                  measurement intervals (default fast)
+  --trace PATH       write one JSONL trace record per iteration
+  --metrics          print engine/resource metrics at the end of the run
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -201,6 +209,15 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
                 sim.markov = true;
                 i += 1;
             }
+            "--trace" => {
+                let v = args.get(i + 1).ok_or("--trace needs a path")?;
+                sim.trace = Some(v.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                sim.metrics = true;
+                i += 1;
+            }
             "--plan" => {
                 let v = args.get(i + 1).ok_or("--plan needs a value")?;
                 sim.plan = match v.as_str() {
@@ -312,6 +329,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_and_metrics_flags() {
+        match parse(argv(&["tune", "--trace", "/tmp/t.jsonl", "--metrics"])).unwrap() {
+            Command::Tune(t) => {
+                assert_eq!(t.sim.trace.as_deref(), Some("/tmp/t.jsonl"));
+                assert!(t.sim.metrics);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.trace, None);
+                assert!(!sim.metrics);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(argv(&["simulate", "--trace"])).is_err());
     }
 
     #[test]

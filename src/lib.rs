@@ -5,12 +5,44 @@
 //! * [`tpcw`] — the TPC-W workload model;
 //! * [`cluster`] — the simulated three-tier testbed;
 //! * [`harmony`] — the Active Harmony tuning system;
+//! * [`obs`] — metrics registry and structured trace sinks;
 //! * [`orchestrator`] — sessions, experiments, reports.
 
 pub mod cli;
 
 pub use cluster;
 pub use harmony;
+pub use obs;
 pub use orchestrator;
 pub use simkit;
 pub use tpcw;
+
+/// The tuning-facing API in one import: everything needed to configure a
+/// session, drive a tuner ask/tell loop, and observe the result.
+///
+/// ```
+/// use ah_webtune::prelude::*;
+///
+/// let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
+///     .plan(IntervalPlan::tiny())
+///     .pin_seed(true);
+/// let run = tune(&cfg, TuningMethod::Default, 3);
+/// assert_eq!(run.records.len(), 3);
+/// ```
+pub mod prelude {
+    pub use cluster::config::{ClusterConfig, Role, Topology};
+    pub use cluster::spec::NodeSpec;
+    pub use harmony::server::HarmonyServer;
+    pub use harmony::simplex::SimplexTuner;
+    pub use harmony::space::{Configuration, ParamSpace};
+    pub use harmony::strategy::TuningMethod;
+    pub use harmony::tuner::Tuner;
+    pub use obs::{
+        CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink,
+    };
+    pub use orchestrator::session::{
+        tune, tune_observed, IterationRecord, SessionConfig, SessionObserver, TuningRun,
+    };
+    pub use tpcw::metrics::IntervalPlan;
+    pub use tpcw::mix::Workload;
+}

@@ -6,8 +6,12 @@ use ah_webtune::cli::{self, Command, SimArgs, SweepArgs, TuneArgs};
 use cluster::config::ClusterConfig;
 use cluster::pricing::PriceList;
 use cluster::runner::run_iteration;
+use obs::{JsonlWriter, Registry, TraceRecord, TraceSink};
 use orchestrator::report::{fmt_f, fmt_pct, sparkline, TextTable};
-use orchestrator::session::{tune, SessionConfig};
+use orchestrator::session::{run_scenario, tune_observed, SessionConfig, SessionObserver};
+
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() {
     let cmd = match cli::parse(std::env::args().skip(1)) {
@@ -26,18 +30,55 @@ fn main() {
     }
 }
 
+/// Open the `--trace` sink, if requested. Exits on I/O errors: a trace
+/// the user asked for must not be silently dropped.
+fn open_trace(sim: &SimArgs) -> Option<JsonlWriter<BufWriter<File>>> {
+    sim.trace.as_deref().map(|path| match JsonlWriter::create(path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: cannot open trace file '{path}': {e}");
+            std::process::exit(2);
+        }
+    })
+}
+
+/// Build the `--metrics` registry, if requested.
+fn open_registry(sim: &SimArgs) -> Option<Registry> {
+    sim.metrics.then(Registry::new)
+}
+
+fn print_metrics(registry: Option<&Registry>) {
+    if let Some(r) = registry {
+        println!("\nmetrics:\n{}", r.snapshot().render_text());
+    }
+}
+
 fn session_of(sim: &SimArgs) -> SessionConfig {
-    let mut cfg = SessionConfig::new(sim.topology.clone(), sim.workload, sim.population);
-    cfg.plan = sim.plan;
-    cfg.base_seed = sim.seed;
-    cfg.markov_sessions = sim.markov;
-    cfg
+    SessionConfig::new(sim.topology.clone(), sim.workload, sim.population)
+        .plan(sim.plan)
+        .base_seed(sim.seed)
+        .markov(sim.markov)
 }
 
 fn simulate(sim: &SimArgs) {
     let cfg = session_of(sim);
+    let registry = open_registry(sim);
     let scenario = cfg.scenario(ClusterConfig::defaults(&sim.topology), 0);
-    let out = run_iteration(&scenario);
+    let out = run_scenario(&scenario, registry.as_ref());
+    if let Some(mut sink) = open_trace(sim) {
+        let rec = TraceRecord::new("simulate")
+            .field("workload", sim.workload.to_string())
+            .field("topology", sim.topology.to_string())
+            .field("population", sim.population)
+            .field("seed", sim.seed)
+            .field("wips", out.metrics.wips)
+            .field("mean_response_ms", out.metrics.mean_response_secs * 1_000.0)
+            .field("p90_response_ms", out.metrics.p90_response.as_millis_f64())
+            .field("failed", out.total_failed)
+            .field("events", out.events);
+        sink.emit(&rec);
+        sink.flush();
+    }
     let prices = PriceList::hpdc04();
     println!(
         "{} workload on {} at {} browsers (seed {}):",
@@ -67,20 +108,27 @@ fn simulate(sim: &SimArgs) {
         ]);
     }
     println!("{}", table.render());
+    print_metrics(registry.as_ref());
 }
 
 fn run_tune(t: &TuneArgs) {
     let cfg = session_of(&t.sim);
     let (default_wips, _) = cfg.measure_default(2);
     println!(
-        "tuning {} on {} with the {} method, {} iterations (default {:.1} WIPS)...",
+        "tuning {} on {} with \"{}\", {} iterations (default {:.1} WIPS)...",
         t.sim.workload,
         t.sim.topology,
         t.method.label(),
         t.iterations,
         default_wips
     );
-    let run = tune(&cfg, t.method, t.iterations);
+    let mut trace = open_trace(&t.sim);
+    let registry = open_registry(&t.sim);
+    let mut observer = SessionObserver::new(
+        trace.as_mut().map(|s| s as &mut dyn TraceSink),
+        registry.as_ref(),
+    );
+    let run = tune_observed(&cfg, t.method, t.iterations, &mut observer);
     println!("WIPS: {}", sparkline(&run.wips_series()));
     println!(
         "best {:.1} WIPS ({}) first reached within 1% at iteration {}",
@@ -88,10 +136,14 @@ fn run_tune(t: &TuneArgs) {
         fmt_pct(run.best_wips / default_wips - 1.0),
         run.first_within(0.99),
     );
+    if let Some(path) = t.sim.trace.as_deref() {
+        println!("trace: {} records -> {path}", run.records.len());
+    }
+    print_metrics(registry.as_ref());
 }
 
 fn reconfig(sim: &SimArgs) {
-    use orchestrator::reconfigure::{run_reconfig_session, ReconfigSettings};
+    use orchestrator::reconfigure::{run_reconfig_session_observed, ReconfigSettings};
     let cfg = session_of(sim);
     let settings = ReconfigSettings {
         check_every: Some(10),
@@ -102,7 +154,14 @@ fn reconfig(sim: &SimArgs) {
         "tuning + reconfiguration on {} ({} iterations, checks every 10)...",
         sim.topology, iterations
     );
-    let run = run_reconfig_session(&cfg, &settings, iterations, |_| sim.workload);
+    let mut trace = open_trace(sim);
+    let registry = open_registry(sim);
+    let mut observer = SessionObserver::new(
+        trace.as_mut().map(|s| s as &mut dyn TraceSink),
+        registry.as_ref(),
+    );
+    let run =
+        run_reconfig_session_observed(&cfg, &settings, iterations, |_| sim.workload, &mut observer);
     println!("WIPS: {}", sparkline(&run.wips_series()));
     if run.events.is_empty() {
         println!("no reconfiguration needed; final layout {}", run.final_topology);
@@ -118,6 +177,7 @@ fn reconfig(sim: &SimArgs) {
         );
     }
     println!("final layout: {}", run.final_topology);
+    print_metrics(registry.as_ref());
 }
 
 fn sweep(s: &SweepArgs) {

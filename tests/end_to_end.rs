@@ -8,9 +8,7 @@ use ah_webtune::tpcw::metrics::IntervalPlan;
 use ah_webtune::tpcw::mix::Workload;
 
 fn smoke_session(workload: Workload, pop: u32) -> SessionConfig {
-    let mut cfg = SessionConfig::new(Topology::single(), workload, pop);
-    cfg.plan = IntervalPlan::tiny();
-    cfg
+    SessionConfig::new(Topology::single(), workload, pop).plan(IntervalPlan::tiny())
 }
 
 #[test]
@@ -30,8 +28,7 @@ fn tuning_loop_runs_and_never_crashes_across_methods() {
 
 #[test]
 fn full_stack_is_deterministic_for_pinned_seed() {
-    let mut cfg = smoke_session(Workload::Browsing, 200);
-    cfg.pin_seed = true;
+    let cfg = smoke_session(Workload::Browsing, 200).pin_seed(true);
     let a = tune_default_method(&cfg, 5);
     let b = tune_default_method(&cfg, 5);
     assert_eq!(a.wips_series(), b.wips_series());
@@ -51,8 +48,7 @@ fn tuner_proposals_always_yield_valid_cluster_configs() {
 
 #[test]
 fn default_baseline_matches_none_method() {
-    let mut cfg = smoke_session(Workload::Shopping, 200);
-    cfg.pin_seed = true;
+    let cfg = smoke_session(Workload::Shopping, 200).pin_seed(true);
     let (baseline, _) = cfg.measure_default(1);
     let run = tune(&cfg, TuningMethod::None, 1);
     assert!((run.records[0].wips - baseline).abs() < 1e-9);
@@ -60,8 +56,7 @@ fn default_baseline_matches_none_method() {
 
 #[test]
 fn partitioned_lines_account_for_all_throughput() {
-    let mut cfg = smoke_session(Workload::Shopping, 300);
-    cfg.topology = Topology::tiers(2, 2, 2).unwrap();
+    let cfg = smoke_session(Workload::Shopping, 300).topology(Topology::tiers(2, 2, 2).unwrap());
     let run = tune(&cfg, TuningMethod::Partitioning, 4);
     for rec in &run.records {
         let sum: f64 = rec.line_wips.iter().sum();

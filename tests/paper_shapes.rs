@@ -101,9 +101,9 @@ fn shrinking_join_buffer_costs_nothing() {
     use ah_webtune::tpcw::metrics::IntervalPlan;
 
     let topology = Topology::single();
-    let mut cfg = SessionConfig::new(topology.clone(), Workload::Ordering, 400);
-    cfg.plan = IntervalPlan::tiny();
-    cfg.pin_seed = true;
+    let cfg = SessionConfig::new(topology.clone(), Workload::Ordering, 400)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true);
 
     let default = ClusterConfig::defaults(&topology);
     let mut shrunk = default.clone();

@@ -9,9 +9,7 @@ use ah_webtune::tpcw::metrics::IntervalPlan;
 use ah_webtune::tpcw::mix::Workload;
 
 fn base(topology: Topology, pop: u32) -> SessionConfig {
-    let mut cfg = SessionConfig::new(topology, Workload::Browsing, pop);
-    cfg.plan = IntervalPlan::tiny();
-    cfg
+    SessionConfig::new(topology, Workload::Browsing, pop).plan(IntervalPlan::tiny())
 }
 
 #[test]
@@ -94,8 +92,7 @@ fn degraded_node_attracts_tier_reinforcement() {
     // Failure injection: one of two app nodes drops to 20% CPU speed
     // under an ordering workload. Its CPU pegs; an idle proxy should be
     // reassigned into the app tier to compensate.
-    let mut cfg = base(Topology::tiers(3, 2, 2).unwrap(), 1200);
-    cfg.workload = Workload::Ordering;
+    let mut cfg = base(Topology::tiers(3, 2, 2).unwrap(), 1200).workload(Workload::Ordering);
     cfg.degrade_cpu(3, 0.2); // node 3 = first app node
     let settings = ReconfigSettings {
         check_every: None,

@@ -1,0 +1,154 @@
+//! Golden-file test for the `--trace` JSONL schema.
+//!
+//! The per-iteration trace record is a stable interface: downstream
+//! plotting scripts key on these field names and their order. The golden
+//! file `tests/golden/iteration_schema.txt` pins the exact key sequence;
+//! adding a field means updating the golden file deliberately.
+
+use ah_webtune::prelude::*;
+
+/// Extract the top-level key sequence of one JSON object line.
+/// Minimal scanner (no dependencies): tracks nesting depth and string
+/// escapes; a string at depth 1 followed by `:` is a key.
+fn key_sequence(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_key = false;
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => {
+                depth += 1;
+                expect_key = depth == 1;
+                i += 1;
+            }
+            '[' => {
+                depth += 1;
+                expect_key = false;
+                i += 1;
+            }
+            '}' | ']' => {
+                depth -= 1;
+                i += 1;
+            }
+            ',' => {
+                expect_key = depth == 1;
+                i += 1;
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' => {
+                            if let Some(c) = chars.get(j + 1) {
+                                s.push(*c);
+                            }
+                            j += 2;
+                        }
+                        '"' => break,
+                        c => {
+                            s.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                i = j + 1;
+                if expect_key && chars.get(i) == Some(&':') {
+                    keys.push(s);
+                }
+                expect_key = false;
+            }
+            _ => i += 1,
+        }
+    }
+    keys
+}
+
+fn golden_keys() -> Vec<String> {
+    include_str!("golden/iteration_schema.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn traced_run(method: TuningMethod, iterations: u32) -> Vec<TraceRecord> {
+    let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true);
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    let run = tune_observed(&cfg, method, iterations, &mut observer);
+    assert_eq!(run.records.len(), iterations as usize);
+    sink.records
+}
+
+#[test]
+fn tuned_trace_matches_golden_schema() {
+    let records = traced_run(TuningMethod::Default, 4);
+    assert_eq!(records.len(), 4, "one trace record per tuning iteration");
+    let expected = golden_keys();
+    for (i, r) in records.iter().enumerate() {
+        let line = r.to_json();
+        assert_eq!(
+            key_sequence(&line),
+            expected,
+            "iteration {i} drifted from tests/golden/iteration_schema.txt: {line}"
+        );
+    }
+}
+
+#[test]
+fn trace_lines_are_structurally_valid_json_objects() {
+    for r in traced_run(TuningMethod::Duplication, 3) {
+        let line = r.to_json();
+        assert!(line.starts_with("{\"kind\":\"iteration\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'), "JSONL records must be one line");
+        // Balanced nesting is what the key scanner relies on; depth must
+        // return to zero exactly at the end.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev_escape = false;
+        for c in line.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "{line}");
+        assert!(!in_str, "{line}");
+    }
+}
+
+#[test]
+fn trace_values_track_the_run() {
+    let records = traced_run(TuningMethod::Default, 5);
+    let mut best = f64::NEG_INFINITY;
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.get("iteration").and_then(|v| v.as_f64()), Some(i as f64));
+        let wips = r.get("wips").and_then(|v| v.as_f64()).unwrap();
+        let rec_best = r.get("best_wips").and_then(|v| v.as_f64()).unwrap();
+        best = best.max(wips);
+        assert_eq!(rec_best, best, "best_wips must be the running maximum");
+        assert!(r.get("ci_half").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(r
+            .get("config")
+            .is_some_and(|v| v.to_csv_cell().contains("proxy[")));
+    }
+}
