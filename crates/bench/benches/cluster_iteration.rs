@@ -9,7 +9,11 @@ use std::time::Duration;
 use cluster::config::{ClusterConfig, Topology};
 use cluster::model::ClusterScenario;
 use cluster::runner::{run_iteration, run_iteration_observed};
+use cluster::{Health, HealthChange, HealthTimeline};
+use faults::FaultPlan;
 use obs::Registry;
+use orchestrator::session::SessionConfig;
+use simkit::time::SimDuration;
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
 
@@ -75,6 +79,59 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iteration/faults");
+    g.sample_size(10);
+    g.bench_function("healthy", |b| {
+        let s = scenario(Topology::tiers(1, 2, 1).unwrap(), Workload::Shopping, 600);
+        b.iter(|| black_box(run_iteration(&s).metrics.wips))
+    });
+    g.bench_function("crash_mid_window", |b| {
+        let mut s = scenario(Topology::tiers(1, 2, 1).unwrap(), Workload::Shopping, 600);
+        s.faults = Some(HealthTimeline {
+            initial: vec![Health::Up; 4],
+            changes: vec![HealthChange {
+                after: SimDuration::from_secs(10),
+                node: 1,
+                health: Health::Down,
+            }],
+        });
+        b.iter(|| black_box(run_iteration(&s).metrics.wips))
+    });
+    g.finish();
+}
+
+/// Head-to-head: the fault injector must cost < 5% on the no-fault path.
+/// Attaching an *empty* fault plan leaves the DES untouched — the only
+/// added work is projecting the plan onto each measurement window — so
+/// this isolates the injector's bookkeeping cost.
+fn report_injector_overhead() {
+    let topology = Topology::single();
+    let cfg = SessionConfig::new(topology.clone(), Workload::Shopping, 400)
+        .plan(IntervalPlan::tiny());
+    let config = ClusterConfig::defaults(&topology);
+    let min_time = Duration::from_millis(400);
+    let plain = measure(
+        || black_box(cfg.evaluate(config.clone(), 3).metrics.wips),
+        min_time,
+        20,
+    );
+    let faulted_cfg = cfg.clone().fault_plan(FaultPlan::new());
+    let faulted = measure(
+        || black_box(faulted_cfg.evaluate(config.clone(), 3).metrics.wips),
+        min_time,
+        20,
+    );
+    let delta = faulted.secs_per_iter() / plain.secs_per_iter() - 1.0;
+    println!(
+        "iteration/faults injector overhead (no-fault path): {:+.2}% (target < 5%; \
+         plain {:.3} ms, with empty plan {:.3} ms)",
+        delta * 100.0,
+        plain.secs_per_iter() * 1e3,
+        faulted.secs_per_iter() * 1e3
+    );
+}
+
 /// Head-to-head: the observability layer must cost < 5% per iteration.
 /// Printed as a percentage so regressions are visible in bench output.
 fn report_overhead() {
@@ -102,5 +159,7 @@ fn main() {
     bench_cluster_sizes(&mut c);
     bench_worklines(&mut c);
     bench_metrics_overhead(&mut c);
+    bench_faults(&mut c);
     report_overhead();
+    report_injector_overhead();
 }

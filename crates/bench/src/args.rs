@@ -5,6 +5,8 @@
 //! * `--seed <u64>` (default 42)
 //! * `--csv <dir>` (optional: also write raw series as CSV files)
 //! * `--trace <path>` (optional: structured JSONL trace of the run)
+//! * `--faults <plan.json>` (optional: fault plan for fault-aware runners)
+//! * `--fault-seed <u64>` (optional: fault noise/jitter seed)
 
 use obs::JsonlWriter;
 use orchestrator::experiments::Effort;
@@ -19,6 +21,10 @@ pub struct Options {
     pub csv_dir: Option<std::path::PathBuf>,
     /// Path for an optional JSONL trace of the run.
     pub trace_path: Option<std::path::PathBuf>,
+    /// Path to an optional JSON fault plan (fault-aware runners only).
+    pub fault_plan_path: Option<std::path::PathBuf>,
+    /// Optional fault noise/jitter seed override.
+    pub fault_seed: Option<u64>,
 }
 
 impl Options {
@@ -31,6 +37,20 @@ impl Options {
                 Err(e) => eprintln!("could not write {}: {e}", path.display()),
             }
         }
+    }
+
+    /// Load the `--faults` plan, if given. Exits on parse errors: a fault
+    /// plan the user asked for must not be silently dropped.
+    pub fn maybe_fault_plan(&self) -> Option<faults::FaultPlan> {
+        self.fault_plan_path.as_deref().map(|path| {
+            match faults::FaultPlan::load(path) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("could not load fault plan {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        })
     }
 
     /// Open the `--trace` JSONL sink, if requested. Exits on I/O errors.
@@ -56,6 +76,8 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut seed = 42u64;
     let mut csv_dir = None;
     let mut trace_path = None;
+    let mut fault_plan_path = None;
+    let mut fault_seed = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,9 +102,18 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 let v = it.next().ok_or("--trace needs a path")?;
                 trace_path = Some(std::path::PathBuf::from(v));
             }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a path")?;
+                fault_plan_path = Some(std::path::PathBuf::from(v));
+            }
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed '{v}'"))?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: [--effort smoke|quick|paper] [--seed N] [--csv DIR] [--trace PATH]"
+                    "usage: [--effort smoke|quick|paper] [--seed N] [--csv DIR] [--trace PATH] \
+                     [--faults PLAN.json] [--fault-seed N]"
                         .into(),
                 );
             }
@@ -95,6 +126,8 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         seed,
         csv_dir,
         trace_path,
+        fault_plan_path,
+        fault_seed,
     })
 }
 
@@ -144,6 +177,26 @@ mod tests {
         let o = parse_from(args(&["--trace", "/tmp/run.jsonl"])).unwrap();
         assert_eq!(o.trace_path, Some(std::path::PathBuf::from("/tmp/run.jsonl")));
         assert!(parse_from(args(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let o = parse_from(args(&["--faults", "plan.json", "--fault-seed", "99"])).unwrap();
+        assert_eq!(
+            o.fault_plan_path,
+            Some(std::path::PathBuf::from("plan.json"))
+        );
+        assert_eq!(o.fault_seed, Some(99));
+        let o = parse_from(args(&[])).unwrap();
+        assert_eq!(o.fault_plan_path, None);
+        assert_eq!(o.fault_seed, None);
+    }
+
+    #[test]
+    fn rejects_bad_fault_flags() {
+        assert!(parse_from(args(&["--faults"])).is_err());
+        assert!(parse_from(args(&["--fault-seed"])).is_err());
+        assert!(parse_from(args(&["--fault-seed", "many"])).is_err());
     }
 
     #[test]

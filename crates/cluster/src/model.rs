@@ -25,6 +25,7 @@ use crate::object::object_size_bytes;
 use crate::proxy::CacheOutcome;
 use crate::request::{ReqId, ReqPhase, Request, RequestSlab};
 use crate::spec::NodeSpec;
+use faults::{Health, HealthChange, HealthTimeline};
 use simkit::engine::{Model, Scheduler};
 use simkit::resource::Admission;
 use simkit::rng::SimRng;
@@ -70,6 +71,9 @@ pub enum Ev {
     NicDone(NodeId, ReqId, u32),
     /// A held-resource pool granted a queued request.
     Granted(NodeId, ReqId, u32, Pool),
+    /// An injected health transition fires (index into the scenario's
+    /// fault timeline changes).
+    Health(u32),
 }
 
 /// Everything needed to build one iteration's world.
@@ -99,6 +103,10 @@ pub struct ClusterScenario {
     /// clusters): entry `i` replaces `spec` for node `i`. Shorter vectors
     /// leave trailing nodes on the default spec.
     pub node_specs: Vec<Option<NodeSpec>>,
+    /// Injected fault timeline for this run: initial node healths plus
+    /// scheduled transitions. `None` (the default) injects nothing and
+    /// keeps the simulation byte-identical to a fault-free build.
+    pub faults: Option<HealthTimeline>,
 }
 
 impl ClusterScenario {
@@ -119,6 +127,7 @@ impl ClusterScenario {
             markov_sessions: false,
             load_balancing: LoadBalancing::default(),
             node_specs: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -171,6 +180,28 @@ impl ClusterScenario {
         if self.browsers.population == 0 {
             return Err("no emulated browsers".into());
         }
+        if let Some(tl) = &self.faults {
+            if tl.initial.len() != self.topology.len() {
+                return Err(format!(
+                    "fault timeline covers {} nodes, topology has {}",
+                    tl.initial.len(),
+                    self.topology.len()
+                ));
+            }
+            for c in &tl.changes {
+                if c.node >= self.topology.len() {
+                    return Err(format!("fault transition targets node {}", c.node));
+                }
+            }
+            for h in tl.initial.iter().chain(tl.changes.iter().map(|c| &c.health)) {
+                let bad = [h.cpu_factor(), h.disk_factor(), h.nic_factor()]
+                    .into_iter()
+                    .any(|f| f < 1.0 || !f.is_finite());
+                if bad {
+                    return Err("degraded health factor below 1".into());
+                }
+            }
+        }
         if let Some(lines) = &self.lines {
             if lines.is_empty() {
                 return Err("empty work-line partition".into());
@@ -221,6 +252,8 @@ pub struct ClusterModel {
     /// Load-balancing policy and per-node assigned-request counts.
     load_balancing: LoadBalancing,
     assigned: Vec<u32>,
+    /// Scheduled health transitions (`Ev::Health(k)` indexes into this).
+    fault_changes: Vec<HealthChange>,
     /// Completed-request count (all phases, incl. warmup).
     total_done: u64,
     /// Failed (refused) request count.
@@ -234,7 +267,7 @@ impl ClusterModel {
         let browsers = BrowserPool::new(scenario.browsers, &root.substream(1));
         let rng_service = root.substream(2);
         let hot_slots = scenario.scale.hot_table_slots();
-        let nodes: Vec<Node> = scenario
+        let mut nodes: Vec<Node> = scenario
             .config
             .nodes()
             .iter()
@@ -249,6 +282,11 @@ impl ClusterModel {
                 Node::new(spec, p, start, hot_slots)
             })
             .collect();
+        if let Some(tl) = &scenario.faults {
+            for (node, health) in nodes.iter_mut().zip(&tl.initial) {
+                node.health = *health;
+            }
+        }
         let line_tiers: Vec<[Vec<NodeId>; 3]> = match &scenario.lines {
             Some(lines) => lines
                 .iter()
@@ -282,6 +320,11 @@ impl ClusterModel {
             navigation,
             load_balancing: scenario.load_balancing,
             assigned: vec![0; node_count],
+            fault_changes: scenario
+                .faults
+                .as_ref()
+                .map(|tl| tl.changes.clone())
+                .unwrap_or_default(),
             topology: scenario.topology.clone(),
             workload: scenario.workload,
             scale: scenario.scale,
@@ -306,25 +349,36 @@ impl ClusterModel {
     }
 
     /// Pick a node in `role`'s tier within a work line, per the
-    /// configured load-balancing policy. The chosen node's assignment
-    /// count rises; callers release it via [`Self::release_node`].
-    fn pick_node(&mut self, line: usize, role: Role) -> NodeId {
+    /// configured load-balancing policy. `Down` nodes are skipped; if the
+    /// whole tier is down, there is nowhere to route and the caller must
+    /// refuse the request. The chosen node's assignment count rises;
+    /// callers release it via [`Self::release_node`].
+    fn pick_node(&mut self, line: usize, role: Role) -> Option<NodeId> {
         let t = Self::tier_index(role);
         let list = &self.line_tiers[line][t];
         debug_assert!(!list.is_empty());
         let id = match self.load_balancing {
             LoadBalancing::RoundRobin => {
-                let id = list[self.rr[line][t] % list.len()];
-                self.rr[line][t] = (self.rr[line][t] + 1) % list.len();
-                id
+                let len = list.len();
+                let cursor = self.rr[line][t];
+                let mut picked = None;
+                for off in 0..len {
+                    let cand = list[(cursor + off) % len];
+                    if !self.nodes[cand].health.is_down() {
+                        self.rr[line][t] = (cursor + off + 1) % len;
+                        picked = Some(cand);
+                        break;
+                    }
+                }
+                picked?
             }
             LoadBalancing::LeastConnections => *list
                 .iter()
-                .min_by_key(|&&n| (self.assigned[n], n))
-                .expect("non-empty tier"),
+                .filter(|&&n| !self.nodes[n].health.is_down())
+                .min_by_key(|&&n| (self.assigned[n], n))?,
         };
         self.assigned[id] += 1;
-        id
+        Some(id)
     }
 
     /// Release a node assignment taken by [`Self::pick_node`].
@@ -425,7 +479,13 @@ impl ClusterModel {
             req.queries_remaining = profile.db_queries;
         }
         let line = self.line_of_browser(browser);
-        let proxy_node = self.pick_node(line, Role::Proxy);
+        let Some(proxy_node) = self.pick_node(line, Role::Proxy) else {
+            // Every proxy in the line is down: connection refused before a
+            // request even forms. The browser records the error and thinks
+            // again, so the event loop never starves.
+            self.refuse_unrouted(sched, browser);
+            return;
+        };
         req.line = line as u32;
         req.proxy_node = proxy_node;
         req.phase = ReqPhase::ProxyLookup;
@@ -527,7 +587,10 @@ impl ClusterModel {
                 // Forward overhead folded into the app arrival; the proxy
                 // relay CPU was part of the lookup slice.
                 let line = self.requests.get(req).unwrap().line as usize;
-                let app = self.pick_node(line, Role::App);
+                let Some(app) = self.pick_node(line, Role::App) else {
+                    self.fail_request(sched, req);
+                    return;
+                };
                 let r = self.requests.get_mut(req).unwrap();
                 r.app_node = app;
                 r.assigned_app = true;
@@ -583,6 +646,32 @@ impl ClusterModel {
         self.total_done += 1;
         let think = self.browsers.sample_think(r.browser);
         sched.after(think, Ev::Think(r.browser));
+    }
+
+    /// Refuse a browser's interaction before a request forms (no live
+    /// node to route to). Counts as a failed request; the browser goes
+    /// back to thinking.
+    fn refuse_unrouted(&mut self, sched: &mut Scheduler<Ev>, browser: BrowserId) {
+        let now = sched.now();
+        self.metrics.record_error(now);
+        self.metrics.record_drop(now);
+        self.total_failed += 1;
+        let think = self.browsers.sample_think(browser);
+        sched.after(think, Ev::Think(browser));
+    }
+
+    /// Apply the `idx`-th scheduled health transition.
+    fn apply_health(&mut self, idx: u32) {
+        if let Some(change) = self.fault_changes.get(idx as usize).copied() {
+            if change.node < self.nodes.len() {
+                self.nodes[change.node].health = change.health;
+            }
+        }
+    }
+
+    /// Current health of every node (for fault-aware observers).
+    pub fn healths(&self) -> Vec<Health> {
+        self.nodes.iter().map(|n| n.health).collect()
     }
 
     fn fail_request(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
@@ -682,7 +771,11 @@ impl ClusterModel {
         let queries = self.requests.get(req).unwrap().queries_remaining;
         if queries > 0 {
             let line = self.requests.get(req).unwrap().line as usize;
-            let db = self.pick_node(line, Role::Db);
+            let Some(db) = self.pick_node(line, Role::Db) else {
+                self.release_app_threads(sched, req);
+                self.fail_request(sched, req);
+                return;
+            };
             let r = self.requests.get_mut(req).unwrap();
             r.db_node = db;
             r.assigned_db = true;
@@ -903,6 +996,7 @@ impl Model for ClusterModel {
                     Pool::DbRun => self.db_run_granted(sched, req),
                 }
             }
+            Ev::Health(idx) => self.apply_health(idx),
         }
     }
 }
@@ -917,6 +1011,11 @@ pub fn start_simulation(scenario: &ClusterScenario) -> simkit::engine::Simulatio
     for b in 0..scenario.browsers.population {
         let offset = SimDuration::from_micros(spread_rng.next_below(think_us));
         sim.schedule_at(SimTime::ZERO + offset, Ev::Think(b));
+    }
+    if let Some(tl) = &scenario.faults {
+        for (k, change) in tl.changes.iter().enumerate() {
+            sim.schedule_at(SimTime::ZERO + change.after, Ev::Health(k as u32));
+        }
     }
     sim
 }

@@ -7,6 +7,7 @@ use crate::memory::{app_memory_mb, db_memory_mb, pressure_factor, proxy_memory_m
 use crate::proxy::ProxyState;
 use crate::request::ReqId;
 use crate::spec::NodeSpec;
+use faults::Health;
 use simkit::resource::MultiServer;
 use simkit::time::{SimDuration, SimTime};
 
@@ -42,8 +43,22 @@ pub struct Node {
     pub mem_used_mb: f64,
     /// Service-time multiplier from memory pressure (≥ 1).
     pub pressure: f64,
+    /// Injected health: `Down` nodes refuse new work at routing time,
+    /// `Degraded` nodes scale their service times.
+    pub health: Health,
     /// The server process running on this node.
     pub role_state: RoleState,
+}
+
+/// Apply a health slowdown factor, skipping the multiply entirely when
+/// the factor is 1.0 so healthy nodes keep byte-identical timings.
+#[inline]
+fn health_scaled(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        d
+    } else {
+        d.mul_f64(factor)
+    }
 }
 
 impl Node {
@@ -69,6 +84,7 @@ impl Node {
             nic: MultiServer::new(start, 1, None),
             mem_used_mb,
             pressure,
+            health: Health::Up,
             role_state,
         }
     }
@@ -80,23 +96,33 @@ impl Node {
     /// CPU service time for `demand` at reference speed, including memory
     /// pressure.
     pub fn cpu_time(&self, demand: SimDuration) -> SimDuration {
-        self.spec.cpu_time(demand).mul_f64(self.pressure)
+        health_scaled(
+            self.spec.cpu_time(demand).mul_f64(self.pressure),
+            self.health.cpu_factor(),
+        )
     }
 
     /// Disk service time for one I/O of `bytes`, including pressure
     /// (paging competes for the same arm).
     pub fn disk_time(&self, bytes: u64) -> SimDuration {
-        self.spec.disk_io(bytes).mul_f64(self.pressure)
+        health_scaled(
+            self.spec.disk_io(bytes).mul_f64(self.pressure),
+            self.health.disk_factor(),
+        )
     }
 
     /// Sequential-append disk time (log flushes), including pressure.
     pub fn disk_seq_time(&self, bytes: u64) -> SimDuration {
-        self.spec.disk_seq_write(bytes).mul_f64(self.pressure)
+        health_scaled(
+            self.spec.disk_seq_write(bytes).mul_f64(self.pressure),
+            self.health.disk_factor(),
+        )
     }
 
-    /// NIC transfer time for `bytes` (pressure does not slow the wire).
+    /// NIC transfer time for `bytes` (pressure does not slow the wire,
+    /// but injected NIC degradation does).
     pub fn nic_time(&self, bytes: u64) -> SimDuration {
-        self.spec.nic_transfer(bytes)
+        health_scaled(self.spec.nic_transfer(bytes), self.health.nic_factor())
     }
 
     pub fn proxy(&self) -> Option<&ProxyState> {
@@ -242,6 +268,29 @@ mod tests {
             SimDuration::from_millis(30)
         );
         assert_eq!(n.nic_time(12_500), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn degraded_health_scales_each_resource() {
+        use faults::Slowdown;
+        let mut n = node(Role::Db);
+        let cpu = n.cpu_time(SimDuration::from_millis(10));
+        let disk = n.disk_time(40_000);
+        let seq = n.disk_seq_time(64 * 1024);
+        let nic = n.nic_time(12_500);
+        n.health = Health::Degraded(Slowdown {
+            cpu: 2.0,
+            disk: 3.0,
+            nic: 4.0,
+        });
+        assert_eq!(n.cpu_time(SimDuration::from_millis(10)), cpu.mul_f64(2.0));
+        assert_eq!(n.disk_time(40_000), disk.mul_f64(3.0));
+        assert_eq!(n.disk_seq_time(64 * 1024), seq.mul_f64(3.0));
+        assert_eq!(n.nic_time(12_500), nic.mul_f64(4.0));
+        // Up and Down leave timings untouched (down nodes are cut off at
+        // routing, not slowed).
+        n.health = Health::Down;
+        assert_eq!(n.nic_time(12_500), nic);
     }
 
     #[test]

@@ -11,7 +11,35 @@ use crate::model::{start_simulation, ClusterScenario};
 use crate::node::NodeUtilization;
 use simkit::engine::StopReason;
 use simkit::time::SimTime;
+use std::fmt;
 use tpcw::metrics::IterationMetrics;
+
+/// Why an evaluation could not produce a measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The scenario failed cross-field validation.
+    InvalidScenario(String),
+    /// The simulation went idle before warmup ended (model bug).
+    IdleDuringWarmup,
+    /// The simulation went idle during measurement (model bug).
+    IdleDuringMeasurement,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            EvalError::IdleDuringWarmup => {
+                write!(f, "cluster went idle during warmup — no browsers scheduled?")
+            }
+            EvalError::IdleDuringMeasurement => {
+                write!(f, "cluster went idle during measurement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// Result of one iteration.
 #[derive(Debug, Clone)]
@@ -30,14 +58,14 @@ pub struct IterationOutcome {
     pub events: u64,
 }
 
-/// Execute one iteration of `scenario`.
-///
-/// Panics if the simulation deadlocks before the horizon (that would be a
-/// model bug, not a configuration issue — bad configurations are slow, not
-/// stuck, because browsers always come back after think time).
-pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
+/// Execute one iteration of `scenario`, shared by the checked and
+/// panicking entry points. `registry` turns on metric publication.
+fn run_iteration_inner(
+    scenario: &ClusterScenario,
+    registry: Option<&obs::Registry>,
+) -> Result<IterationOutcome, EvalError> {
     if let Err(msg) = scenario.validate() {
-        panic!("invalid scenario: {msg}");
+        return Err(EvalError::InvalidScenario(msg));
     }
     let mut sim = start_simulation(scenario);
     let horizon = SimTime::ZERO + scenario.plan.total();
@@ -45,28 +73,61 @@ pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
     // reflect the steady state.
     let warm_end = SimTime::ZERO + scenario.plan.warmup;
     let reason = sim.run_until(warm_end);
-    assert_eq!(
-        reason,
-        StopReason::HorizonReached,
-        "cluster went idle during warmup — no browsers scheduled?"
-    );
+    if reason != StopReason::HorizonReached {
+        return Err(EvalError::IdleDuringWarmup);
+    }
     let now = sim.now();
     for node in &mut sim.model_mut().nodes {
         node.reset_windows(now);
     }
     let reason = sim.run_until(horizon);
-    assert_eq!(reason, StopReason::HorizonReached);
+    if reason != StopReason::HorizonReached {
+        return Err(EvalError::IdleDuringMeasurement);
+    }
     let events = sim.events_executed();
     let end = sim.now();
+    if let Some(registry) = registry {
+        sim.publish_metrics(registry, "sim");
+        publish_node_metrics(sim.model(), registry, end);
+    }
     let model = sim.model();
-    IterationOutcome {
+    Ok(IterationOutcome {
         metrics: model.metrics.summarise(),
         node_utilization: model.utilizations(end),
         total_done: model.total_done(),
         total_failed: model.total_failed(),
         line_wips: model.line_wips(),
         events,
+    })
+}
+
+/// Execute one iteration of `scenario`.
+///
+/// Panics if the simulation deadlocks before the horizon (that would be a
+/// model bug, not a configuration issue — bad configurations are slow, not
+/// stuck, because browsers always come back after think time). Resilient
+/// callers use [`run_iteration_checked`] instead.
+pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
+    match run_iteration_inner(scenario, None) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
+}
+
+/// Execute one iteration, returning an error instead of panicking when
+/// the scenario is invalid or the simulation stalls.
+pub fn run_iteration_checked(
+    scenario: &ClusterScenario,
+) -> Result<IterationOutcome, EvalError> {
+    run_iteration_inner(scenario, None)
+}
+
+/// [`run_iteration_observed`] with error returns instead of panics.
+pub fn run_iteration_checked_observed(
+    scenario: &ClusterScenario,
+    registry: &obs::Registry,
+) -> Result<IterationOutcome, EvalError> {
+    run_iteration_inner(scenario, Some(registry))
 }
 
 /// Execute one iteration and publish per-tier resource metrics into
@@ -78,28 +139,14 @@ pub fn run_iteration_observed(
     scenario: &ClusterScenario,
     registry: &obs::Registry,
 ) -> IterationOutcome {
-    if let Err(msg) = scenario.validate() {
-        panic!("invalid scenario: {msg}");
+    match run_iteration_inner(scenario, Some(registry)) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
-    let mut sim = start_simulation(scenario);
-    let horizon = SimTime::ZERO + scenario.plan.total();
-    let warm_end = SimTime::ZERO + scenario.plan.warmup;
-    let reason = sim.run_until(warm_end);
-    assert_eq!(
-        reason,
-        StopReason::HorizonReached,
-        "cluster went idle during warmup — no browsers scheduled?"
-    );
-    let now = sim.now();
-    for node in &mut sim.model_mut().nodes {
-        node.reset_windows(now);
-    }
-    let reason = sim.run_until(horizon);
-    assert_eq!(reason, StopReason::HorizonReached);
-    let events = sim.events_executed();
-    let end = sim.now();
-    sim.publish_metrics(registry, "sim");
-    let model = sim.model();
+}
+
+/// Publish per-node resource metrics for a finished run.
+fn publish_node_metrics(model: &crate::model::ClusterModel, registry: &obs::Registry, end: SimTime) {
     for (i, node) in model.nodes.iter().enumerate() {
         let tier = node.role().name();
         let prefix = format!("cluster.n{i}.{tier}");
@@ -136,14 +183,6 @@ pub fn run_iteration_observed(
     registry.counter("cluster.done").add(model.total_done());
     registry.counter("cluster.failed").add(model.total_failed());
     registry.histogram("cluster.wips").record(model.metrics.wips());
-    IterationOutcome {
-        metrics: model.metrics.summarise(),
-        node_utilization: model.utilizations(end),
-        total_done: model.total_done(),
-        total_failed: model.total_failed(),
-        line_wips: model.line_wips(),
-        events,
-    }
 }
 
 #[cfg(test)]
@@ -297,6 +336,117 @@ mod tests {
             out.metrics.wips,
             rr.metrics.wips
         );
+    }
+
+    #[test]
+    fn checked_run_matches_panicking_run() {
+        let s = tiny_scenario(Workload::Shopping, 1);
+        let plain = run_iteration(&s);
+        let checked = run_iteration_checked(&s).expect("valid scenario");
+        assert_eq!(plain.metrics.completed, checked.metrics.completed);
+        assert_eq!(plain.events, checked.events);
+    }
+
+    #[test]
+    fn checked_run_reports_invalid_scenario() {
+        let mut s = tiny_scenario(Workload::Shopping, 1);
+        s.browsers.population = 0;
+        match run_iteration_checked(&s) {
+            Err(EvalError::InvalidScenario(msg)) => assert!(msg.contains("browsers")),
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_fault_timeline_is_byte_identical() {
+        use faults::{Health, HealthTimeline};
+        let plain = run_iteration(&tiny_scenario(Workload::Shopping, 21));
+        let mut s = tiny_scenario(Workload::Shopping, 21);
+        s.faults = Some(HealthTimeline {
+            initial: vec![Health::Up; 3],
+            changes: Vec::new(),
+        });
+        let faulty = run_iteration(&s);
+        assert_eq!(plain.metrics.completed, faulty.metrics.completed);
+        assert_eq!(plain.events, faulty.events);
+        assert_eq!(plain.total_failed, faulty.total_failed);
+    }
+
+    #[test]
+    fn down_app_node_sheds_load_onto_its_twin() {
+        use crate::config::Topology;
+        use crate::ClusterConfig;
+        use faults::{Health, HealthTimeline};
+        let topology = Topology::tiers(1, 2, 1).unwrap();
+        let mut s = ClusterScenario::single(Workload::Shopping, 400, IntervalPlan::tiny(), 23);
+        s.config = ClusterConfig::defaults(&topology);
+        s.topology = topology;
+        let healthy = run_iteration(&s);
+        let mut initial = vec![Health::Up; 4];
+        initial[1] = Health::Down; // first app node dark from the start
+        s.faults = Some(HealthTimeline {
+            initial,
+            changes: Vec::new(),
+        });
+        let wounded = run_iteration(&s);
+        // All app traffic lands on node 2; node 1 stays idle.
+        assert!(
+            wounded.node_utilization[2].cpu > wounded.node_utilization[1].cpu,
+            "down {:?} vs survivor {:?}",
+            wounded.node_utilization[1],
+            wounded.node_utilization[2]
+        );
+        assert!(wounded.node_utilization[1].cpu < 0.05);
+        // Losing half the app tier must not *gain* throughput (small
+        // stochastic jitter aside), and the survivor still serves.
+        assert!(
+            wounded.metrics.wips <= healthy.metrics.wips * 1.05,
+            "wounded {} vs healthy {}",
+            wounded.metrics.wips,
+            healthy.metrics.wips
+        );
+        assert!(wounded.metrics.wips > 0.0, "survivor still serves");
+    }
+
+    #[test]
+    fn mid_run_crash_fires_at_its_offset() {
+        use crate::config::Topology;
+        use crate::ClusterConfig;
+        use faults::{Health, HealthChange, HealthTimeline};
+        use simkit::time::SimDuration;
+        let topology = Topology::tiers(1, 2, 1).unwrap();
+        let mut s = ClusterScenario::single(Workload::Shopping, 400, IntervalPlan::tiny(), 29);
+        s.config = ClusterConfig::defaults(&topology);
+        s.topology = topology;
+        s.faults = Some(HealthTimeline {
+            initial: vec![Health::Up; 4],
+            changes: vec![HealthChange {
+                after: SimDuration::from_secs(1),
+                node: 1,
+                health: Health::Down,
+            }],
+        });
+        let mut sim = crate::model::start_simulation(&s);
+        sim.run_until(SimTime::from_millis(500));
+        assert!(!sim.model().healths()[1].is_down(), "not yet crashed");
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sim.model().healths()[1].is_down(), "crash applied");
+    }
+
+    #[test]
+    fn whole_proxy_tier_down_refuses_instead_of_stalling() {
+        use faults::{Health, HealthTimeline};
+        let mut s = tiny_scenario(Workload::Shopping, 31);
+        s.faults = Some(HealthTimeline {
+            initial: vec![Health::Down, Health::Up, Health::Up],
+            changes: Vec::new(),
+        });
+        // The single proxy is down: every interaction is refused, the sim
+        // still reaches its horizon (browsers keep thinking), no panic.
+        let out = run_iteration(&s);
+        assert_eq!(out.total_done, 0);
+        assert!(out.total_failed > 0);
+        assert_eq!(out.metrics.wips, 0.0);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Session-wide fault time.
+//!
+//! Each tuning iteration runs an independent simulation whose internal
+//! clock restarts at zero, but faults are scheduled on one continuous
+//! session timeline. The `FaultClock` maps iterations (and retry delays)
+//! onto that timeline: every measurement window advances it by the
+//! iteration span, and retry backoff consumes simulated hold time, so a
+//! restart scheduled for later in the session can heal a retried
+//! evaluation.
+
+use simkit::time::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    span: SimDuration,
+    now: SimTime,
+}
+
+impl FaultClock {
+    /// A clock whose measurement windows are `span` long.
+    pub fn new(span: SimDuration) -> Self {
+        FaultClock {
+            span,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current position on the session timeline.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The span of one measurement window.
+    pub fn span(&self) -> SimDuration {
+        self.span
+    }
+
+    /// Claim the next measurement window `[start, end)` and advance.
+    pub fn next_window(&mut self) -> (SimTime, SimTime) {
+        let start = self.now;
+        let end = start + self.span;
+        self.now = end;
+        (start, end)
+    }
+
+    /// Let `delay` of session time pass without measuring (retry backoff).
+    pub fn hold(&mut self, delay: SimDuration) {
+        self.now += delay;
+    }
+
+    /// The window iteration `i` would occupy if every window ran
+    /// back-to-back with no retries — the static mapping used when a
+    /// fault plan is attached to a plain (non-resilient) session.
+    pub fn window_of(span: SimDuration, iteration: u32) -> (SimTime, SimTime) {
+        let start = SimTime::ZERO + SimDuration::from_micros(span.as_micros() * iteration as u64);
+        (start, start + span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_contiguous() {
+        let mut clock = FaultClock::new(SimDuration::from_secs(30));
+        assert_eq!(
+            clock.next_window(),
+            (SimTime::ZERO, SimTime::from_secs(30))
+        );
+        assert_eq!(
+            clock.next_window(),
+            (SimTime::from_secs(30), SimTime::from_secs(60))
+        );
+        assert_eq!(clock.now(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn hold_shifts_later_windows() {
+        let mut clock = FaultClock::new(SimDuration::from_secs(10));
+        clock.next_window();
+        clock.hold(SimDuration::from_secs(5));
+        assert_eq!(
+            clock.next_window(),
+            (SimTime::from_secs(15), SimTime::from_secs(25))
+        );
+    }
+
+    #[test]
+    fn static_window_mapping_matches_fresh_clock() {
+        let span = SimDuration::from_secs(30);
+        let mut clock = FaultClock::new(span);
+        for i in 0..4 {
+            assert_eq!(clock.next_window(), FaultClock::window_of(span, i));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Projecting a fault plan onto measurement windows.
+
+use crate::health::{Health, Slowdown};
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+
+/// A health transition inside one measurement window, expressed as an
+/// offset from the window's start so the DES can schedule it directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthChange {
+    pub after: SimDuration,
+    pub node: usize,
+    pub health: Health,
+}
+
+/// The health schedule one simulation run applies: initial per-node
+/// states plus in-run transitions. Attached to a `ClusterScenario`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthTimeline {
+    pub initial: Vec<Health>,
+    pub changes: Vec<HealthChange>,
+}
+
+impl HealthTimeline {
+    /// True when the timeline does nothing (all nodes up, no changes) —
+    /// callers can drop it to keep the no-fault path byte-identical.
+    pub fn is_trivial(&self) -> bool {
+        self.changes.is_empty() && self.initial.iter().all(Health::is_up)
+    }
+}
+
+/// Everything a fault plan does to one measurement window `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowFaults {
+    /// Node health at the window's start (events strictly before `start`).
+    pub initial: Vec<Health>,
+    /// Transitions inside the window, sorted by offset.
+    pub changes: Vec<HealthChange>,
+    /// Product of noise-spike factors landing in the window (1.0 = none).
+    pub noise: f64,
+    /// The raw in-window events, for tracing.
+    pub events: Vec<FaultEvent>,
+}
+
+impl WindowFaults {
+    /// The timeline to attach to the scenario for this window.
+    pub fn timeline(&self) -> HealthTimeline {
+        HealthTimeline {
+            initial: self.initial.clone(),
+            changes: self.changes.clone(),
+        }
+    }
+
+    pub fn is_trivial(&self) -> bool {
+        self.changes.is_empty()
+            && self.noise == 1.0
+            && self.initial.iter().all(Health::is_up)
+    }
+
+    /// Nodes that transition to `Down` inside the window.
+    pub fn crashes(&self) -> Vec<usize> {
+        self.changes
+            .iter()
+            .filter(|c| c.health.is_down())
+            .map(|c| c.node)
+            .collect()
+    }
+
+    /// The first crash whose offset falls in `[from, to)`, if any.
+    pub fn crash_in(&self, from: SimDuration, to: SimDuration) -> Option<(usize, SimDuration)> {
+        self.changes
+            .iter()
+            .find(|c| c.health.is_down() && c.after >= from && c.after < to)
+            .map(|c| (c.node, c.after))
+    }
+}
+
+/// Per-node fold state while replaying the schedule.
+#[derive(Debug, Clone, Copy)]
+struct NodeFold {
+    down: bool,
+    cpu: f64,
+    disk: f64,
+    nic: f64,
+}
+
+impl NodeFold {
+    const PRISTINE: NodeFold = NodeFold {
+        down: false,
+        cpu: 1.0,
+        disk: 1.0,
+        nic: 1.0,
+    };
+
+    fn apply(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash => self.down = true,
+            FaultKind::Restart => *self = NodeFold::PRISTINE,
+            FaultKind::CpuSlow(f) => self.cpu = f,
+            FaultKind::DiskSlow(f) => self.disk = f,
+            FaultKind::NicDegrade(f) => self.nic = f,
+            FaultKind::NoiseSpike(_) => {}
+        }
+    }
+
+    fn health(&self) -> Health {
+        if self.down {
+            Health::Down
+        } else if self.cpu > 1.0 || self.disk > 1.0 || self.nic > 1.0 {
+            Health::Degraded(Slowdown {
+                cpu: self.cpu,
+                disk: self.disk,
+                nic: self.nic,
+            })
+        } else {
+            Health::Up
+        }
+    }
+}
+
+/// A stateless projection of one plan + seed onto the session timeline.
+/// Replaying the same window twice yields identical faults, which is what
+/// makes retries and resumed sessions deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: &FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan: plan.clone(),
+            seed,
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn fold_until(&self, t: SimTime, nodes: usize) -> Vec<NodeFold> {
+        let mut folds = vec![NodeFold::PRISTINE; nodes];
+        for e in self.plan.events() {
+            if e.at >= t {
+                break;
+            }
+            if let Some(n) = e.node {
+                if n < nodes {
+                    folds[n].apply(e.kind);
+                }
+            }
+        }
+        folds
+    }
+
+    /// Node healths once every event strictly before `t` has applied.
+    pub fn health_at(&self, t: SimTime, nodes: usize) -> Vec<Health> {
+        self.fold_until(t, nodes).iter().map(NodeFold::health).collect()
+    }
+
+    /// Project the plan onto the measurement window `[start, end)`.
+    pub fn window(&self, start: SimTime, end: SimTime, nodes: usize) -> WindowFaults {
+        let mut folds = self.fold_until(start, nodes);
+        let initial: Vec<Health> = folds.iter().map(NodeFold::health).collect();
+        let mut changes = Vec::new();
+        let mut noise = 1.0;
+        let mut events = Vec::new();
+        for e in self.plan.events() {
+            if e.at < start {
+                continue;
+            }
+            if e.at >= end {
+                break;
+            }
+            events.push(*e);
+            match e.node {
+                Some(n) if n < nodes => {
+                    folds[n].apply(e.kind);
+                    changes.push(HealthChange {
+                        after: e.at.since(start),
+                        node: n,
+                        health: folds[n].health(),
+                    });
+                }
+                _ => {
+                    if let FaultKind::NoiseSpike(f) = e.kind {
+                        noise *= f;
+                    }
+                }
+            }
+        }
+        WindowFaults {
+            initial,
+            changes,
+            noise,
+            events,
+        }
+    }
+
+    /// Deterministic multiplicative perturbation for a noisy window:
+    /// a factor in `[1/noise, noise]` drawn from the injector seed and the
+    /// window start, so the same window re-measured at a *different*
+    /// session time draws a fresh value while an exact replay repeats it.
+    pub fn wips_noise(&self, window_start: SimTime, noise: f64) -> f64 {
+        if noise <= 1.0 {
+            return 1.0;
+        }
+        let mut rng = SimRng::new(self.seed ^ window_start.as_micros().rotate_left(17));
+        let u = rng.next_f64() * 2.0 - 1.0;
+        noise.powf(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new()
+            .crash(30.0, 3)
+            .restart(55.0, 3)
+            .cpu_slow(10.0, 1, 2.5)
+            .noise_spike(40.0, 4.0)
+    }
+
+    #[test]
+    fn health_folds_in_order() {
+        let inj = FaultInjector::new(&plan(), 1);
+        let h = inj.health_at(SimTime::from_secs(5), 5);
+        assert!(h.iter().all(Health::is_up));
+        let h = inj.health_at(SimTime::from_secs(31), 5);
+        assert!(h[3].is_down());
+        assert_eq!(h[1].cpu_factor(), 2.5);
+        let h = inj.health_at(SimTime::from_secs(56), 5);
+        assert!(h[3].is_up(), "restart heals the crash");
+    }
+
+    #[test]
+    fn window_splits_initial_and_changes() {
+        let inj = FaultInjector::new(&plan(), 1);
+        let w = inj.window(SimTime::from_secs(20), SimTime::from_secs(50), 5);
+        assert_eq!(w.initial[1].cpu_factor(), 2.5, "pre-window slowdown is initial");
+        assert_eq!(w.changes.len(), 1);
+        assert_eq!(
+            w.changes[0],
+            HealthChange {
+                after: SimDuration::from_secs(10),
+                node: 3,
+                health: Health::Down
+            }
+        );
+        assert_eq!(w.noise, 4.0);
+        assert_eq!(w.crashes(), vec![3]);
+        assert_eq!(
+            w.crash_in(SimDuration::from_secs(5), SimDuration::from_secs(15)),
+            Some((3, SimDuration::from_secs(10)))
+        );
+        assert_eq!(
+            w.crash_in(SimDuration::ZERO, SimDuration::from_secs(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_plan_windows_are_trivial() {
+        let inj = FaultInjector::new(&FaultPlan::new(), 9);
+        let w = inj.window(SimTime::ZERO, SimTime::from_secs(30), 4);
+        assert!(w.is_trivial());
+        assert!(w.timeline().is_trivial());
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let a = FaultInjector::new(&plan(), 7);
+        let b = FaultInjector::new(&plan(), 7);
+        let (s, e) = (SimTime::from_secs(25), SimTime::from_secs(60));
+        assert_eq!(a.window(s, e, 5), b.window(s, e, 5));
+        assert_eq!(a.wips_noise(s, 4.0), b.wips_noise(s, 4.0));
+    }
+
+    #[test]
+    fn noise_draw_varies_with_window_but_stays_bounded() {
+        let inj = FaultInjector::new(&plan(), 7);
+        let a = inj.wips_noise(SimTime::from_secs(25), 4.0);
+        let b = inj.wips_noise(SimTime::from_secs(26), 4.0);
+        assert_ne!(a, b);
+        for v in [a, b] {
+            assert!((0.25..=4.0).contains(&v), "{v} outside [1/4, 4]");
+        }
+        assert_eq!(inj.wips_noise(SimTime::from_secs(25), 1.0), 1.0);
+    }
+}

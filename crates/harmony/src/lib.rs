@@ -14,7 +14,10 @@
 //! * [`strategy`]/[`workline`] — the §III.B cluster-scaling methods
 //!   (parameter duplication and work-line partitioning);
 //! * [`monitor`]/[`reconfig`] — the §IV automatic cluster reconfiguration
-//!   algorithm (thresholds, urgency, cost model).
+//!   algorithm (thresholds, urgency, cost model);
+//! * [`resilience`] — deterministic retry/backoff/jitter, a
+//!   per-configuration circuit breaker, and an outlier re-measurement
+//!   gate for failed or noisy evaluations.
 //!
 //! This crate is application-agnostic: nothing here knows about web
 //! clusters. The orchestrator crate wires it to the simulated testbed.
@@ -45,6 +48,7 @@ pub mod history;
 pub mod monitor;
 pub mod param;
 pub mod reconfig;
+pub mod resilience;
 pub mod revalidate;
 pub mod server;
 pub mod simplex;
@@ -59,6 +63,7 @@ pub use history::{HistoryEntry, TuningHistory};
 pub use monitor::{Resource, UtilizationMonitor, UtilizationSnapshot};
 pub use param::ParamDef;
 pub use reconfig::{CostModel, NodeCostInputs, NodeReport, ReconfigDecision, Thresholds};
+pub use resilience::{Backoff, CircuitBreaker, Jitter, OutlierGate, RetryPolicy};
 pub use revalidate::Revalidating;
 pub use server::HarmonyServer;
 pub use simplex::SimplexTuner;

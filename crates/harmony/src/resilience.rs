@@ -1,0 +1,267 @@
+//! Resilience primitives for tuning sessions.
+//!
+//! Modeled on the usual production retry stack (bounded retries,
+//! exponential backoff, jitter, circuit breaking) but fully deterministic:
+//! jitter draws from a caller-supplied [`SimRng`] and delays are simulated
+//! time, so a failed evaluation replays identically under the same seed.
+
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// How the base delay grows with the attempt number (1-indexed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backoff {
+    /// Same delay every attempt.
+    Constant(SimDuration),
+    /// `base * attempt`.
+    Linear(SimDuration),
+    /// `base * 2^(attempt-1)`, capped.
+    Exponential { base: SimDuration, cap: SimDuration },
+}
+
+impl Backoff {
+    /// The un-jittered delay before attempt `attempt` (1-indexed;
+    /// attempt 0 is treated as 1).
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let attempt = attempt.max(1);
+        match *self {
+            Backoff::Constant(d) => d,
+            Backoff::Linear(base) => {
+                SimDuration::from_micros(base.as_micros().saturating_mul(attempt as u64))
+            }
+            Backoff::Exponential { base, cap } => {
+                let shift = (attempt - 1).min(63);
+                let scaled = base.as_micros().saturating_mul(1u64 << shift);
+                SimDuration::from_micros(scaled.min(cap.as_micros()))
+            }
+        }
+    }
+}
+
+/// How jitter perturbs the backoff delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Jitter {
+    /// No jitter: the deterministic schedule as-is.
+    #[default]
+    None,
+    /// Uniform in `[0, delay]`.
+    Full,
+    /// Uniform in `[delay/2, delay]` (AWS "equal jitter").
+    Equal,
+}
+
+impl Jitter {
+    pub fn apply(&self, delay: SimDuration, rng: &mut SimRng) -> SimDuration {
+        let us = delay.as_micros();
+        if us == 0 {
+            return delay;
+        }
+        match self {
+            Jitter::None => delay,
+            Jitter::Full => SimDuration::from_micros(rng.next_below(us + 1)),
+            Jitter::Equal => {
+                let half = us / 2;
+                SimDuration::from_micros(half + rng.next_below(us - half + 1))
+            }
+        }
+    }
+}
+
+/// A bounded retry policy: at most `max_attempts` tries per evaluation,
+/// with jittered backoff between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub backoff: Backoff,
+    pub jitter: Jitter,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::Exponential {
+                base: SimDuration::from_secs(5),
+                cap: SimDuration::from_secs(60),
+            },
+            jitter: Jitter::Equal,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether attempt `attempt` (1-indexed) is allowed.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt <= self.max_attempts
+    }
+
+    /// The jittered delay to wait before retrying after attempt `attempt`.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        self.jitter.apply(self.backoff.delay(attempt), rng)
+    }
+}
+
+/// Per-configuration circuit breaker: after `threshold` failed evaluation
+/// attempts, a configuration is blacklisted and reported as worthless
+/// without re-measuring. Keys are opaque configuration summaries; the
+/// `BTreeMap` keeps iteration order deterministic.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    failures: BTreeMap<String, u32>,
+    open: BTreeMap<String, bool>,
+}
+
+impl CircuitBreaker {
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            failures: BTreeMap::new(),
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Is the configuration blacklisted?
+    pub fn is_open(&self, key: &str) -> bool {
+        self.open.get(key).copied().unwrap_or(false)
+    }
+
+    /// Record a failed evaluation. Returns `true` if this failure tripped
+    /// the breaker (newly opened).
+    pub fn record_failure(&mut self, key: &str) -> bool {
+        let count = self.failures.entry(key.to_string()).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold && !self.is_open(key) {
+            self.open.insert(key.to_string(), true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a successful evaluation: resets the failure count and closes
+    /// the breaker for the key.
+    pub fn record_success(&mut self, key: &str) {
+        self.failures.remove(key);
+        self.open.remove(key);
+    }
+
+    /// Number of currently blacklisted configurations.
+    pub fn open_count(&self) -> usize {
+        self.open.values().filter(|v| **v).count()
+    }
+}
+
+/// Rejects samples whose confidence interval exploded (a noise spike or a
+/// mid-measurement fault): the sample is re-measured instead of being fed
+/// to the tuner, up to `max_remeasures` times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierGate {
+    /// Maximum acceptable `ci_half / wips` ratio.
+    pub max_rel_half_width: f64,
+    /// Re-measurement budget per sample.
+    pub max_remeasures: u32,
+}
+
+impl Default for OutlierGate {
+    fn default() -> Self {
+        OutlierGate {
+            max_rel_half_width: 0.25,
+            max_remeasures: 2,
+        }
+    }
+}
+
+impl OutlierGate {
+    /// Does the sample's confidence interval pass the gate?
+    pub fn accepts(&self, wips: f64, ci_half: f64) -> bool {
+        if wips <= 0.0 {
+            return ci_half <= 0.0;
+        }
+        ci_half / wips <= self.max_rel_half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedules() {
+        let c = Backoff::Constant(SimDuration::from_secs(2));
+        assert_eq!(c.delay(1), SimDuration::from_secs(2));
+        assert_eq!(c.delay(5), SimDuration::from_secs(2));
+        let l = Backoff::Linear(SimDuration::from_secs(2));
+        assert_eq!(l.delay(3), SimDuration::from_secs(6));
+        let e = Backoff::Exponential {
+            base: SimDuration::from_secs(5),
+            cap: SimDuration::from_secs(60),
+        };
+        assert_eq!(e.delay(1), SimDuration::from_secs(5));
+        assert_eq!(e.delay(2), SimDuration::from_secs(10));
+        assert_eq!(e.delay(3), SimDuration::from_secs(20));
+        assert_eq!(e.delay(10), SimDuration::from_secs(60), "capped");
+        assert_eq!(e.delay(0), e.delay(1), "attempt 0 treated as 1");
+    }
+
+    #[test]
+    fn exponential_backoff_saturates_instead_of_overflowing() {
+        let e = Backoff::Exponential {
+            base: SimDuration::from_secs(5),
+            cap: SimDuration::MAX,
+        };
+        assert_eq!(e.delay(200), SimDuration::MAX);
+    }
+
+    #[test]
+    fn jitter_bounds_and_determinism() {
+        let d = SimDuration::from_secs(10);
+        let mut rng = SimRng::new(42);
+        for _ in 0..100 {
+            let full = Jitter::Full.apply(d, &mut rng);
+            assert!(full <= d);
+            let equal = Jitter::Equal.apply(d, &mut rng);
+            assert!(equal >= SimDuration::from_secs(5) && equal <= d);
+        }
+        assert_eq!(Jitter::None.apply(d, &mut rng), d);
+        // Same seed, same draw sequence.
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        assert_eq!(Jitter::Full.apply(d, &mut a), Jitter::Full.apply(d, &mut b));
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts() {
+        let p = RetryPolicy::default();
+        assert!(p.allows(1));
+        assert!(p.allows(3));
+        assert!(!p.allows(4));
+        let mut rng = SimRng::new(1);
+        assert!(p.delay(1, &mut rng) <= SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_resets_on_success() {
+        let mut b = CircuitBreaker::new(2);
+        assert!(!b.record_failure("cfg-a"), "first failure tolerated");
+        assert!(!b.is_open("cfg-a"));
+        assert!(b.record_failure("cfg-a"), "second failure trips");
+        assert!(b.is_open("cfg-a"));
+        assert!(!b.record_failure("cfg-a"), "already open, not newly tripped");
+        assert_eq!(b.open_count(), 1);
+        assert!(!b.is_open("cfg-b"), "keys independent");
+        b.record_success("cfg-a");
+        assert!(!b.is_open("cfg-a"));
+        assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn outlier_gate_rejects_wide_intervals() {
+        let g = OutlierGate::default();
+        assert!(g.accepts(100.0, 10.0));
+        assert!(!g.accepts(100.0, 40.0));
+        assert!(g.accepts(0.0, 0.0), "dead-but-certain sample passes");
+        assert!(!g.accepts(0.0, 5.0));
+    }
+}

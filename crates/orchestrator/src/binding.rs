@@ -58,6 +58,7 @@ pub fn config_from_full(topology: &Topology, c: &Configuration) -> ClusterConfig
         cursor += n;
     }
     debug_assert_eq!(cursor, c.len());
+    #[allow(clippy::expect_used)]
     ClusterConfig::new(topology, node_params).expect("roles align by construction")
 }
 
@@ -99,6 +100,9 @@ pub fn role_space(role: Role) -> ParamSpace {
 }
 
 /// Split a 23-value tier configuration into typed parameter structs.
+// Space bounds guarantee every slice parses; a mismatch is a programmer
+// error worth a panic, not a recoverable condition.
+#[allow(clippy::expect_used)]
 pub fn split_tier_config(c: &Configuration) -> (ProxyParams, WebParams, DbParams) {
     let v = c.values();
     assert_eq!(v.len(), 23, "tier config must have 23 values");
@@ -109,6 +113,7 @@ pub fn split_tier_config(c: &Configuration) -> (ProxyParams, WebParams, DbParams
 }
 
 /// Build typed params for one node from its tunable-value slice.
+#[allow(clippy::expect_used)]
 pub fn params_from_slice(role: Role, values: &[i64]) -> NodeParams {
     match role {
         Role::Proxy => NodeParams::Proxy(
@@ -130,6 +135,7 @@ pub fn config_from_tier(topology: &Topology, c: &Configuration) -> ClusterConfig
 }
 
 /// Duplication with per-tier servers: combine one configuration per role.
+#[allow(clippy::expect_used)]
 pub fn config_from_roles(
     topology: &Topology,
     proxy_c: &Configuration,

@@ -50,7 +50,8 @@ pub fn run(effort: &Effort, seed: u64) -> Fig5Result {
     )
     .plan(effort.plan)
     .base_seed(seed);
-    let run = tune_with_schedule(&cfg, &schedule);
+    let run = tune_with_schedule(&cfg, &schedule)
+        .unwrap_or_else(|e| panic!("figure 5 session failed: {e}"));
     let recovery = recovery_iterations(&run, &schedule, 0.9);
     Fig5Result {
         wips_series: run.wips_series(),

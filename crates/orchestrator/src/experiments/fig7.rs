@@ -75,6 +75,8 @@ pub fn run(variant: Fig7Variant, effort: &Effort, seed: u64) -> Fig7Result {
     // database tier of (a) is provisioned with headroom — in the paper's
     // testbed the database was not the ordering bottleneck, the
     // application tier was.
+    // Tier counts are literals; `tiers` only fails on a zero count.
+    #[allow(clippy::expect_used)]
     let (topology, population) = match variant {
         Fig7Variant::ProxyToApp => (
             Topology::tiers(4, 2, 5).expect("valid"),
@@ -118,7 +120,8 @@ pub fn run(variant: Fig7Variant, effort: &Effort, seed: u64) -> Fig7Result {
         }
         Fig7Variant::AppToProxy => Workload::Browsing,
     };
-    let run: ReconfigRun = run_reconfig_session(&base, &settings, total, workload_at);
+    let run: ReconfigRun = run_reconfig_session(&base, &settings, total, workload_at)
+        .unwrap_or_else(|e| panic!("figure 7 session failed: {e}"));
 
     let event = run.events.first();
     let before_start = match variant {

@@ -19,6 +19,8 @@ pub struct Table3Row {
 
 /// Build Table 3 from the three tuned configurations (single topology:
 /// node 0 proxy, node 1 app, node 2 db).
+// The single topology fixes node roles, so the as_* accessors cannot miss.
+#[allow(clippy::unwrap_used)]
 pub fn build(configs: &[ClusterConfig; 3]) -> Vec<Table3Row> {
     let t = Topology::single();
     debug_assert!(configs.iter().all(|c| c.len() == t.len()));

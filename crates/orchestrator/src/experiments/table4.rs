@@ -48,6 +48,8 @@ pub fn paper_methods() -> Vec<TuningMethod> {
 /// Run Table 4 on the given methods (in parallel — each method's tuning
 /// run is independent).
 pub fn run(methods: &[TuningMethod], effort: &Effort, seed: u64) -> Table4Result {
+    // Tier counts are literals; `tiers` only fails on a zero count.
+    #[allow(clippy::expect_used)]
     let topology = Topology::tiers(2, 2, 2).expect("valid topology");
     let base = SessionConfig::new(topology, Workload::Shopping, table4_population(effort))
         .plan(effort.plan)
@@ -60,7 +62,8 @@ pub fn run(methods: &[TuningMethod], effort: &Effort, seed: u64) -> Table4Result
         let cfg = base
             .clone()
             .base_seed(seed ^ (method as u64).wrapping_mul(0x9E37_79B9));
-        let run = tune(&cfg, method, effort.iterations);
+        let run = tune(&cfg, method, effort.iterations)
+            .unwrap_or_else(|e| panic!("table 4 tuning session failed: {e}"));
         let half = (effort.iterations / 2) as usize;
         let (_, std2) = run.window_stats(half, effort.iterations as usize);
         Table4Row {

@@ -43,7 +43,8 @@ pub fn run(workload: Workload, effort: &Effort, seed: u64) -> (TuningProcessResu
         .plan(effort.plan)
         .base_seed(seed);
     let (default_wips, default_std) = cfg.measure_default(effort.reps);
-    let run = tune_default_method(&cfg, effort.iterations);
+    let run = tune_default_method(&cfg, effort.iterations)
+        .unwrap_or_else(|e| panic!("tuning session failed: {e}"));
 
     let half = (effort.iterations / 2) as usize;
     let end = effort.iterations as usize;

@@ -32,6 +32,8 @@ fn csv_text(records: impl IntoIterator<Item = TraceRecord>) -> String {
     for r in records {
         w.emit(&r);
     }
+    // CsvWriter only ever writes UTF-8 encoded text.
+    #[allow(clippy::expect_used)]
     String::from_utf8(w.into_inner()).expect("CSV output is UTF-8")
 }
 
@@ -94,7 +96,7 @@ mod tests {
     fn tiny_run() -> TuningRun {
         let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 150)
             .plan(IntervalPlan::tiny());
-        tune(&cfg, TuningMethod::None, 3)
+        tune(&cfg, TuningMethod::None, 3).expect("tiny run")
     }
 
     #[test]

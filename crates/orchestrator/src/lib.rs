@@ -10,6 +10,8 @@
 //! * [`schedule`] — changing-workload sessions (Figure 5);
 //! * [`reconfigure`] — tuning plus the §IV automatic reconfiguration
 //!   controller (Figure 7);
+//! * [`resilient`] — fault-tolerant sessions: retry/backoff,
+//!   re-measurement, circuit breaking, failure-driven reconfiguration;
 //! * [`experiments`] — one typed runner per paper table/figure;
 //! * [`par`] — crossbeam-based parallel fan-out of independent runs;
 //! * [`report`] — text tables and sparklines for the regenerators.
@@ -26,10 +28,15 @@
 //!
 //! let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
 //!     .plan(IntervalPlan::tiny());
-//! let run = tune(&cfg, TuningMethod::Default, 5);
+//! let run = tune(&cfg, TuningMethod::Default, 5).expect("session");
 //! assert_eq!(run.records.len(), 5);
 //! assert!(run.best_wips > 0.0);
 //! ```
+
+// Session code must surface failures as `SessionError`, never panic;
+// test modules (cfg(test)) are exempt. CI enforces this with a clippy
+// step dedicated to this crate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binding;
 pub mod experiments;
@@ -37,8 +44,10 @@ pub mod export;
 pub mod par;
 pub mod reconfigure;
 pub mod report;
+pub mod resilient;
 pub mod schedule;
 pub mod session;
 
 pub use experiments::Effort;
-pub use session::{tune, SessionConfig, TuningRun};
+pub use resilient::{run_resilient_session, ResilienceSettings, ResilientRun};
+pub use session::{tune, SessionConfig, SessionError, TuningRun};

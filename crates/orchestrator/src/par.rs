@@ -52,6 +52,8 @@ where
     for (idx, out) in rx {
         results[idx] = Some(out);
     }
+    // The scope above joins every worker, so each index was filled.
+    #[allow(clippy::expect_used)]
     results
         .into_iter()
         .map(|o| o.expect("every index processed"))

@@ -9,7 +9,7 @@
 //! rebuilds and rewarms the world).
 
 use crate::binding;
-use crate::session::{IterationRecord, SessionConfig, SessionObserver};
+use crate::session::{IterationRecord, SessionConfig, SessionError, SessionObserver};
 use cluster::config::{Role, Topology};
 use cluster::node::NodeUtilization;
 use harmony::monitor::{UtilizationMonitor, UtilizationSnapshot};
@@ -101,7 +101,7 @@ pub fn run_reconfig_session(
     settings: &ReconfigSettings,
     iterations: u32,
     workload_at: impl Fn(u32) -> Workload,
-) -> ReconfigRun {
+) -> Result<ReconfigRun, SessionError> {
     run_reconfig_session_observed(
         base,
         settings,
@@ -120,7 +120,8 @@ pub fn run_reconfig_session_observed(
     iterations: u32,
     workload_at: impl Fn(u32) -> Workload,
     observer: &mut SessionObserver,
-) -> ReconfigRun {
+) -> Result<ReconfigRun, SessionError> {
+    base.validate_faults()?;
     let mut topology = base.topology.clone();
     let mut servers = [
         HarmonyServer::new(
@@ -220,11 +221,11 @@ pub fn run_reconfig_session_observed(
         }
     }
     observer.flush();
-    ReconfigRun {
+    Ok(ReconfigRun {
         records,
         events,
         final_topology: topology,
-    }
+    })
 }
 
 fn check(
@@ -279,7 +280,7 @@ mod tests {
             check_every: Some(2),
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping);
+        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping).expect("session");
         assert!(run.events.is_empty(), "events: {:?}", run.events);
         assert_eq!(run.final_topology, cfg.topology);
         assert_eq!(run.records.len(), 6);
@@ -293,7 +294,7 @@ mod tests {
             force_check_at: Some(3),
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Browsing);
+        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Browsing).expect("session");
         // May or may not move (low load => probably not), but must not
         // crash and must keep all iterations.
         assert_eq!(run.records.len(), 6);
@@ -314,7 +315,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 4, |_| Workload::Browsing);
+        let run = run_reconfig_session(&cfg, &settings, 4, |_| Workload::Browsing).expect("session");
         assert_eq!(run.events.len(), 1, "expected one move: {:?}", run.events);
         let e = &run.events[0];
         assert_eq!(e.to_tier, Role::Proxy);

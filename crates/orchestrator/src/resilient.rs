@@ -1,0 +1,650 @@
+//! Fault-tolerant tuning sessions: retry, re-measurement, circuit
+//! breaking, and failure-driven reconfiguration.
+//!
+//! A resilient session is the §III duplication loop hardened against the
+//! faults a [`faults::FaultPlan`] injects. Iteration `i` covers simulated
+//! time `[i·plan.total(), (i+1)·plan.total())` of the fault schedule
+//! ([`faults::FaultClock::window_of`]). Per iteration:
+//!
+//! 1. faults landing in the window are traced (`fault` records) and
+//!    applied inside the DES via the scenario's health timeline;
+//! 2. a sample invalidated by a crash during the *measurement* phase (or
+//!    one that measured zero throughput) is retried with bounded,
+//!    jittered backoff — the retry sees the post-crash steady state, as a
+//!    real re-measurement would;
+//! 3. a sample whose measured WIPS deviates wildly from its completion
+//!    count (a measurement-noise spike) is re-measured through the
+//!    [`OutlierGate`];
+//! 4. a configuration that exhausts its retry budget is reported to
+//!    Harmony as worthless (0.0 — the proposal is always answered) and
+//!    counted against a per-configuration [`CircuitBreaker`]; a
+//!    blacklisted configuration is rejected without re-measuring;
+//! 5. a crash triggers the §IV `decide()` path over the *live* nodes; if
+//!    the cost model declines, a spare node is pulled directly into the
+//!    wounded tier so the cluster heals anyway.
+//!
+//! Retry delays are simulated time (deterministic jitter from the fault
+//! seed); they are reported in `recovery` trace records but do not shift
+//! the window mapping, which stays iteration-indexed.
+
+use crate::binding;
+use crate::session::{
+    config_summary, run_scenario, IterationRecord, SessionConfig, SessionError, SessionObserver,
+};
+use crate::reconfigure::ReconfigEvent;
+use cluster::config::{ClusterConfig, Role, Topology};
+use cluster::runner::IterationOutcome;
+use faults::{FaultClock, FaultEvent, FaultInjector, Health, HealthTimeline, WindowFaults};
+use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
+use harmony::monitor::UtilizationSnapshot;
+use harmony::resilience::{CircuitBreaker, OutlierGate, RetryPolicy};
+use harmony::server::HarmonyServer;
+use harmony::simplex::SimplexTuner;
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// Policy knobs of a resilient session.
+#[derive(Debug, Clone)]
+pub struct ResilienceSettings {
+    /// Bounded retry with backoff for invalid samples.
+    pub retry: RetryPolicy,
+    /// Re-measurement gate for noise-spiked samples.
+    pub gate: OutlierGate,
+    /// Failed evaluations of one configuration before it is blacklisted.
+    pub breaker_threshold: u32,
+    /// Pull a spare node into a tier that lost one to a crash.
+    pub reconfigure_on_crash: bool,
+    /// Utilization thresholds for the `decide()` attempt.
+    pub thresholds: Thresholds,
+    /// Cost model for the `decide()` attempt.
+    pub cost_model: CostModel,
+}
+
+impl Default for ResilienceSettings {
+    fn default() -> Self {
+        ResilienceSettings {
+            retry: RetryPolicy::default(),
+            gate: OutlierGate::default(),
+            breaker_threshold: 3,
+            reconfigure_on_crash: true,
+            thresholds: Thresholds::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// One resilience action taken during the run (mirrors the `recovery`
+/// trace records).
+#[derive(Debug, Clone)]
+pub struct RecoveryAction {
+    pub iteration: u32,
+    /// `retry`, `remeasure`, `breaker_open`, `breaker_skip`, `reconfig`.
+    pub action: &'static str,
+    pub attempt: u32,
+    /// Simulated backoff delay, seconds (0 when not a retry).
+    pub delay_s: f64,
+    /// WIPS of the sample that triggered or resolved the action.
+    pub wips: f64,
+}
+
+/// Result of a resilient tuning session.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    pub records: Vec<IterationRecord>,
+    /// Fault events injected, tagged with the iteration they hit.
+    pub faults: Vec<(u32, FaultEvent)>,
+    /// Resilience actions taken, in order.
+    pub recoveries: Vec<RecoveryAction>,
+    /// Failure-driven node moves.
+    pub reconfigs: Vec<ReconfigEvent>,
+    pub final_topology: Topology,
+    pub best_wips: f64,
+}
+
+impl ResilientRun {
+    /// Per-iteration WIPS series.
+    pub fn wips_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.wips).collect()
+    }
+
+    /// Best WIPS seen strictly before `iteration`.
+    pub fn running_best_before(&self, iteration: u32) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.iteration < iteration)
+            .map(|r| r.wips)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Iteration of the first crash, if the plan had one.
+    pub fn first_crash_iteration(&self) -> Option<u32> {
+        self.faults
+            .iter()
+            .find(|(_, e)| matches!(e.kind, faults::FaultKind::Crash))
+            .map(|(i, _)| *i)
+    }
+
+    /// How many iterations after the first crash WIPS first reached
+    /// `frac` of the pre-crash running best (`None`: never, or no crash).
+    pub fn recovery_iterations(&self, frac: f64) -> Option<u32> {
+        let crash = self.first_crash_iteration()?;
+        let target = self.running_best_before(crash) * frac;
+        self.records
+            .iter()
+            .filter(|r| r.iteration > crash)
+            .find(|r| r.wips >= target)
+            .map(|r| r.iteration - crash)
+    }
+}
+
+/// Run a resilient duplication-tuning session under a fault plan.
+pub fn run_resilient_session(
+    base: &SessionConfig,
+    settings: &ResilienceSettings,
+    iterations: u32,
+) -> Result<ResilientRun, SessionError> {
+    run_resilient_session_observed(base, settings, iterations, &mut SessionObserver::none())
+}
+
+/// [`run_resilient_session`] with trace/metrics observation: `iteration`
+/// records as usual, plus `fault` and `recovery` records and the
+/// `faults.injected` / `resilience.*` counters.
+pub fn run_resilient_session_observed(
+    base: &SessionConfig,
+    settings: &ResilienceSettings,
+    iterations: u32,
+    observer: &mut SessionObserver,
+) -> Result<ResilientRun, SessionError> {
+    base.validate_faults()?;
+    let mut topology = base.topology.clone();
+    let mut servers = [
+        HarmonyServer::new(
+            "proxy-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
+        ),
+        HarmonyServer::new(
+            "web-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::App))),
+        ),
+        HarmonyServer::new(
+            "db-tier",
+            Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
+        ),
+    ];
+    let mut breaker = CircuitBreaker::new(settings.breaker_threshold);
+    let mut jitter_rng = SimRng::new(base.fault_seed ^ 0xBACC_0FF5);
+    let mut records = Vec::with_capacity(iterations as usize);
+    let mut fault_log = Vec::new();
+    let mut recoveries = Vec::new();
+    let mut reconfigs = Vec::new();
+    let mut best_wips = f64::NEG_INFINITY;
+    let mut best_iter = 0;
+
+    for i in 0..iterations {
+        let t0 = std::time::Instant::now();
+        let cfg = base.clone().topology(topology.clone());
+        let wf = cfg.fault_window(i);
+
+        // Trace every fault landing in this window.
+        if let Some(wf) = &wf {
+            for e in &wf.events {
+                fault_log.push((i, *e));
+                observer.record_fault(
+                    i,
+                    e.at.as_secs_f64(),
+                    e.node.map(|n| n as i64).unwrap_or(-1),
+                    e.kind.name(),
+                    e.kind.factor(),
+                );
+                if let Some(reg) = observer.registry() {
+                    reg.counter("faults.injected").inc();
+                }
+            }
+        }
+
+        let pc = servers[0].next_config();
+        let wc = servers[1].next_config();
+        let dc = servers[2].next_config();
+        let config = binding::config_from_roles(&topology, &pc, &wc, &dc);
+        let key = config_summary(&config);
+
+        // Blacklisted configuration: answer the proposal without
+        // re-measuring.
+        if breaker.is_open(&key) {
+            for s in &mut servers {
+                s.report(0.0);
+            }
+            observer.record_recovery(i, "breaker_skip", 0, 0.0, &key, 0.0);
+            if let Some(reg) = observer.registry() {
+                reg.counter("resilience.breaker_skips").inc();
+            }
+            recoveries.push(RecoveryAction {
+                iteration: i,
+                action: "breaker_skip",
+                attempt: 0,
+                delay_s: 0.0,
+                wips: 0.0,
+            });
+            records.push(IterationRecord {
+                iteration: i,
+                wips: 0.0,
+                line_wips: Vec::new(),
+                workload: cfg.workload,
+                failed: 0,
+            });
+            continue;
+        }
+
+        let (out, valid) = evaluate_with_retries(
+            &cfg,
+            settings,
+            &config,
+            &key,
+            i,
+            wf.as_ref(),
+            &mut jitter_rng,
+            observer,
+            &mut recoveries,
+        );
+        let wips = if valid { out.metrics.wips } else { 0.0 };
+        for s in &mut servers {
+            s.report(wips);
+        }
+        if valid {
+            breaker.record_success(&key);
+            if wips > best_wips {
+                best_wips = wips;
+                best_iter = i;
+            }
+        } else if breaker.record_failure(&key) {
+            observer.record_recovery(i, "breaker_open", settings.retry.max_attempts, 0.0, &key, 0.0);
+            if let Some(reg) = observer.registry() {
+                reg.counter("resilience.breaker_open").inc();
+            }
+            recoveries.push(RecoveryAction {
+                iteration: i,
+                action: "breaker_open",
+                attempt: settings.retry.max_attempts,
+                delay_s: 0.0,
+                wips: 0.0,
+            });
+        }
+
+        observer.record_iteration(
+            &cfg,
+            "resilient",
+            i,
+            &config,
+            &out,
+            best_wips.max(0.0),
+            best_iter,
+            &servers[0].diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+        records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips.clone(),
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+
+        // Failure-driven reconfiguration: a crash in this window wounds a
+        // tier; try to backfill it from the healthiest other tier.
+        if settings.reconfigure_on_crash {
+            if let Some(wf) = &wf {
+                let crashed = wf.crashes();
+                if !crashed.is_empty() {
+                    if let Some(event) = heal_after_crash(
+                        &cfg,
+                        settings,
+                        &topology,
+                        &crashed,
+                        i,
+                        &out,
+                        observer,
+                    ) {
+                        if let Ok(next) = topology.reassign(event.node, event.to_tier) {
+                            topology = next;
+                            recoveries.push(RecoveryAction {
+                                iteration: i,
+                                action: "reconfig",
+                                attempt: 0,
+                                delay_s: 0.0,
+                                wips,
+                            });
+                            reconfigs.push(event);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    observer.flush();
+    Ok(ResilientRun {
+        records,
+        faults: fault_log,
+        recoveries,
+        reconfigs,
+        final_topology: topology,
+        best_wips: best_wips.max(0.0),
+    })
+}
+
+/// Evaluate one proposal, retrying invalid samples and re-measuring
+/// noise-spiked ones. Returns the final outcome and whether it is valid.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_with_retries(
+    cfg: &SessionConfig,
+    settings: &ResilienceSettings,
+    config: &ClusterConfig,
+    key: &str,
+    iteration: u32,
+    wf: Option<&WindowFaults>,
+    jitter_rng: &mut SimRng,
+    observer: &mut SessionObserver,
+    recoveries: &mut Vec<RecoveryAction>,
+) -> (IterationOutcome, bool) {
+    let mut out = cfg.evaluate_observed(config.clone(), iteration, observer.registry());
+
+    // A crash inside the measurement phase invalidates the sample (the
+    // paper's fixed-interval measurement assumes a stable cluster).
+    let crashed_mid_measure = wf
+        .map(|w| {
+            w.crash_in(cfg.plan.warmup, cfg.plan.warmup + cfg.plan.measure)
+                .is_some()
+        })
+        .unwrap_or(false);
+    let mut valid = !crashed_mid_measure && out.metrics.wips > 0.0;
+
+    // Noise-spike re-measurement: the sample passes only if measured WIPS
+    // is consistent with its own completion count.
+    if valid {
+        if let Some(w) = wf.filter(|w| w.noise > 1.0) {
+            let measure_secs = cfg.plan.measure.as_secs_f64();
+            if measure_secs > 0.0 {
+                let (start, _) = FaultClock::window_of(cfg.plan.total(), iteration);
+                let mut remeasures = 0;
+                while remeasures < settings.gate.max_remeasures {
+                    let predicted = out.metrics.completed as f64 / measure_secs;
+                    let deviation = (out.metrics.wips - predicted).abs();
+                    if settings.gate.accepts(predicted, deviation) {
+                        break;
+                    }
+                    remeasures += 1;
+                    observer.record_recovery(
+                        iteration,
+                        "remeasure",
+                        remeasures,
+                        0.0,
+                        key,
+                        out.metrics.wips,
+                    );
+                    if let Some(reg) = observer.registry() {
+                        reg.counter("resilience.remeasures").inc();
+                    }
+                    recoveries.push(RecoveryAction {
+                        iteration,
+                        action: "remeasure",
+                        attempt: remeasures,
+                        delay_s: 0.0,
+                        wips: out.metrics.wips,
+                    });
+                    // Re-run the window and draw the next noise value (a
+                    // re-measurement happens at a later session time).
+                    let retry_cfg = cfg
+                        .clone()
+                        .base_seed(cfg.base_seed ^ remeasure_salt(remeasures));
+                    out = run_scenario(
+                        &retry_cfg.scenario(config.clone(), iteration),
+                        observer.registry(),
+                    );
+                    if let Some(plan) = cfg.fault_plan.as_ref() {
+                        let injector = FaultInjector::new(plan, cfg.fault_seed);
+                        let shifted =
+                            start + SimDuration::from_micros(remeasures as u64);
+                        let factor = injector.wips_noise(shifted, w.noise);
+                        out.metrics.wips *= factor;
+                        for lw in &mut out.line_wips {
+                            *lw *= factor;
+                        }
+                    }
+                }
+                valid = out.metrics.wips > 0.0;
+            }
+        }
+    }
+
+    // Bounded retry with backoff: the retry sees the post-crash steady
+    // state, like a real re-measurement scheduled after the failure.
+    let mut attempt = 1;
+    while !valid && settings.retry.allows(attempt + 1) {
+        let delay = settings.retry.delay(attempt, jitter_rng);
+        attempt += 1;
+        observer.record_recovery(
+            iteration,
+            "retry",
+            attempt,
+            delay.as_secs_f64(),
+            key,
+            out.metrics.wips,
+        );
+        if let Some(reg) = observer.registry() {
+            reg.counter("resilience.retries").inc();
+        }
+        recoveries.push(RecoveryAction {
+            iteration,
+            action: "retry",
+            attempt,
+            delay_s: delay.as_secs_f64(),
+            wips: out.metrics.wips,
+        });
+        let retry_cfg = cfg.clone().base_seed(cfg.base_seed ^ remeasure_salt(attempt));
+        let mut scenario = retry_cfg.scenario(config.clone(), iteration);
+        scenario.faults = steady_state_timeline(cfg, iteration);
+        out = run_scenario(&scenario, observer.registry());
+        valid = out.metrics.wips > 0.0;
+    }
+    (out, valid)
+}
+
+/// Decorrelate retry/re-measurement seeds from the primary sample.
+fn remeasure_salt(attempt: u32) -> u64 {
+    (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Node healths once every fault up to the end of iteration `i`'s window
+/// has applied — what a re-measurement after the crash would see.
+fn steady_state_timeline(cfg: &SessionConfig, iteration: u32) -> Option<HealthTimeline> {
+    let plan = cfg.fault_plan.as_ref()?;
+    let injector = FaultInjector::new(plan, cfg.fault_seed);
+    let (_, end) = FaultClock::window_of(cfg.plan.total(), iteration);
+    let timeline = HealthTimeline {
+        initial: injector.health_at(end, cfg.topology.len()),
+        changes: Vec::new(),
+    };
+    (!timeline.is_trivial()).then_some(timeline)
+}
+
+/// Pick a node move that backfills a tier wounded by a crash. Tries the
+/// §IV `decide()` algorithm over the live nodes first; if the cost model
+/// declines, pulls a spare from the best-staffed other tier directly.
+fn heal_after_crash(
+    cfg: &SessionConfig,
+    settings: &ResilienceSettings,
+    topology: &Topology,
+    crashed: &[usize],
+    iteration: u32,
+    out: &IterationOutcome,
+    observer: &mut SessionObserver,
+) -> Option<ReconfigEvent> {
+    let (_, end) = FaultClock::window_of(cfg.plan.total(), iteration);
+    let healths: Vec<Health> = cfg
+        .fault_plan
+        .as_ref()
+        .map(|p| FaultInjector::new(p, cfg.fault_seed).health_at(end, topology.len()))
+        .unwrap_or_else(|| vec![Health::Up; topology.len()]);
+    let wounded_tier = topology.role(*crashed.first()?);
+    let live = |n: usize| !healths.get(n).map(Health::is_down).unwrap_or(false);
+    let live_count = |t: Role| {
+        (0..topology.len())
+            .filter(|&n| topology.role(n) == t && live(n))
+            .count()
+    };
+
+    // §IV decide() over the live nodes, with tier sizes that reflect the
+    // crash (the wounded tier really is smaller now).
+    let reports: Vec<NodeReport<Role>> = (0..topology.len())
+        .filter(|&n| live(n))
+        .map(|n| {
+            let u = &out.node_utilization[n];
+            NodeReport {
+                node: n,
+                tier: topology.role(n),
+                util: UtilizationSnapshot {
+                    cpu: u.cpu,
+                    disk: u.disk,
+                    net: u.net,
+                    mem: u.mem,
+                },
+                cost: NodeCostInputs {
+                    jobs: 2.0 + 30.0 * u.cpu.max(u.disk),
+                    move_cost: 0.2,
+                    avg_process_time: 0.8,
+                },
+            }
+        })
+        .collect();
+    let decision = decide(
+        &reports,
+        &settings.thresholds,
+        &settings.cost_model,
+        live_count,
+    );
+    let (node, to_tier, immediate, cost_value) = match decision {
+        Some(d) if d.to_tier == wounded_tier => (d.node, d.to_tier, d.immediate, d.cost_value),
+        _ => {
+            // Direct spare-pull: the idlest live node outside the wounded
+            // tier, from a tier that can spare one.
+            let peak = |n: usize| {
+                let u = &out.node_utilization[n];
+                u.cpu.max(u.disk).max(u.net)
+            };
+            let donor = (0..topology.len())
+                .filter(|&n| {
+                    let t = topology.role(n);
+                    t != wounded_tier && live(n) && live_count(t) > 1
+                })
+                .min_by(|&a, &b| peak(a).total_cmp(&peak(b)).then(a.cmp(&b)))?;
+            (donor, wounded_tier, true, 0.0)
+        }
+    };
+    let from_tier = topology.role(node);
+    observer.record_reconfig(
+        iteration,
+        node,
+        from_tier.name(),
+        to_tier.name(),
+        immediate,
+        cost_value,
+    );
+    observer.record_recovery(iteration, "reconfig", 0, 0.0, &format!("node {node}"), 0.0);
+    if let Some(reg) = observer.registry() {
+        reg.counter("resilience.reconfigs").inc();
+    }
+    Some(ReconfigEvent {
+        iteration,
+        node,
+        from_tier,
+        to_tier,
+        immediate,
+        cost_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::FaultPlan;
+    use tpcw::metrics::IntervalPlan;
+    use tpcw::mix::Workload;
+
+    fn base(topology: Topology, pop: u32) -> SessionConfig {
+        SessionConfig::new(topology, Workload::Shopping, pop).plan(IntervalPlan::tiny())
+    }
+
+    #[test]
+    fn fault_free_resilient_session_behaves_like_tuning() {
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300).pin_seed(true);
+        let run = run_resilient_session(&cfg, &ResilienceSettings::default(), 4).expect("run");
+        assert_eq!(run.records.len(), 4);
+        assert!(run.faults.is_empty());
+        assert!(run.recoveries.is_empty());
+        assert!(run.reconfigs.is_empty());
+        assert!(run.best_wips > 0.0);
+    }
+
+    #[test]
+    fn invalid_plan_is_reported_not_panicked() {
+        let cfg = base(Topology::single(), 200).fault_plan(FaultPlan::new().crash(1.0, 99));
+        let err = run_resilient_session(&cfg, &ResilienceSettings::default(), 2).unwrap_err();
+        assert!(matches!(err, SessionError::FaultPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn crash_mid_measurement_triggers_retries() {
+        // tiny plan: 5s warmup, 20s measure. Crash the only app node of
+        // line 2 early in iteration 1's measurement phase.
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let crash_at = total + 7.0;
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(crash_at, 1));
+        let run = run_resilient_session(&cfg, &ResilienceSettings::default(), 3).expect("run");
+        assert_eq!(run.first_crash_iteration(), Some(1));
+        assert!(
+            run.recoveries.iter().any(|r| r.action == "retry"),
+            "expected a retry: {:?}",
+            run.recoveries
+        );
+        // The retry saw the post-crash steady state (node 1 down, node 2
+        // still serving), so the session kept a usable sample.
+        assert!(run.records[1].wips > 0.0, "retried sample is usable");
+    }
+
+    #[test]
+    fn total_blackout_opens_the_breaker() {
+        // The only proxy node crashes before iteration 0's window ends
+        // and never restarts: every evaluation measures zero.
+        let cfg = base(Topology::tiers(1, 1, 1).unwrap(), 150)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(0.5, 0));
+        let settings = ResilienceSettings {
+            breaker_threshold: 1,
+            ..Default::default()
+        };
+        let run = run_resilient_session(&cfg, &settings, 3).expect("run");
+        assert!(run.records.iter().all(|r| r.wips == 0.0));
+        assert!(
+            run.recoveries.iter().any(|r| r.action == "breaker_open"),
+            "{:?}",
+            run.recoveries
+        );
+        assert_eq!(run.best_wips, 0.0);
+    }
+
+    #[test]
+    fn crash_pulls_a_spare_into_the_wounded_tier() {
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        // Node 2 (app tier) crashes during iteration 1.
+        let cfg = base(Topology::tiers(2, 2, 2).unwrap(), 400)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(total + 2.0, 2));
+        let run = run_resilient_session(&cfg, &ResilienceSettings::default(), 4).expect("run");
+        assert_eq!(run.reconfigs.len(), 1, "{:?}", run.reconfigs);
+        let e = &run.reconfigs[0];
+        assert_eq!(e.to_tier, Role::App);
+        assert_ne!(e.node, 2, "the dead node cannot be the donor");
+        assert_eq!(run.final_topology.count(Role::App), 3);
+    }
+}

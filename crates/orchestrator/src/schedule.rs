@@ -7,7 +7,9 @@
 //! switch.
 
 use crate::binding;
-use crate::session::{run_scenario, IterationRecord, SessionConfig, SessionObserver, TuningRun};
+use crate::session::{
+    run_scenario, IterationRecord, SessionConfig, SessionError, SessionObserver, TuningRun,
+};
 use cluster::config::ClusterConfig;
 use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
@@ -66,7 +68,10 @@ impl WorkloadSchedule {
 
 /// Run a single Harmony server (the §III.A setup: every parameter of the
 /// single work line) against a workload schedule.
-pub fn tune_with_schedule(base: &SessionConfig, schedule: &WorkloadSchedule) -> TuningRun {
+pub fn tune_with_schedule(
+    base: &SessionConfig,
+    schedule: &WorkloadSchedule,
+) -> Result<TuningRun, SessionError> {
     tune_with_schedule_observed(base, schedule, false, &mut SessionObserver::none())
 }
 
@@ -74,7 +79,10 @@ pub fn tune_with_schedule(base: &SessionConfig, schedule: &WorkloadSchedule) -> 
 /// every workload change point — the "told about the change" variant the
 /// paper contrasts against. With `reset_on_change = false` this is exactly
 /// the paper's continuous run.
-pub fn tune_with_schedule_reset(base: &SessionConfig, schedule: &WorkloadSchedule) -> TuningRun {
+pub fn tune_with_schedule_reset(
+    base: &SessionConfig,
+    schedule: &WorkloadSchedule,
+) -> Result<TuningRun, SessionError> {
     tune_with_schedule_observed(base, schedule, true, &mut SessionObserver::none())
 }
 
@@ -85,7 +93,8 @@ pub fn tune_with_schedule_observed(
     schedule: &WorkloadSchedule,
     reset_on_change: bool,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
+    base.validate_faults()?;
     let iterations = schedule.total_iterations();
     let change_points = schedule.change_points();
     let space = binding::full_space(&base.topology);
@@ -103,7 +112,8 @@ pub fn tune_with_schedule_observed(
         let proposal = server.next_config();
         let config = binding::config_from_full(&base.topology, &proposal);
         let cfg = base.clone().workload(workload);
-        let out = run_scenario(&cfg.scenario(config.clone(), i), observer.registry());
+        let mut out = run_scenario(&cfg.scenario(config.clone(), i), observer.registry());
+        cfg.apply_fault_noise(i, &mut out);
         let wips = out.metrics.wips;
         server.report(wips);
         if wips > best_wips {
@@ -131,13 +141,13 @@ pub fn tune_with_schedule_observed(
         });
     }
     observer.flush();
-    TuningRun {
+    Ok(TuningRun {
         method: TuningMethod::Default,
         records,
         best_config,
         best_wips,
         convergence_iteration: best_iter,
-    }
+    })
 }
 
 /// Recovery time after each workload change: iterations until WIPS first
@@ -206,7 +216,7 @@ mod tests {
         let schedule = WorkloadSchedule {
             segments: vec![(3, Workload::Browsing), (3, Workload::Ordering)],
         };
-        let run = tune_with_schedule(&cfg, &schedule);
+        let run = tune_with_schedule(&cfg, &schedule).expect("scheduled run");
         assert_eq!(run.records.len(), 6);
         assert_eq!(run.records[0].workload, Workload::Browsing);
         assert_eq!(run.records[5].workload, Workload::Ordering);
@@ -219,7 +229,7 @@ mod tests {
         let schedule = WorkloadSchedule {
             segments: vec![(4, Workload::Browsing), (4, Workload::Shopping)],
         };
-        let run = tune_with_schedule(&cfg, &schedule);
+        let run = tune_with_schedule(&cfg, &schedule).expect("scheduled run");
         let rec = recovery_iterations(&run, &schedule, 0.9);
         assert_eq!(rec.len(), 1);
         assert_eq!(rec[0].0, 4);
@@ -233,8 +243,8 @@ mod tests {
         let schedule = WorkloadSchedule {
             segments: vec![(3, Workload::Browsing), (3, Workload::Ordering)],
         };
-        let plain = tune_with_schedule(&cfg, &schedule);
-        let reset = tune_with_schedule_reset(&cfg, &schedule);
+        let plain = tune_with_schedule(&cfg, &schedule).expect("scheduled run");
+        let reset = tune_with_schedule_reset(&cfg, &schedule).expect("scheduled run");
         assert_eq!(reset.records.len(), 6);
         // Identical until the first change point, then the reset run
         // diverges (fresh simplex from the space default).

@@ -13,6 +13,7 @@ use cluster::config::{ClusterConfig, Role, Topology};
 use cluster::model::ClusterScenario;
 use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
+use faults::{FaultClock, FaultInjector, FaultPlan, WindowFaults};
 use harmony::server::HarmonyServer;
 use obs::{Registry, TraceRecord, TraceSink};
 use harmony::simplex::SimplexTuner;
@@ -23,6 +24,42 @@ use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
 
 use std::time::Instant;
+
+/// Recoverable failures of a tuning session. Everything that used to
+/// panic inside the session layer now surfaces here so the CLI can exit
+/// with a message instead of a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The topology is missing a whole tier (no proxy, app, or db node),
+    /// so no work line can be formed.
+    MissingTier,
+    /// A per-tier configuration could not be extracted from a full
+    /// cluster configuration (tier nodes disagree).
+    ConfigExtract,
+    /// A node index is out of range for the topology.
+    NoSuchNode { node: usize, nodes: usize },
+    /// The attached fault plan does not fit the topology.
+    FaultPlan(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingTier => {
+                write!(f, "topology is missing a tier — every work line needs a proxy, app, and db node")
+            }
+            SessionError::ConfigExtract => {
+                write!(f, "cannot extract a uniform per-tier configuration — tier nodes disagree")
+            }
+            SessionError::NoSuchNode { node, nodes } => {
+                write!(f, "node {node} out of range (topology has {nodes} nodes)")
+            }
+            SessionError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
 
 /// Environment of a tuning session.
 #[derive(Debug, Clone)]
@@ -44,6 +81,14 @@ pub struct SessionConfig {
     /// Per-node hardware overrides (failure injection); entry `i`
     /// replaces `spec` for node `i`.
     pub node_specs: Vec<Option<NodeSpec>>,
+    /// Deterministic fault schedule applied across iterations: iteration
+    /// `i` covers simulated time `[i*plan.total(), (i+1)*plan.total())`
+    /// of the plan. `None` (the default) leaves every run byte-identical
+    /// to a fault-free session.
+    pub fault_plan: Option<FaultPlan>,
+    /// Seed for fault-related randomness (measurement-noise spikes,
+    /// retry jitter), independent of `base_seed`.
+    pub fault_seed: u64,
 }
 
 impl SessionConfig {
@@ -59,6 +104,8 @@ impl SessionConfig {
             pin_seed: false,
             markov_sessions: false,
             node_specs: Vec::new(),
+            fault_plan: None,
+            fault_seed: 0xFA17,
         }
     }
 
@@ -126,14 +173,72 @@ impl SessionConfig {
         self
     }
 
+    /// Builder: attach a deterministic fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder: set the fault/jitter seed.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
     /// Degrade node `node` to `cpu_scale` of nominal CPU speed.
-    pub fn degrade_cpu(&mut self, node: usize, cpu_scale: f64) {
+    pub fn degrade_cpu(&mut self, node: usize, cpu_scale: f64) -> Result<(), SessionError> {
+        if node >= self.topology.len() {
+            return Err(SessionError::NoSuchNode {
+                node,
+                nodes: self.topology.len(),
+            });
+        }
         if self.node_specs.len() <= node {
             self.node_specs.resize(self.topology.len(), None);
         }
         let mut spec = self.node_specs[node].unwrap_or(self.spec);
         spec.cpu_scale = cpu_scale;
         self.node_specs[node] = Some(spec);
+        Ok(())
+    }
+
+    /// Check the attached fault plan (if any) against the topology.
+    pub fn validate_faults(&self) -> Result<(), SessionError> {
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.topology.len())
+                .map_err(|e| SessionError::FaultPlan(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Fault activity projected onto iteration `i`'s simulated window,
+    /// `None` when no plan is attached.
+    pub fn fault_window(&self, iteration: u32) -> Option<WindowFaults> {
+        let plan = self.fault_plan.as_ref()?;
+        let injector = FaultInjector::new(plan, self.fault_seed);
+        let (start, end) = FaultClock::window_of(self.plan.total(), iteration);
+        Some(injector.window(start, end, self.topology.len()))
+    }
+
+    /// Multiply measured WIPS by the iteration's noise-spike factor (a
+    /// deterministic draw from the fault seed). No-op without an active
+    /// spike, so fault-free runs are untouched.
+    pub(crate) fn apply_fault_noise(&self, iteration: u32, out: &mut IterationOutcome) {
+        let Some(wf) = self.fault_window(iteration) else {
+            return;
+        };
+        if wf.noise <= 1.0 {
+            return;
+        }
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return;
+        };
+        let (start, _) = FaultClock::window_of(self.plan.total(), iteration);
+        let factor = FaultInjector::new(plan, self.fault_seed).wips_noise(start, wf.noise);
+        out.metrics.wips *= factor;
+        for lw in &mut out.line_wips {
+            *lw *= factor;
+        }
     }
 
     fn seed_for(&self, iteration: u32) -> u64 {
@@ -146,6 +251,9 @@ impl SessionConfig {
 
     /// Build the scenario for one iteration.
     pub fn scenario(&self, config: ClusterConfig, iteration: u32) -> ClusterScenario {
+        let faults = self
+            .fault_window(iteration)
+            .and_then(|wf| (!wf.is_trivial()).then(|| wf.timeline()));
         ClusterScenario {
             spec: self.spec,
             topology: self.topology.clone(),
@@ -159,12 +267,15 @@ impl SessionConfig {
             markov_sessions: self.markov_sessions,
             load_balancing: cluster::model::LoadBalancing::default(),
             node_specs: self.node_specs.clone(),
+            faults,
         }
     }
 
     /// Evaluate one configuration (one iteration cycle).
     pub fn evaluate(&self, config: ClusterConfig, iteration: u32) -> IterationOutcome {
-        run_iteration(&self.scenario(config, iteration))
+        let mut out = run_iteration(&self.scenario(config, iteration));
+        self.apply_fault_noise(iteration, &mut out);
+        out
     }
 
     /// Like [`SessionConfig::evaluate`], but publishes engine and
@@ -175,7 +286,9 @@ impl SessionConfig {
         iteration: u32,
         registry: Option<&Registry>,
     ) -> IterationOutcome {
-        run_scenario(&self.scenario(config, iteration), registry)
+        let mut out = run_scenario(&self.scenario(config, iteration), registry);
+        self.apply_fault_noise(iteration, &mut out);
+        out
     }
 
     /// Measure the default configuration over `reps` independent seeds:
@@ -395,6 +508,54 @@ impl<'a> SessionObserver<'a> {
             .field("cost_value", cost_value);
         sink.emit(&rec);
     }
+
+    /// Emit one `fault` trace record for an injected fault event. Field
+    /// order is part of the trace schema (tests/golden/fault_schema.txt).
+    pub(crate) fn record_fault(
+        &mut self,
+        iteration: u32,
+        at_s: f64,
+        node: i64,
+        fault: &str,
+        factor: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("fault")
+            .field("iteration", iteration)
+            .field("at_s", at_s)
+            .field("node", node)
+            .field("fault", fault)
+            .field("factor", factor);
+        sink.emit(&rec);
+    }
+
+    /// Emit one `recovery` trace record for a resilience action (retry,
+    /// re-measurement, breaker trip, failure-driven reconfiguration).
+    /// Field order is part of the trace schema
+    /// (tests/golden/recovery_schema.txt).
+    pub(crate) fn record_recovery(
+        &mut self,
+        iteration: u32,
+        action: &str,
+        attempt: u32,
+        delay_s: f64,
+        config: &str,
+        wips: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("recovery")
+            .field("iteration", iteration)
+            .field("action", action)
+            .field("attempt", attempt)
+            .field("delay_s", delay_s)
+            .field("config", config)
+            .field("wips", wips);
+        sink.emit(&rec);
+    }
 }
 
 /// Run a prepared scenario, through the metrics-publishing runner when a
@@ -423,7 +584,7 @@ fn node_values(n: &cluster::config::NodeParams) -> Vec<i64> {
 
 /// Compact one-line rendering of a full cluster configuration:
 /// `proxy[v,v,..]|app[v,..]|db[v,..]`, one segment per node.
-fn config_summary(config: &ClusterConfig) -> String {
+pub(crate) fn config_summary(config: &ClusterConfig) -> String {
     config
         .nodes()
         .iter()
@@ -462,7 +623,10 @@ impl BestConfig {
 
 /// Tune with the paper's **default method**: one Harmony server over every
 /// parameter of every node.
-pub fn tune_default_method(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+pub fn tune_default_method(
+    cfg: &SessionConfig,
+    iterations: u32,
+) -> Result<TuningRun, SessionError> {
     tune_default_method_observed(cfg, iterations, &mut SessionObserver::none())
 }
 
@@ -471,7 +635,8 @@ pub fn tune_default_method_observed(
     cfg: &SessionConfig,
     iterations: u32,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
+    cfg.validate_faults()?;
     let space = binding::full_space(&cfg.topology);
     let mut server = HarmonyServer::new("all-nodes", Box::new(SimplexTuner::new(space)));
     let mut records = Vec::with_capacity(iterations as usize);
@@ -504,19 +669,19 @@ pub fn tune_default_method_observed(
         });
     }
     observer.flush();
-    TuningRun {
+    Ok(TuningRun {
         method: TuningMethod::Default,
         records,
         best_config: best.config,
         best_wips: best.wips,
         convergence_iteration: best.iteration,
-    }
+    })
 }
 
 /// Tune with **parameter duplication**: one server per tier (7/7/9
 /// dimensions), every tier's values replicated across its nodes, all three
 /// servers fed the same overall WIPS.
-pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+pub fn tune_duplication(cfg: &SessionConfig, iterations: u32) -> Result<TuningRun, SessionError> {
     tune_duplication_observed(cfg, iterations, &mut SessionObserver::none())
 }
 
@@ -526,7 +691,8 @@ pub fn tune_duplication_observed(
     cfg: &SessionConfig,
     iterations: u32,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
+    cfg.validate_faults()?;
     let mut servers = [
         HarmonyServer::new(
             "proxy-tier",
@@ -575,19 +741,19 @@ pub fn tune_duplication_observed(
         });
     }
     observer.flush();
-    TuningRun {
+    Ok(TuningRun {
         method: TuningMethod::Duplication,
         records,
         best_config: best.config,
         best_wips: best.wips,
         convergence_iteration: best.iteration,
-    }
+    })
 }
 
 /// Tune with **parameter partitioning**: the cluster is split into work
 /// lines; each line gets its own server (23 dimensions) fed by *its own
 /// line's* throughput, and requests never cross lines.
-pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> TuningRun {
+pub fn tune_partitioning(cfg: &SessionConfig, iterations: u32) -> Result<TuningRun, SessionError> {
     tune_partitioning_observed(cfg, iterations, &mut SessionObserver::none())
 }
 
@@ -597,7 +763,8 @@ pub fn tune_partitioning_observed(
     cfg: &SessionConfig,
     iterations: u32,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
+    cfg.validate_faults()?;
     let nodes: Vec<(usize, u8)> = cfg
         .topology
         .roles()
@@ -614,7 +781,7 @@ pub fn tune_partitioning_observed(
             )
         })
         .collect();
-    let lines = build_work_lines(&nodes).expect("topology has every tier");
+    let lines = build_work_lines(&nodes).map_err(|_| SessionError::MissingTier)?;
     let mut servers: Vec<HarmonyServer> = (0..lines.len())
         .map(|i| {
             HarmonyServer::new(
@@ -635,7 +802,8 @@ pub fn tune_partitioning_observed(
         }
         let mut scenario = cfg.scenario(config.clone(), i);
         scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let out = run_scenario(&scenario, observer.registry());
+        let mut out = run_scenario(&scenario, observer.registry());
+        cfg.apply_fault_noise(i, &mut out);
         let wips = out.metrics.wips;
         for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
             s.report(*line_wips);
@@ -661,19 +829,23 @@ pub fn tune_partitioning_observed(
         });
     }
     observer.flush();
-    TuningRun {
+    Ok(TuningRun {
         method: TuningMethod::Partitioning,
         records,
         best_config: best.config,
         best_wips: best.wips,
         convergence_iteration: best.iteration,
-    }
+    })
 }
 
 /// The paper's future-work **hybrid**: duplication for the first
 /// `switch_at` iterations, then per-line fine tuning seeded from the
 /// duplication result.
-pub fn tune_hybrid(cfg: &SessionConfig, iterations: u32, switch_at: u32) -> TuningRun {
+pub fn tune_hybrid(
+    cfg: &SessionConfig,
+    iterations: u32,
+    switch_at: u32,
+) -> Result<TuningRun, SessionError> {
     tune_hybrid_observed(cfg, iterations, switch_at, &mut SessionObserver::none())
 }
 
@@ -685,13 +857,13 @@ pub fn tune_hybrid_observed(
     iterations: u32,
     switch_at: u32,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
     let switch_at = switch_at.min(iterations);
-    let mut coarse = tune_duplication_observed(cfg, switch_at, observer);
+    let mut coarse = tune_duplication_observed(cfg, switch_at, observer)?;
 
     // Seed per-line tuning from the duplication best.
     let seed_tier = binding::tier_config_from(&coarse.best_config, &cfg.topology)
-        .expect("uniform config extractable");
+        .ok_or(SessionError::ConfigExtract)?;
     let nodes: Vec<(usize, u8)> = cfg
         .topology
         .roles()
@@ -708,7 +880,7 @@ pub fn tune_hybrid_observed(
             )
         })
         .collect();
-    let lines = build_work_lines(&nodes).expect("topology has every tier");
+    let lines = build_work_lines(&nodes).map_err(|_| SessionError::MissingTier)?;
     let mut servers: Vec<HarmonyServer> = (0..lines.len())
         .map(|i| {
             HarmonyServer::new(
@@ -733,7 +905,8 @@ pub fn tune_hybrid_observed(
         }
         let mut scenario = cfg.scenario(config.clone(), i);
         scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let out = run_scenario(&scenario, observer.registry());
+        let mut out = run_scenario(&scenario, observer.registry());
+        cfg.apply_fault_noise(i, &mut out);
         let wips = out.metrics.wips;
         for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
             s.report(*line_wips);
@@ -759,17 +932,21 @@ pub fn tune_hybrid_observed(
         });
     }
     observer.flush();
-    TuningRun {
+    Ok(TuningRun {
         method: TuningMethod::Hybrid,
         records: coarse.records,
         best_config: best.config,
         best_wips: best.wips,
         convergence_iteration: best.iteration,
-    }
+    })
 }
 
 /// Dispatch by method (None yields a flat run of the default config).
-pub fn tune(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> TuningRun {
+pub fn tune(
+    cfg: &SessionConfig,
+    method: TuningMethod,
+    iterations: u32,
+) -> Result<TuningRun, SessionError> {
     tune_observed(cfg, method, iterations, &mut SessionObserver::none())
 }
 
@@ -779,9 +956,10 @@ pub fn tune_observed(
     method: TuningMethod,
     iterations: u32,
     observer: &mut SessionObserver,
-) -> TuningRun {
+) -> Result<TuningRun, SessionError> {
     match method {
         TuningMethod::None => {
+            cfg.validate_faults()?;
             let mut records = Vec::with_capacity(iterations as usize);
             let default = ClusterConfig::defaults(&cfg.topology);
             let mut best = BestConfig::new(default.clone());
@@ -809,13 +987,13 @@ pub fn tune_observed(
                 });
             }
             observer.flush();
-            TuningRun {
+            Ok(TuningRun {
                 method: TuningMethod::None,
                 records,
                 best_config: best.config,
                 best_wips: best.wips,
                 convergence_iteration: 0,
-            }
+            })
         }
         TuningMethod::Default => tune_default_method_observed(cfg, iterations, observer),
         TuningMethod::Duplication => tune_duplication_observed(cfg, iterations, observer),
@@ -837,7 +1015,7 @@ mod tests {
     #[test]
     fn default_method_runs_and_records() {
         let cfg = quick_cfg(Workload::Shopping);
-        let run = tune_default_method(&cfg, 8);
+        let run = tune_default_method(&cfg, 8).expect("tuning");
         assert_eq!(run.records.len(), 8);
         assert!(run.best_wips > 0.0);
         assert!(run.convergence_iteration < 8);
@@ -847,7 +1025,7 @@ mod tests {
     #[test]
     fn duplication_replicates_values() {
         let cfg = quick_cfg(Workload::Browsing).topology(Topology::tiers(2, 1, 1).unwrap());
-        let run = tune_duplication(&cfg, 5);
+        let run = tune_duplication(&cfg, 5).expect("tuning");
         let best = &run.best_config;
         assert_eq!(
             best.node(0).as_proxy().unwrap(),
@@ -861,7 +1039,7 @@ mod tests {
         let cfg = quick_cfg(Workload::Shopping)
             .topology(Topology::tiers(2, 2, 2).unwrap())
             .population(400);
-        let run = tune_partitioning(&cfg, 5);
+        let run = tune_partitioning(&cfg, 5).expect("tuning");
         assert_eq!(run.records[0].line_wips.len(), 2);
         assert!(run.best_wips > 0.0);
     }
@@ -869,7 +1047,7 @@ mod tests {
     #[test]
     fn none_method_is_flat_default() {
         let cfg = quick_cfg(Workload::Ordering);
-        let run = tune(&cfg, TuningMethod::None, 3);
+        let run = tune(&cfg, TuningMethod::None, 3).expect("tuning");
         assert_eq!(run.records.len(), 3);
         assert_eq!(run.best_config, ClusterConfig::defaults(&cfg.topology));
     }
@@ -879,7 +1057,7 @@ mod tests {
         let cfg = quick_cfg(Workload::Shopping)
             .topology(Topology::tiers(2, 2, 2).unwrap())
             .population(400);
-        let run = tune_hybrid(&cfg, 9, 4);
+        let run = tune_hybrid(&cfg, 9, 4).expect("tuning");
         assert_eq!(run.records.len(), 9);
         assert_eq!(run.method, TuningMethod::Hybrid);
     }
@@ -887,8 +1065,8 @@ mod tests {
     #[test]
     fn pinned_seed_is_deterministic() {
         let cfg = quick_cfg(Workload::Shopping).pin_seed(true);
-        let a = tune_default_method(&cfg, 4);
-        let b = tune_default_method(&cfg, 4);
+        let a = tune_default_method(&cfg, 4).expect("tuning");
+        let b = tune_default_method(&cfg, 4).expect("tuning");
         assert_eq!(a.wips_series(), b.wips_series());
     }
 
@@ -908,7 +1086,7 @@ mod tests {
     #[test]
     fn window_stats_and_fraction() {
         let cfg = quick_cfg(Workload::Shopping);
-        let run = tune(&cfg, TuningMethod::None, 6);
+        let run = tune(&cfg, TuningMethod::None, 6).expect("tuning");
         let (mean, sd) = run.window_stats(0, 6);
         assert!(mean > 0.0);
         assert!(sd >= 0.0);
@@ -944,12 +1122,12 @@ mod tests {
     #[test]
     fn observed_tuning_matches_plain_and_traces_every_iteration() {
         let cfg = quick_cfg(Workload::Shopping).pin_seed(true);
-        let plain = tune(&cfg, TuningMethod::Default, 5);
+        let plain = tune(&cfg, TuningMethod::Default, 5).expect("tuning");
 
         let mut sink = obs::MemorySink::new();
         let registry = Registry::new();
         let mut observer = SessionObserver::new(Some(&mut sink), Some(&registry));
-        let observed = tune_observed(&cfg, TuningMethod::Default, 5, &mut observer);
+        let observed = tune_observed(&cfg, TuningMethod::Default, 5, &mut observer).expect("tuning");
 
         // Observation must not perturb the search.
         assert_eq!(plain.wips_series(), observed.wips_series());
@@ -1004,7 +1182,7 @@ mod tests {
         let cfg = quick_cfg(Workload::Browsing).pin_seed(true);
         let mut sink = obs::MemorySink::new();
         let mut observer = SessionObserver::with_sink(&mut sink);
-        tune_observed(&cfg, TuningMethod::None, 2, &mut observer);
+        tune_observed(&cfg, TuningMethod::None, 2, &mut observer).expect("tuning");
         for r in sink.records() {
             let line = r.to_json();
             assert!(line.starts_with("{\"kind\":\"iteration\""));

@@ -39,7 +39,8 @@ fn main() {
         } else {
             Workload::Ordering
         }
-    });
+    })
+    .expect("reconfiguration session");
 
     println!("WIPS: {}", sparkline(&run.wips_series()));
     for event in &run.events {

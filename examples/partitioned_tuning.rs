@@ -44,7 +44,7 @@ fn main() {
         TuningMethod::Duplication,
         TuningMethod::Partitioning,
     ] {
-        let run = tune(&cfg, method, iterations);
+        let run = tune(&cfg, method, iterations).expect("tuning session");
         table.row([
             method.label().to_string(),
             format!("{:.1}", run.best_wips),

@@ -30,7 +30,7 @@ fn main() {
     // simulated cluster measures it, and the simplex moves.
     let iterations = 30;
     println!("tuning for {iterations} iterations...");
-    let run = tune_default_method(&session, iterations);
+    let run = tune_default_method(&session, iterations).expect("tuning session");
 
     for record in run.records.iter().step_by(5) {
         println!("  iter {:3}: {:6.1} WIPS", record.iteration, record.wips);

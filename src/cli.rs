@@ -36,6 +36,10 @@ pub struct SimArgs {
     pub trace: Option<String>,
     /// Collect and print engine/resource metrics at the end of the run.
     pub metrics: bool,
+    /// Path to a JSON fault plan injected into the session timeline.
+    pub faults: Option<String>,
+    /// Seed for the fault injector's deterministic noise/jitter draws.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for SimArgs {
@@ -49,6 +53,8 @@ impl Default for SimArgs {
             plan: IntervalPlan::fast(),
             trace: None,
             metrics: false,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -88,6 +94,8 @@ OPTIONS (all subcommands):
   --plan tiny|fast|paper                  measurement intervals (default fast)
   --trace PATH       write one JSONL trace record per iteration
   --metrics          print engine/resource metrics at the end of the run
+  --faults PATH      JSON fault plan to inject (crashes, slowdowns, noise)
+  --fault-seed N     seed for fault noise/jitter draws (default 0xFA17)
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -217,6 +225,15 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
             "--metrics" => {
                 sim.metrics = true;
                 i += 1;
+            }
+            "--faults" => {
+                let v = args.get(i + 1).ok_or("--faults needs a path")?;
+                sim.faults = Some(v.clone());
+                i += 2;
+            }
+            "--fault-seed" => {
+                sim.fault_seed = Some(parse_num(args, i, "--fault-seed")?);
+                i += 2;
             }
             "--plan" => {
                 let v = args.get(i + 1).ok_or("--plan needs a value")?;
@@ -348,6 +365,27 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(argv(&["simulate", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        match parse(argv(&["tune", "--faults", "plan.json", "--fault-seed", "9"])).unwrap() {
+            Command::Tune(t) => {
+                assert_eq!(t.sim.faults.as_deref(), Some("plan.json"));
+                assert_eq!(t.sim.fault_seed, Some(9));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.faults, None);
+                assert_eq!(sim.fault_seed, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(argv(&["simulate", "--faults"])).is_err());
+        assert!(parse(argv(&["reconfig", "--fault-seed", "nope"])).is_err());
+        assert!(parse(argv(&["tune", "--fault-seed"])).is_err());
     }
 
     #[test]

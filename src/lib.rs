@@ -5,12 +5,14 @@
 //! * [`tpcw`] — the TPC-W workload model;
 //! * [`cluster`] — the simulated three-tier testbed;
 //! * [`harmony`] — the Active Harmony tuning system;
+//! * [`faults`] — deterministic fault plans and injection;
 //! * [`obs`] — metrics registry and structured trace sinks;
 //! * [`orchestrator`] — sessions, experiments, reports.
 
 pub mod cli;
 
 pub use cluster;
+pub use faults;
 pub use harmony;
 pub use obs;
 pub use orchestrator;
@@ -26,7 +28,7 @@ pub use tpcw;
 /// let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
 ///     .plan(IntervalPlan::tiny())
 ///     .pin_seed(true);
-/// let run = tune(&cfg, TuningMethod::Default, 3);
+/// let run = tune(&cfg, TuningMethod::Default, 3).expect("session");
 /// assert_eq!(run.records.len(), 3);
 /// ```
 pub mod prelude {
@@ -40,8 +42,13 @@ pub mod prelude {
     pub use obs::{
         CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink,
     };
+    pub use faults::{FaultPlan, Health};
+    pub use orchestrator::resilient::{
+        run_resilient_session, run_resilient_session_observed, ResilienceSettings, ResilientRun,
+    };
     pub use orchestrator::session::{
-        tune, tune_observed, IterationRecord, SessionConfig, SessionObserver, TuningRun,
+        tune, tune_observed, IterationRecord, SessionConfig, SessionError, SessionObserver,
+        TuningRun,
     };
     pub use tpcw::metrics::IntervalPlan;
     pub use tpcw::mix::Workload;

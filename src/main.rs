@@ -54,10 +54,27 @@ fn print_metrics(registry: Option<&Registry>) {
 }
 
 fn session_of(sim: &SimArgs) -> SessionConfig {
-    SessionConfig::new(sim.topology.clone(), sim.workload, sim.population)
+    let mut cfg = SessionConfig::new(sim.topology.clone(), sim.workload, sim.population)
         .plan(sim.plan)
         .base_seed(sim.seed)
-        .markov(sim.markov)
+        .markov(sim.markov);
+    if let Some(path) = sim.faults.as_deref() {
+        match faults::FaultPlan::load(std::path::Path::new(path)) {
+            Ok(plan) => cfg = cfg.fault_plan(plan),
+            Err(e) => {
+                eprintln!("error: cannot load fault plan '{path}': {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(seed) = sim.fault_seed {
+        cfg = cfg.fault_seed(seed);
+    }
+    if let Err(e) = cfg.validate_faults() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    cfg
 }
 
 fn simulate(sim: &SimArgs) {
@@ -128,7 +145,13 @@ fn run_tune(t: &TuneArgs) {
         trace.as_mut().map(|s| s as &mut dyn TraceSink),
         registry.as_ref(),
     );
-    let run = tune_observed(&cfg, t.method, t.iterations, &mut observer);
+    let run = match tune_observed(&cfg, t.method, t.iterations, &mut observer) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("WIPS: {}", sparkline(&run.wips_series()));
     println!(
         "best {:.1} WIPS ({}) first reached within 1% at iteration {}",
@@ -160,8 +183,19 @@ fn reconfig(sim: &SimArgs) {
         trace.as_mut().map(|s| s as &mut dyn TraceSink),
         registry.as_ref(),
     );
-    let run =
-        run_reconfig_session_observed(&cfg, &settings, iterations, |_| sim.workload, &mut observer);
+    let run = match run_reconfig_session_observed(
+        &cfg,
+        &settings,
+        iterations,
+        |_| sim.workload,
+        &mut observer,
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("WIPS: {}", sparkline(&run.wips_series()));
     if run.events.is_empty() {
         println!("no reconfiguration needed; final layout {}", run.final_topology);

@@ -16,7 +16,7 @@ fn tuning_loop_runs_and_never_crashes_across_methods() {
     for method in TuningMethod::ALL {
         let mut cfg = smoke_session(Workload::Shopping, 250);
         cfg.topology = Topology::tiers(2, 2, 2).unwrap();
-        let run = tune(&cfg, method, 6);
+        let run = tune(&cfg, method, 6).expect("tuning session");
         assert_eq!(run.records.len(), 6, "{method}");
         assert!(run.best_wips > 0.0, "{method}");
         assert!(run
@@ -29,8 +29,8 @@ fn tuning_loop_runs_and_never_crashes_across_methods() {
 #[test]
 fn full_stack_is_deterministic_for_pinned_seed() {
     let cfg = smoke_session(Workload::Browsing, 200).pin_seed(true);
-    let a = tune_default_method(&cfg, 5);
-    let b = tune_default_method(&cfg, 5);
+    let a = tune_default_method(&cfg, 5).expect("run a");
+    let b = tune_default_method(&cfg, 5).expect("run b");
     assert_eq!(a.wips_series(), b.wips_series());
     assert_eq!(a.best_config, b.best_config);
 }
@@ -40,7 +40,7 @@ fn tuner_proposals_always_yield_valid_cluster_configs() {
     // Drive 20 iterations and validate every evaluated configuration
     // against the topology (roles and bounds).
     let cfg = smoke_session(Workload::Ordering, 200);
-    let run = tune_default_method(&cfg, 20);
+    let run = tune_default_method(&cfg, 20).expect("tuning session");
     // The best config must be buildable and apply cleanly.
     let rebuilt = ClusterConfig::new(&cfg.topology, run.best_config.nodes().to_vec());
     assert!(rebuilt.is_ok());
@@ -50,14 +50,14 @@ fn tuner_proposals_always_yield_valid_cluster_configs() {
 fn default_baseline_matches_none_method() {
     let cfg = smoke_session(Workload::Shopping, 200).pin_seed(true);
     let (baseline, _) = cfg.measure_default(1);
-    let run = tune(&cfg, TuningMethod::None, 1);
+    let run = tune(&cfg, TuningMethod::None, 1).expect("tuning session");
     assert!((run.records[0].wips - baseline).abs() < 1e-9);
 }
 
 #[test]
 fn partitioned_lines_account_for_all_throughput() {
     let cfg = smoke_session(Workload::Shopping, 300).topology(Topology::tiers(2, 2, 2).unwrap());
-    let run = tune(&cfg, TuningMethod::Partitioning, 4);
+    let run = tune(&cfg, TuningMethod::Partitioning, 4).expect("tuning session");
     for rec in &run.records {
         let sum: f64 = rec.line_wips.iter().sum();
         assert!(

@@ -23,7 +23,7 @@ fn move_relieves_saturated_proxy_tier_and_helps_throughput() {
         tune_during: false,
         ..Default::default()
     };
-    let run = run_reconfig_session(&cfg, &settings, 10, |_| Workload::Browsing);
+    let run = run_reconfig_session(&cfg, &settings, 10, |_| Workload::Browsing).expect("session");
     assert_eq!(run.events.len(), 1);
     let e = &run.events[0];
     assert_eq!(e.from_tier, Role::App);
@@ -49,7 +49,7 @@ fn tier_size_guard_prevents_emptying_a_tier() {
         tune_during: false,
         ..Default::default()
     };
-    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Browsing);
+    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Browsing).expect("session");
     // Whatever happened, every tier still has at least one node.
     for role in Role::ALL {
         assert!(run.final_topology.count(role) >= 1, "{role} emptied");
@@ -64,7 +64,7 @@ fn balanced_cluster_stays_put() {
         tune_during: false,
         ..Default::default()
     };
-    let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping);
+    let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping).expect("session");
     assert!(run.events.is_empty());
     assert_eq!(run.final_topology, cfg.topology);
 }
@@ -79,7 +79,7 @@ fn service_continues_across_every_iteration_of_a_move() {
         tune_during: false,
         ..Default::default()
     };
-    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Browsing);
+    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Browsing).expect("session");
     // The paper: reconfiguration happens without taking the system down —
     // every iteration (including the move iteration) serves traffic.
     for rec in &run.records {
@@ -93,7 +93,7 @@ fn degraded_node_attracts_tier_reinforcement() {
     // under an ordering workload. Its CPU pegs; an idle proxy should be
     // reassigned into the app tier to compensate.
     let mut cfg = base(Topology::tiers(3, 2, 2).unwrap(), 1200).workload(Workload::Ordering);
-    cfg.degrade_cpu(3, 0.2); // node 3 = first app node
+    cfg.degrade_cpu(3, 0.2).expect("node 3 exists"); // node 3 = first app node
     let settings = ReconfigSettings {
         check_every: None,
         force_check_at: Some(4),
@@ -101,7 +101,7 @@ fn degraded_node_attracts_tier_reinforcement() {
         tune_during: false,
         ..Default::default()
     };
-    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Ordering);
+    let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Ordering).expect("session");
     assert_eq!(run.events.len(), 1, "expected reinforcement: {:?}", run.events);
     assert_eq!(run.events[0].to_tier, Role::App);
     assert_eq!(run.final_topology.count(Role::App), 3);

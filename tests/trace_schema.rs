@@ -66,13 +66,16 @@ fn key_sequence(line: &str) -> Vec<String> {
     keys
 }
 
-fn golden_keys() -> Vec<String> {
-    include_str!("golden/iteration_schema.txt")
-        .lines()
+fn golden_keys_from(text: &str) -> Vec<String> {
+    text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(str::to_string)
         .collect()
+}
+
+fn golden_keys() -> Vec<String> {
+    golden_keys_from(include_str!("golden/iteration_schema.txt"))
 }
 
 fn traced_run(method: TuningMethod, iterations: u32) -> Vec<TraceRecord> {
@@ -81,7 +84,7 @@ fn traced_run(method: TuningMethod, iterations: u32) -> Vec<TraceRecord> {
         .pin_seed(true);
     let mut sink = MemorySink::new();
     let mut observer = SessionObserver::with_sink(&mut sink);
-    let run = tune_observed(&cfg, method, iterations, &mut observer);
+    let run = tune_observed(&cfg, method, iterations, &mut observer).expect("tuning session");
     assert_eq!(run.records.len(), iterations as usize);
     sink.records
 }
@@ -133,6 +136,68 @@ fn trace_lines_are_structurally_valid_json_objects() {
         }
         assert_eq!(depth, 0, "{line}");
         assert!(!in_str, "{line}");
+    }
+}
+
+/// A resilient run whose fault plan exercises every record kind: a noise
+/// spike in iteration 0 and a mid-measurement crash in iteration 1.
+fn traced_fault_run() -> Vec<TraceRecord> {
+    let plan = IntervalPlan::tiny();
+    let window = plan.total().as_secs_f64();
+    let crash_at = window + plan.warmup.as_secs_f64() + plan.measure.as_secs_f64() / 2.0;
+    let faults = FaultPlan::new()
+        .noise_spike(plan.warmup.as_secs_f64() + 1.0, 4.0)
+        .crash(crash_at, 1);
+    let cfg = SessionConfig::new(Topology::tiers(1, 2, 1).unwrap(), Workload::Shopping, 250)
+        .plan(plan)
+        .pin_seed(true)
+        .fault_plan(faults);
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    run_resilient_session_observed(&cfg, &ResilienceSettings::default(), 3, &mut observer)
+        .expect("resilient session");
+    sink.records
+}
+
+fn records_of_kind(records: &[TraceRecord], kind: &str) -> Vec<String> {
+    let prefix = format!("{{\"kind\":\"{kind}\"");
+    records
+        .iter()
+        .map(|r| r.to_json())
+        .filter(|line| line.starts_with(&prefix))
+        .collect()
+}
+
+#[test]
+fn fault_records_match_golden_schema() {
+    let records = traced_fault_run();
+    let faults = records_of_kind(&records, "fault");
+    assert!(faults.len() >= 2, "noise spike + crash: {faults:?}");
+    let expected = golden_keys_from(include_str!("golden/fault_schema.txt"));
+    for line in &faults {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/fault_schema.txt: {line}"
+        );
+    }
+}
+
+#[test]
+fn recovery_records_match_golden_schema() {
+    let records = traced_fault_run();
+    let recoveries = records_of_kind(&records, "recovery");
+    assert!(
+        !recoveries.is_empty(),
+        "the mid-measurement crash must trigger at least one retry"
+    );
+    let expected = golden_keys_from(include_str!("golden/recovery_schema.txt"));
+    for line in &recoveries {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/recovery_schema.txt: {line}"
+        );
     }
 }
 
