@@ -153,6 +153,89 @@ fn report_overhead() {
     );
 }
 
+/// Head-to-head: crash-safe checkpointing must cost < 5% per tuning
+/// iteration at the default cadence (a journal append per iteration, a
+/// fsynced snapshot every 10th). With a pinned seed the simulation work
+/// is identical with and without a checkpoint directory, so the added
+/// cost *is* the persistence work; measuring that directly (open + one
+/// journal frame per iteration + one snapshot per cadence) resolves a
+/// ~1% delta that end-to-end differencing would bury in scheduler noise.
+fn report_checkpoint_overhead() {
+    use orchestrator::checkpoint::{session_fingerprint, CheckpointPolicy, Checkpointer};
+    use orchestrator::session::tune;
+    use persist::State;
+
+    let topology = Topology::single();
+    let cfg = SessionConfig::new(topology, Workload::Shopping, 400)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true);
+    let dir = std::env::temp_dir().join(format!("bench-ckpt-{}", std::process::id()));
+    let iters = 20u32;
+    let min_time = Duration::from_millis(700);
+    let plain = measure(
+        || {
+            let run = tune(&cfg, harmony::strategy::TuningMethod::Default, iters).expect("tune");
+            black_box(run.best_wips)
+        },
+        min_time,
+        10,
+    );
+
+    // One session's worth of persistence: fresh open, a delta frame per
+    // iteration, and a full (synthetic, comparably-sized) snapshot on
+    // the default every-10 cadence.
+    let policy = CheckpointPolicy::new(&dir);
+    let fp = session_fingerprint(&cfg, "bench", iters, iters);
+    let snapshot = |upto: u64| {
+        State::map()
+            .with("kind", State::Str("tune".into()))
+            .with(
+                "records",
+                State::List(
+                    (0..upto)
+                        .map(|i| {
+                            State::map()
+                                .with("iteration", State::U64(i))
+                                .with("wips", State::F64(120.0 + i as f64))
+                                .with("line_wips", State::f64_list(&[120.0 + i as f64]))
+                                .with("workload", State::Str("Shopping".into()))
+                                .with("failed", State::U64(0))
+                        })
+                        .collect(),
+                ),
+            )
+    };
+    let persistence = measure(
+        || {
+            let (mut ck, _) = Checkpointer::open(&policy, fp).expect("open");
+            for i in 0..iters {
+                ck.append(
+                    State::map()
+                        .with("iteration", State::U64(i as u64))
+                        .with("wips", State::F64(123.456))
+                        .with("line_wips", State::f64_list(&[123.456]))
+                        .with("failed", State::U64(0)),
+                )
+                .expect("append");
+                ck.maybe_snapshot(i + 1, iters, || snapshot(i as u64 + 1))
+                    .expect("snapshot");
+            }
+            black_box(())
+        },
+        min_time,
+        10,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let delta = persistence.secs_per_iter() / plain.secs_per_iter();
+    println!(
+        "iteration/checkpoint overhead (default cadence, {iters}-iteration session): {:+.2}% \
+         (target < 5%; session {:.3} ms, persistence ops {:.3} ms)",
+        delta * 100.0,
+        plain.secs_per_iter() * 1e3,
+        persistence.secs_per_iter() * 1e3
+    );
+}
+
 fn main() {
     let mut c = Criterion::from_args();
     bench_workloads(&mut c);
@@ -162,4 +245,5 @@ fn main() {
     bench_faults(&mut c);
     report_overhead();
     report_injector_overhead();
+    report_checkpoint_overhead();
 }

@@ -8,12 +8,27 @@
 //! restart scheduled for later in the session can heal a retried
 //! evaluation.
 
+use persist::{Checkpointable, PersistError, State};
 use simkit::time::{SimDuration, SimTime};
 
 #[derive(Debug, Clone)]
 pub struct FaultClock {
     span: SimDuration,
     now: SimTime,
+}
+
+impl Checkpointable for FaultClock {
+    fn save_state(&self) -> State {
+        State::map()
+            .with("span_us", State::U64(self.span.as_micros()))
+            .with("now_us", State::U64(self.now.as_micros()))
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        self.span = SimDuration::from_micros(state.field_u64("span_us")?);
+        self.now = SimTime::from_micros(state.field_u64("now_us")?);
+        Ok(())
+    }
 }
 
 impl FaultClock {
@@ -84,6 +99,20 @@ mod tests {
             clock.next_window(),
             (SimTime::from_secs(15), SimTime::from_secs(25))
         );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_the_timeline() {
+        let mut clock = FaultClock::new(SimDuration::from_secs(30));
+        clock.next_window();
+        clock.hold(SimDuration::from_secs(7));
+        let saved = clock.save_state();
+        let mut resumed = FaultClock::new(SimDuration::from_secs(1));
+        resumed.restore_state(&saved).unwrap();
+        assert_eq!(resumed.span(), clock.span());
+        assert_eq!(resumed.now(), clock.now());
+        assert_eq!(resumed.next_window(), clock.next_window());
+        assert!(resumed.restore_state(&State::Null).is_err());
     }
 
     #[test]

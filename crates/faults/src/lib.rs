@@ -22,6 +22,11 @@
 //! seed replay the same faults, byte for byte, which the determinism tests
 //! rely on.
 
+// Fault plans are user input: parsing and validation must return typed
+// `PlanError`s, never panic. Test modules are exempt; CI enforces this
+// with a dedicated clippy step.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod clock;
 pub mod health;
 pub mod inject;

@@ -60,6 +60,9 @@ pub struct FaultEvent {
     /// Target node, `None` for cluster-wide events (noise spikes).
     pub node: Option<usize>,
     pub kind: FaultKind,
+    /// Optional caller-assigned event id. Ids must be unique within a
+    /// plan; they let traces and tooling refer to specific events.
+    pub id: Option<u64>,
 }
 
 /// Why a plan could not be parsed or validated.
@@ -71,6 +74,13 @@ pub enum PlanError {
     BadFactor { kind: String, factor: f64 },
     NodeOutOfRange { node: usize, nodes: usize },
     MissingNode { kind: String },
+    /// Two events share the same explicit id.
+    DuplicateId(u64),
+    /// An event timestamp is negative (times are simulated seconds ≥ 0).
+    NegativeTime(f64),
+    /// A node is scheduled to crash again while already down — the
+    /// windows of the two crashes overlap with no restart in between.
+    OverlappingCrash { node: usize, at_s: f64 },
     Io(String),
 }
 
@@ -92,6 +102,16 @@ impl fmt::Display for PlanError {
             PlanError::MissingNode { kind } => {
                 write!(f, "fault '{kind}' requires a 'node' field")
             }
+            PlanError::DuplicateId(id) => {
+                write!(f, "duplicate fault event id {id}")
+            }
+            PlanError::NegativeTime(at_s) => {
+                write!(f, "fault event time must be >= 0, got {at_s}")
+            }
+            PlanError::OverlappingCrash { node, at_s } => write!(
+                f,
+                "node {node} crashes again at {at_s}s while already down (no restart in between)"
+            ),
             PlanError::Io(msg) => write!(f, "cannot read fault plan: {msg}"),
         }
     }
@@ -143,6 +163,7 @@ impl FaultPlan {
             ),
             node,
             kind,
+            id: None,
         });
         self
     }
@@ -177,8 +198,10 @@ impl FaultPlan {
         self.with(at_s, None, FaultKind::NoiseSpike(factor))
     }
 
-    /// Check factors and node indices against a cluster of `nodes` nodes.
+    /// Check factors, node indices, id uniqueness, and crash/restart
+    /// ordering against a cluster of `nodes` nodes.
     pub fn validate(&self, nodes: usize) -> Result<(), PlanError> {
+        let mut seen_ids = Vec::new();
         for e in &self.events {
             let factor = e.kind.factor();
             if factor < 1.0 || !factor.is_finite() {
@@ -198,6 +221,31 @@ impl FaultPlan {
                 }
                 _ => {}
             }
+            if let Some(id) = e.id {
+                if seen_ids.contains(&id) {
+                    return Err(PlanError::DuplicateId(id));
+                }
+                seen_ids.push(id);
+            }
+        }
+        // Events are sorted by time: a second crash on a node that has
+        // not restarted means the two outage windows overlap.
+        let mut down = vec![false; nodes];
+        for e in &self.events {
+            let Some(n) = e.node else { continue };
+            match e.kind {
+                FaultKind::Crash => {
+                    if down[n] {
+                        return Err(PlanError::OverlappingCrash {
+                            node: n,
+                            at_s: e.at.as_secs_f64(),
+                        });
+                    }
+                    down[n] = true;
+                }
+                FaultKind::Restart => down[n] = false,
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -211,17 +259,28 @@ impl FaultPlan {
             .as_arr()
             .ok_or(PlanError::MissingField("events"))?;
         let mut plan = FaultPlan::new();
+        let mut seen_ids = Vec::new();
         for item in events {
             let at_s = item
                 .get("at_s")
                 .and_then(Json::as_f64)
                 .ok_or(PlanError::MissingField("at_s"))?;
+            if at_s < 0.0 || !at_s.is_finite() {
+                return Err(PlanError::NegativeTime(at_s));
+            }
             let kind_name = item
                 .get("kind")
                 .and_then(Json::as_str)
                 .ok_or(PlanError::MissingField("kind"))?;
             let node = item.get("node").and_then(Json::as_f64).map(|n| n as usize);
             let factor = item.get("factor").and_then(Json::as_f64);
+            let id = item.get("id").and_then(Json::as_f64).map(|v| v as u64);
+            if let Some(id) = id {
+                if seen_ids.contains(&id) {
+                    return Err(PlanError::DuplicateId(id));
+                }
+                seen_ids.push(id);
+            }
             let need_factor = || factor.ok_or(PlanError::MissingField("factor"));
             let kind = match kind_name {
                 "crash" => FaultKind::Crash,
@@ -243,6 +302,7 @@ impl FaultPlan {
                 ),
                 node,
                 kind,
+                id,
             });
         }
         Ok(plan)
@@ -269,6 +329,9 @@ impl FaultPlan {
             out.push_str(&format!(", \"kind\": \"{}\"", e.kind.name()));
             if !e.kind.needs_node() || e.kind.factor() != 1.0 {
                 out.push_str(&format!(", \"factor\": {}", e.kind.factor()));
+            }
+            if let Some(id) = e.id {
+                out.push_str(&format!(", \"id\": {id}"));
             }
             out.push('}');
         }
@@ -354,6 +417,93 @@ mod tests {
             PlanError::BadFactor { .. }
         ));
         assert!(FaultPlan::new().crash(1.0, 2).validate(3).is_ok());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_event_ids() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: SimTime::from_secs(30),
+            node: Some(3),
+            kind: FaultKind::Crash,
+            id: Some(7),
+        });
+        plan.push(FaultEvent {
+            at: SimTime::from_secs(40),
+            node: None,
+            kind: FaultKind::NoiseSpike(4.0),
+            id: Some(8),
+        });
+        let json = plan.to_json();
+        assert!(json.contains("\"id\": 7"), "ids serialized: {json}");
+        let parsed = FaultPlan::parse_json(&json).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.events()[0].id, Some(7));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_ids() {
+        let err = FaultPlan::parse_json(
+            r#"{"events": [
+                {"at_s": 1.0, "node": 0, "kind": "crash", "id": 5},
+                {"at_s": 2.0, "node": 0, "kind": "restart", "id": 5}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::DuplicateId(5));
+        // validate() catches programmatically built duplicates too.
+        let mut plan = FaultPlan::new();
+        for at in [1, 2] {
+            plan.push(FaultEvent {
+                at: SimTime::from_secs(at),
+                node: Some(0),
+                kind: if at == 1 { FaultKind::Crash } else { FaultKind::Restart },
+                id: Some(9),
+            });
+        }
+        assert_eq!(plan.validate(2).unwrap_err(), PlanError::DuplicateId(9));
+    }
+
+    #[test]
+    fn parse_rejects_negative_times() {
+        let err =
+            FaultPlan::parse_json(r#"{"events": [{"at_s": -3.5, "node": 0, "kind": "crash"}]}"#)
+                .unwrap_err();
+        assert_eq!(err, PlanError::NegativeTime(-3.5));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_crash_windows() {
+        // Node 1 crashes twice with no restart in between: the outage
+        // windows overlap and the plan is ambiguous.
+        let plan = FaultPlan::new().crash(10.0, 1).crash(20.0, 1);
+        assert_eq!(
+            plan.validate(3).unwrap_err(),
+            PlanError::OverlappingCrash { node: 1, at_s: 20.0 }
+        );
+        // An intervening restart makes it legal again.
+        let plan = FaultPlan::new().crash(10.0, 1).restart(15.0, 1).crash(20.0, 1);
+        assert!(plan.validate(3).is_ok());
+        // Crashes on different nodes never conflict.
+        let plan = FaultPlan::new().crash(10.0, 0).crash(11.0, 1);
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_never_panic() {
+        for text in [
+            "",
+            "null",
+            "[]",
+            "{\"events\": 3}",
+            "{\"events\": [{}]}",
+            "{\"events\": [{\"at_s\": \"soon\", \"kind\": \"crash\", \"node\": 0}]}",
+            "{\"events\": [{\"at_s\": 1e999, \"kind\": \"crash\", \"node\": 0}]}",
+            "{\"events\": [{\"at_s\": 1.0, \"kind\": [], \"node\": 0}]}",
+            "\u{0000}\u{0001}garbage",
+        ] {
+            assert!(FaultPlan::parse_json(text).is_err(), "accepted: {text:?}");
+        }
     }
 
     #[test]

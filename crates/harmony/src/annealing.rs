@@ -91,7 +91,9 @@ impl Tuner for SimulatedAnnealing {
     }
 
     fn observe(&mut self, performance: f64) {
-        let config = self.pending.take().expect("observe() without propose()");
+        let Some(config) = self.pending.take() else {
+            panic!("observe() without propose()");
+        };
         self.tracker.record(&config, performance);
         match self.current_perf {
             None => {
@@ -101,7 +103,9 @@ impl Tuner for SimulatedAnnealing {
                 self.current_perf = Some(performance);
             }
             Some(current) => {
-                let t = self.temperature.expect("calibrated");
+                let Some(t) = self.temperature else {
+                    unreachable!("temperature calibrated on first observation")
+                };
                 let delta = performance - current;
                 let accept = delta >= 0.0 || {
                     let p = (delta / t).exp();

@@ -56,7 +56,9 @@ impl Tuner for RandomSearch {
     }
 
     fn observe(&mut self, performance: f64) {
-        let config = self.pending.take().expect("observe() without propose()");
+        let Some(config) = self.pending.take() else {
+            panic!("observe() without propose()");
+        };
         self.tracker.record(&config, performance);
     }
 
@@ -170,14 +172,18 @@ impl Tuner for CoordinateDescent {
     }
 
     fn observe(&mut self, performance: f64) {
-        let config = self.pending.take().expect("observe() without propose()");
+        let Some(config) = self.pending.take() else {
+            panic!("observe() without propose()");
+        };
         self.tracker.record(&config, performance);
         match self.pending_probe.take() {
             None => {
                 self.current_perf = Some(performance);
             }
             Some(_) => {
-                let cur = self.current_perf.expect("current evaluated first");
+                let Some(cur) = self.current_perf else {
+                    unreachable!("current evaluated before probes")
+                };
                 if performance > cur {
                     self.current = config;
                     self.current_perf = Some(performance);

@@ -5,6 +5,7 @@
 //! are computed from it too.
 
 use crate::space::Configuration;
+use persist::{Checkpointable, PersistError, State};
 use simkit::stats::Welford;
 
 /// One tuning iteration's record.
@@ -104,6 +105,37 @@ impl TuningHistory {
         self.entries
             .iter()
             .max_by(|a, b| a.performance.total_cmp(&b.performance))
+    }
+}
+
+impl Checkpointable for TuningHistory {
+    fn save_state(&self) -> State {
+        State::List(
+            self.entries
+                .iter()
+                .map(|e| {
+                    State::map()
+                        .with("values", State::i64_list(e.config.values()))
+                        .with("performance", State::F64(e.performance))
+                })
+                .collect(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let items = state
+            .as_list()
+            .ok_or_else(|| PersistError::Schema("history state is not a list".into()))?;
+        self.entries.clear();
+        for item in items {
+            // `record` re-derives the iteration index, so ordering is
+            // preserved exactly as saved.
+            self.record(
+                Configuration::from_values(item.require("values")?.to_i64_vec()?),
+                item.field_f64("performance")?,
+            );
+        }
+        Ok(())
     }
 }
 

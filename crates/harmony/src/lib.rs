@@ -19,6 +19,12 @@
 //!   per-configuration circuit breaker, and an outlier re-measurement
 //!   gate for failed or noisy evaluations.
 //!
+//! Tuning state is crash-safe: [`SimplexTuner`], [`HarmonyServer`],
+//! [`TuningHistory`], and [`CircuitBreaker`] implement the `persist`
+//! crate's `Checkpointable` trait, exporting their full search state
+//! (simplex geometry, phase, pending proposals, best-seen records,
+//! failure counters) so an interrupted session resumes byte-identically.
+//!
 //! This crate is application-agnostic: nothing here knows about web
 //! clusters. The orchestrator crate wires it to the simulated testbed.
 //!
@@ -41,6 +47,12 @@
 //! let (best, _) = tuner.best().unwrap();
 //! assert!((best.get(0) - 96).abs() < 60);
 //! ```
+
+// Tuning code must surface failures through return values, never
+// unwrap/expect in library paths; protocol-misuse asserts (e.g. a
+// propose() without its observe()) remain as explicit panics. Test
+// modules are exempt. CI enforces this with a dedicated clippy step.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod annealing;
 pub mod baseline;

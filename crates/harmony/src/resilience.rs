@@ -5,6 +5,7 @@
 //! jitter draws from a caller-supplied [`SimRng`] and delays are simulated
 //! time, so a failed evaluation replays identically under the same seed.
 
+use persist::{Checkpointable, PersistError, State};
 use simkit::rng::SimRng;
 use simkit::time::SimDuration;
 use std::collections::BTreeMap;
@@ -153,6 +154,57 @@ impl CircuitBreaker {
     }
 }
 
+impl Checkpointable for CircuitBreaker {
+    fn save_state(&self) -> State {
+        State::map()
+            .with("threshold", State::U64(self.threshold as u64))
+            .with(
+                "failures",
+                State::Map(
+                    self.failures
+                        .iter()
+                        .map(|(k, v)| (k.clone(), State::U64(*v as u64)))
+                        .collect(),
+                ),
+            )
+            .with(
+                "open",
+                State::List(
+                    self.open
+                        .iter()
+                        .filter(|(_, v)| **v)
+                        .map(|(k, _)| State::Str(k.clone()))
+                        .collect(),
+                ),
+            )
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        self.threshold = (state.field_u64("threshold")? as u32).max(1);
+        let State::Map(pairs) = state.require("failures")? else {
+            return Err(PersistError::Schema("breaker failures is not a map".into()));
+        };
+        self.failures = pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|count| (k.clone(), count as u32))
+                    .ok_or_else(|| PersistError::Schema("breaker failure count not a u64".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        self.open = state
+            .field_list("open")?
+            .iter()
+            .map(|k| {
+                k.as_str()
+                    .map(|key| (key.to_string(), true))
+                    .ok_or_else(|| PersistError::Schema("breaker open key not a string".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
+}
+
 /// Rejects samples whose confidence interval exploded (a noise spike or a
 /// mid-measurement fault): the sample is re-measured instead of being fed
 /// to the tuner, up to `max_remeasures` times.
@@ -254,6 +306,23 @@ mod tests {
         b.record_success("cfg-a");
         assert!(!b.is_open("cfg-a"));
         assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn breaker_checkpoint_roundtrip_preserves_counts_and_open_set() {
+        let mut b = CircuitBreaker::new(2);
+        b.record_failure("cfg-a");
+        b.record_failure("cfg-a");
+        b.record_failure("cfg-b");
+        let saved = b.save_state();
+        let mut restored = CircuitBreaker::new(1);
+        restored.restore_state(&saved).unwrap();
+        assert!(restored.is_open("cfg-a"));
+        assert!(!restored.is_open("cfg-b"));
+        // The in-flight failure count survives: one more failure trips.
+        assert!(restored.record_failure("cfg-b"));
+        assert_eq!(restored.open_count(), 2);
+        assert!(restored.restore_state(&State::Null).is_err());
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl<T: Tuner> Tuner for Revalidating<T> {
     }
 
     fn observe(&mut self, performance: f64) {
-        match self.pending.take().expect("observe() without propose()") {
+        let Some(pending) = self.pending.take() else {
+            panic!("observe() without propose()");
+        };
+        match pending {
             Pending::Exploration => {
                 self.inner.observe(performance);
                 // Seed the estimate table whenever an exploration sample

@@ -8,6 +8,7 @@
 use crate::history::TuningHistory;
 use crate::space::{Configuration, ParamSpace};
 use crate::tuner::Tuner;
+use persist::{Checkpointable, PersistError, State};
 
 /// A named tuning server.
 pub struct HarmonyServer {
@@ -48,10 +49,9 @@ impl HarmonyServer {
 
     /// Report the measured performance of the last proposed configuration.
     pub fn report(&mut self, performance: f64) {
-        let config = self
-            .pending
-            .take()
-            .expect("report() without next_config()");
+        let Some(config) = self.pending.take() else {
+            panic!("report() without next_config()");
+        };
         self.history.record(config, performance);
         self.tuner.observe(performance);
     }
@@ -80,6 +80,41 @@ impl HarmonyServer {
     /// The tuner's internal diagnostics for the current iteration.
     pub fn diagnostics(&self) -> Vec<(&'static str, f64)> {
         self.tuner.diagnostics()
+    }
+}
+
+impl Checkpointable for HarmonyServer {
+    /// Server identity plus the tuner's search state, the pending
+    /// proposal, and the full tuning history.
+    fn save_state(&self) -> State {
+        State::map()
+            .with("name", State::Str(self.name.clone()))
+            .with("tuner", self.tuner.save_state())
+            .with("history", self.history.save_state())
+            .with(
+                "pending",
+                match &self.pending {
+                    Some(c) => State::i64_list(c.values()),
+                    None => State::Null,
+                },
+            )
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let name = state.field_str("name")?;
+        if name != self.name {
+            return Err(PersistError::Schema(format!(
+                "checkpoint is for server '{name}', this server is '{}'",
+                self.name
+            )));
+        }
+        self.tuner.restore_state(state.require("tuner")?)?;
+        self.history.restore_state(state.require("history")?)?;
+        self.pending = match state.require("pending")? {
+            State::Null => None,
+            values => Some(Configuration::from_values(values.to_i64_vec()?)),
+        };
+        Ok(())
     }
 }
 

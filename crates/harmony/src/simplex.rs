@@ -22,6 +22,7 @@
 
 use crate::space::{Configuration, ParamSpace};
 use crate::tuner::{BestTracker, Tuner};
+use persist::{Checkpointable, PersistError, State};
 
 /// Standard Nelder–Mead coefficients.
 const ALPHA: f64 = 1.0; // reflection
@@ -277,10 +278,9 @@ impl Tuner for SimplexTuner {
     }
 
     fn observe(&mut self, performance: f64) {
-        let config = self
-            .pending
-            .take()
-            .expect("observe() without a pending propose()");
+        let Some(config) = self.pending.take() else {
+            panic!("observe() without a pending propose()");
+        };
         self.tracker.record(&config, performance);
         let cost = -performance;
         let vertex = Vertex { config, cost };
@@ -315,7 +315,9 @@ impl Tuner for SimplexTuner {
                 }
             }
             Phase::EvalExpand => {
-                let reflected = self.reflected.take().expect("reflection stored");
+                let Some(reflected) = self.reflected.take() else {
+                    unreachable!("reflection stored before EvalExpand")
+                };
                 self.vertices[self.worst_idx] = if vertex.cost < reflected.cost {
                     vertex
                 } else {
@@ -324,7 +326,9 @@ impl Tuner for SimplexTuner {
                 self.phase = Phase::Reflect;
             }
             Phase::EvalContractOut => {
-                let reflected = self.reflected.take().expect("reflection stored");
+                let Some(reflected) = self.reflected.take() else {
+                    unreachable!("reflection stored before EvalContractOut")
+                };
                 if vertex.cost <= reflected.cost {
                     self.vertices[self.worst_idx] = vertex;
                     self.phase = Phase::Reflect;
@@ -399,6 +403,14 @@ impl Tuner for SimplexTuner {
         *self = fresh;
     }
 
+    fn save_state(&self) -> State {
+        Checkpointable::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        Checkpointable::restore_state(self, state)
+    }
+
     /// Simplex vertex state: size, restarts, and the cost spread between
     /// the best and worst vertex (zero spread = converged or degenerate).
     fn diagnostics(&self) -> Vec<(&'static str, f64)> {
@@ -427,6 +439,128 @@ impl SimplexTuner {
                 self.phase = Phase::Shrink { next: next + 1 };
             }
         }
+    }
+}
+
+impl Phase {
+    fn save(&self) -> State {
+        let (tag, next) = match self {
+            Phase::Init { next } => ("init", Some(*next)),
+            Phase::Reflect => ("reflect", None),
+            Phase::EvalReflect => ("eval_reflect", None),
+            Phase::EvalExpand => ("eval_expand", None),
+            Phase::EvalContractOut => ("eval_contract_out", None),
+            Phase::EvalContractIn => ("eval_contract_in", None),
+            Phase::Shrink { next } => ("shrink", Some(*next)),
+        };
+        let mut s = State::map().with("tag", State::Str(tag.to_string()));
+        if let Some(next) = next {
+            s.set("next", State::U64(next as u64));
+        }
+        s
+    }
+
+    fn restore(state: &State) -> Result<Phase, PersistError> {
+        let next = || state.field_u64("next").map(|n| n as usize);
+        Ok(match state.field_str("tag")? {
+            "init" => Phase::Init { next: next()? },
+            "reflect" => Phase::Reflect,
+            "eval_reflect" => Phase::EvalReflect,
+            "eval_expand" => Phase::EvalExpand,
+            "eval_contract_out" => Phase::EvalContractOut,
+            "eval_contract_in" => Phase::EvalContractIn,
+            "shrink" => Phase::Shrink { next: next()? },
+            other => {
+                return Err(PersistError::Schema(format!("unknown simplex phase '{other}'")))
+            }
+        })
+    }
+}
+
+fn vertex_state(v: &Vertex) -> State {
+    State::map()
+        .with("values", State::i64_list(v.config.values()))
+        .with("cost", State::F64(v.cost))
+}
+
+fn vertex_restore(state: &State) -> Result<Vertex, PersistError> {
+    Ok(Vertex {
+        config: Configuration::from_values(state.require("values")?.to_i64_vec()?),
+        cost: state.field_f64("cost")?,
+    })
+}
+
+fn optional_config(c: &Option<Configuration>) -> State {
+    match c {
+        Some(config) => State::i64_list(config.values()),
+        None => State::Null,
+    }
+}
+
+fn optional_config_restore(state: &State) -> Result<Option<Configuration>, PersistError> {
+    match state {
+        State::Null => Ok(None),
+        values => Ok(Some(Configuration::from_values(values.to_i64_vec()?))),
+    }
+}
+
+impl Checkpointable for SimplexTuner {
+    /// Everything but the parameter space (which the session rebuilds
+    /// from its own config): simplex geometry, phase machine, pending
+    /// proposal, step sizes, and the best-seen tracker.
+    fn save_state(&self) -> State {
+        State::map()
+            .with("algorithm", State::Str(self.name().to_string()))
+            .with("conservative", State::Bool(self.conservative))
+            .with(
+                "vertices",
+                State::List(self.vertices.iter().map(vertex_state).collect()),
+            )
+            .with("phase", self.phase.save())
+            .with("pending", optional_config(&self.pending))
+            .with(
+                "reflected",
+                match &self.reflected {
+                    Some(v) => vertex_state(v),
+                    None => State::Null,
+                },
+            )
+            .with("worst_idx", State::U64(self.worst_idx as u64))
+            .with("centroid", State::f64_list(&self.centroid))
+            .with("init_step", State::f64_list(&self.init_step))
+            .with("seed", State::i64_list(self.seed.values()))
+            .with("tracker", self.tracker.save_state())
+            .with("restarts", State::U64(self.restarts as u64))
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let dims = self.space.dims();
+        let seed = Configuration::from_values(state.require("seed")?.to_i64_vec()?);
+        if seed.values().len() != dims {
+            return Err(PersistError::Schema(format!(
+                "simplex seed has {} values, space has {dims} dims",
+                seed.values().len()
+            )));
+        }
+        self.conservative = state.field_bool("conservative")?;
+        self.vertices = state
+            .field_list("vertices")?
+            .iter()
+            .map(vertex_restore)
+            .collect::<Result<_, _>>()?;
+        self.phase = Phase::restore(state.require("phase")?)?;
+        self.pending = optional_config_restore(state.require("pending")?)?;
+        self.reflected = match state.require("reflected")? {
+            State::Null => None,
+            v => Some(vertex_restore(v)?),
+        };
+        self.worst_idx = state.field_u64("worst_idx")? as usize;
+        self.centroid = state.require("centroid")?.to_f64_vec()?;
+        self.init_step = state.require("init_step")?.to_f64_vec()?;
+        self.seed = seed;
+        self.tracker.restore_state(state.require("tracker")?)?;
+        self.restarts = state.field_u64("restarts")? as u32;
+        Ok(())
     }
 }
 
@@ -612,6 +746,54 @@ mod tests {
     fn observe_without_propose_panics() {
         let mut t = SimplexTuner::new(space2d());
         t.observe(1.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identical_proposals() {
+        let f = |v: &[i64]| -(v[0] as f64 - 120.0).abs() - (v[1] as f64 - 60.0).abs();
+        let mut live = SimplexTuner::new(space2d()).conservative(true);
+        for _ in 0..23 {
+            let c = live.propose();
+            let p = f(c.values());
+            live.observe(p);
+        }
+        // Checkpoint mid-protocol too: a proposal is pending.
+        let pending = live.propose();
+        let saved = Checkpointable::save_state(&live);
+        let mut resumed = SimplexTuner::new(space2d());
+        Checkpointable::restore_state(&mut resumed, &saved).unwrap();
+        assert_eq!(resumed.name(), "simplex-conservative");
+        let p = f(pending.values());
+        live.observe(p);
+        resumed.observe(p);
+        for _ in 0..40 {
+            let a = live.propose();
+            let b = resumed.propose();
+            assert_eq!(a, b, "diverged after resume");
+            let perf = f(a.values());
+            live.observe(perf);
+            resumed.observe(perf);
+        }
+        assert_eq!(live.evaluations(), resumed.evaluations());
+        assert_eq!(live.best().unwrap().0, resumed.best().unwrap().0);
+        assert_eq!(live.restarts(), resumed.restarts());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape_and_wrong_dims() {
+        let mut t = SimplexTuner::new(space2d());
+        assert!(Checkpointable::restore_state(&mut t, &State::Null).is_err());
+        // A 1-D tuner's state must not restore into a 2-D space.
+        let mut one_d = SimplexTuner::new(ParamSpace::new(vec![ParamDef::new("a", 0, 9, 5)]));
+        for _ in 0..4 {
+            let c = one_d.propose();
+            one_d.observe(c.get(0) as f64);
+        }
+        let saved = Checkpointable::save_state(&one_d);
+        assert!(matches!(
+            Checkpointable::restore_state(&mut t, &saved),
+            Err(PersistError::Schema(_))
+        ));
     }
 
     #[test]

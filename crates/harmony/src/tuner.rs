@@ -7,6 +7,7 @@
 //! performance is better (WIPS in this paper).
 
 use crate::space::{Configuration, ParamSpace};
+use persist::{PersistError, State};
 
 /// A tuning algorithm driven in strict propose → observe alternation.
 pub trait Tuner {
@@ -55,6 +56,22 @@ pub trait Tuner {
     fn diagnostics(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+
+    /// Export the tuner's full search state for checkpointing (object-
+    /// safe mirror of `persist::Checkpointable`). The default returns
+    /// [`State::Null`], meaning "nothing to save" — tuners that support
+    /// crash-safe resume override both this and
+    /// [`Tuner::restore_state`].
+    fn save_state(&self) -> State {
+        State::Null
+    }
+
+    /// Restore search state saved by [`Tuner::save_state`]. The default
+    /// rejects restoration so a resumed session fails loudly instead of
+    /// silently restarting a tuner from scratch.
+    fn restore_state(&mut self, _state: &State) -> Result<(), PersistError> {
+        Err(PersistError::Unsupported(self.name().to_string()))
+    }
 }
 
 /// Shared best-seen bookkeeping for tuner implementations.
@@ -82,6 +99,32 @@ impl BestTracker {
 
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Export for checkpointing.
+    pub(crate) fn save_state(&self) -> State {
+        let best = match &self.best {
+            Some((config, perf)) => State::map()
+                .with("values", State::i64_list(config.values()))
+                .with("perf", State::F64(*perf)),
+            None => State::Null,
+        };
+        State::map()
+            .with("best", best)
+            .with("evaluations", State::U64(self.evaluations))
+    }
+
+    /// Restore from [`BestTracker::save_state`] output.
+    pub(crate) fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        self.best = match state.require("best")? {
+            State::Null => None,
+            best => Some((
+                Configuration::from_values(best.require("values")?.to_i64_vec()?),
+                best.field_f64("perf")?,
+            )),
+        };
+        self.evaluations = state.field_u64("evaluations")?;
+        Ok(())
     }
 }
 

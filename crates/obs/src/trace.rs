@@ -82,6 +82,20 @@ impl JsonlWriter<BufWriter<File>> {
             w: BufWriter::new(File::create(path)?),
         })
     }
+
+    /// Open `path` for appending (creating it if absent) — used by
+    /// resumed sessions so the continued trace lands in the same stream
+    /// as the interrupted run.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlWriter {
+            w: BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+        })
+    }
 }
 
 impl<W: Write> JsonlWriter<W> {
@@ -97,6 +111,11 @@ impl<W: Write> JsonlWriter<W> {
 impl<W: Write> TraceSink for JsonlWriter<W> {
     fn emit(&mut self, record: &TraceRecord) {
         let _ = writeln!(self.w, "{}", record.to_json());
+        // Flush per record, matching the checkpoint journal's durability:
+        // an abrupt process death must not leave the trace behind the
+        // journal, or a resumed session's spliced JSONL would have a
+        // hole where the buffered tail died with the process.
+        let _ = self.w.flush();
     }
 
     fn flush(&mut self) {

@@ -13,6 +13,7 @@ pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod fig7;
+pub mod resume;
 pub mod sensitivity;
 pub mod table3;
 pub mod table4;

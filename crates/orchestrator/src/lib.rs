@@ -12,6 +12,8 @@
 //!   controller (Figure 7);
 //! * [`resilient`] — fault-tolerant sessions: retry/backoff,
 //!   re-measurement, circuit breaking, failure-driven reconfiguration;
+//! * [`checkpoint`] — crash-safe session persistence: write-ahead
+//!   journal, periodic snapshots, and deterministic resume;
 //! * [`experiments`] — one typed runner per paper table/figure;
 //! * [`par`] — crossbeam-based parallel fan-out of independent runs;
 //! * [`report`] — text tables and sparklines for the regenerators.
@@ -39,6 +41,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binding;
+pub mod checkpoint;
 pub mod experiments;
 pub mod export;
 pub mod par;
@@ -48,6 +51,7 @@ pub mod resilient;
 pub mod schedule;
 pub mod session;
 
+pub use checkpoint::CheckpointPolicy;
 pub use experiments::Effort;
 pub use resilient::{run_resilient_session, ResilienceSettings, ResilientRun};
 pub use session::{tune, SessionConfig, SessionError, TuningRun};

@@ -28,8 +28,10 @@
 //! the window mapping, which stays iteration-indexed.
 
 use crate::binding;
+use crate::checkpoint::{self, Checkpointer};
 use crate::session::{
-    config_summary, run_scenario, IterationRecord, SessionConfig, SessionError, SessionObserver,
+    ckerr, config_summary, run_scenario, IterationRecord, SessionConfig, SessionError,
+    SessionObserver,
 };
 use crate::reconfigure::ReconfigEvent;
 use cluster::config::{ClusterConfig, Role, Topology};
@@ -40,6 +42,7 @@ use harmony::monitor::UtilizationSnapshot;
 use harmony::resilience::{CircuitBreaker, OutlierGate, RetryPolicy};
 use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
+use persist::{Checkpointable, State};
 use simkit::rng::SimRng;
 use simkit::time::SimDuration;
 
@@ -179,8 +182,160 @@ pub fn run_resilient_session_observed(
     let mut reconfigs = Vec::new();
     let mut best_wips = f64::NEG_INFINITY;
     let mut best_iter = 0;
+    let mut start = 0u32;
 
-    for i in 0..iterations {
+    let mut ckpt = match base.checkpoint.as_ref() {
+        None => None,
+        Some(policy) => {
+            let fp = checkpoint::session_fingerprint(
+                base,
+                &format!("resilient/{settings:?}"),
+                iterations,
+                iterations,
+            );
+            let (ck, resumed) = Checkpointer::open(policy, fp)?;
+            if let Some(resumed) = resumed {
+                let mut snapshot_iteration: i64 = -1;
+                if let Some((snap_iter, state)) = resumed.snapshot.as_ref() {
+                    snapshot_iteration = *snap_iter as i64;
+                    start = *snap_iter as u32;
+                    topology =
+                        checkpoint::topology_from_state(state.require("topology").map_err(ckerr)?)
+                            .map_err(ckerr)?;
+                    let saved = state.field_list("servers").map_err(ckerr)?;
+                    if saved.len() != servers.len() {
+                        return Err(SessionError::Checkpoint(format!(
+                            "resilient snapshot expects {} server states, found {}",
+                            servers.len(),
+                            saved.len()
+                        )));
+                    }
+                    for (server, st) in servers.iter_mut().zip(saved) {
+                        server.restore_state(st).map_err(ckerr)?;
+                    }
+                    breaker
+                        .restore_state(state.require("breaker").map_err(ckerr)?)
+                        .map_err(ckerr)?;
+                    jitter_rng = SimRng::from_state(
+                        rng_words_from_state(state.require("jitter_rng").map_err(ckerr)?)?,
+                    );
+                    best_wips = state.field_f64("best_wips").map_err(ckerr)?;
+                    best_iter = state.field_u64("best_iteration").map_err(ckerr)? as u32;
+                    records =
+                        checkpoint::records_from_state(state.require("records").map_err(ckerr)?)
+                            .map_err(ckerr)?;
+                    recoveries = checkpoint::recoveries_from_state(
+                        state.require("recoveries").map_err(ckerr)?,
+                    )
+                    .map_err(ckerr)?;
+                    reconfigs = checkpoint::reconfigs_from_state(
+                        state.require("reconfigs").map_err(ckerr)?,
+                    )
+                    .map_err(ckerr)?;
+                }
+                // Replay the journal past the snapshot. Proposals are
+                // re-derived deterministically; measured outcomes, retry
+                // counts, recoveries and node moves come from the journal
+                // — nothing is re-simulated and nothing is re-traced.
+                let mut replayed = 0u32;
+                for delta in &resumed.deltas {
+                    let i = delta.field_u64("iteration").map_err(ckerr)? as u32;
+                    if i != start {
+                        return Err(SessionError::Checkpoint(format!(
+                            "journal gap: expected iteration {start}, found {i}"
+                        )));
+                    }
+                    let pc = servers[0].next_config();
+                    let wc = servers[1].next_config();
+                    let dc = servers[2].next_config();
+                    let config = binding::config_from_roles(&topology, &pc, &wc, &dc);
+                    let key = config_summary(&config);
+                    let skip = delta.field_bool("skip").map_err(ckerr)?;
+                    let valid = delta.field_bool("valid").map_err(ckerr)?;
+                    let wips = delta.field_f64("wips").map_err(ckerr)?;
+                    let line_wips = delta
+                        .require("line_wips")
+                        .and_then(State::to_f64_vec)
+                        .map_err(ckerr)?;
+                    let failed = delta.field_u64("failed").map_err(ckerr)?;
+                    if skip {
+                        for s in &mut servers {
+                            s.report(0.0);
+                        }
+                    } else {
+                        // The live run drew one jitter value per retry;
+                        // replay the same draws to keep the stream aligned.
+                        let retries = delta.field_u64("retries").map_err(ckerr)? as u32;
+                        for attempt in 1..=retries {
+                            let _ = settings.retry.delay(attempt, &mut jitter_rng);
+                        }
+                        for s in &mut servers {
+                            s.report(wips);
+                        }
+                        if valid {
+                            breaker.record_success(&key);
+                            if wips > best_wips {
+                                best_wips = wips;
+                                best_iter = i;
+                            }
+                        } else {
+                            let _ = breaker.record_failure(&key);
+                        }
+                    }
+                    recoveries.extend(
+                        checkpoint::recoveries_from_state(
+                            delta.require("recoveries").map_err(ckerr)?,
+                        )
+                        .map_err(ckerr)?,
+                    );
+                    match delta.require("reconfig").map_err(ckerr)? {
+                        State::Null => {}
+                        event_state => {
+                            let event = checkpoint::reconfig_from_state(event_state)
+                                .map_err(ckerr)?;
+                            topology = topology
+                                .reassign(event.node, event.to_tier)
+                                .map_err(|e| {
+                                    SessionError::Checkpoint(format!(
+                                        "journaled reconfiguration does not apply: {e}"
+                                    ))
+                                })?;
+                            reconfigs.push(event);
+                        }
+                    }
+                    records.push(IterationRecord {
+                        iteration: i,
+                        wips,
+                        line_wips,
+                        workload: base.workload,
+                        failed,
+                    });
+                    start += 1;
+                    replayed += 1;
+                }
+                // The fault schedule is a pure function of the plan and
+                // seed, so the log of already-covered windows rebuilds
+                // statelessly (node count never changes across reassigns).
+                for i in 0..start {
+                    if let Some(wf) = base.fault_window(i) {
+                        for e in &wf.events {
+                            fault_log.push((i, *e));
+                        }
+                    }
+                }
+                observer.record_resume(
+                    "resilient",
+                    start,
+                    snapshot_iteration,
+                    replayed,
+                    best_wips.max(0.0),
+                );
+            }
+            Some(ck)
+        }
+    };
+
+    for i in start..iterations {
         let t0 = std::time::Instant::now();
         let cfg = base.clone().topology(topology.clone());
         let wf = cfg.fault_window(i);
@@ -207,10 +362,14 @@ pub fn run_resilient_session_observed(
         let dc = servers[2].next_config();
         let config = binding::config_from_roles(&topology, &pc, &wc, &dc);
         let key = config_summary(&config);
+        let recov_mark = recoveries.len();
+        let reconfig_mark = reconfigs.len();
+        let skip = breaker.is_open(&key);
+        let (wips, line_wips, failed, valid);
 
-        // Blacklisted configuration: answer the proposal without
-        // re-measuring.
-        if breaker.is_open(&key) {
+        if skip {
+            // Blacklisted configuration: answer the proposal without
+            // re-measuring.
             for s in &mut servers {
                 s.report(0.0);
             }
@@ -232,92 +391,144 @@ pub fn run_resilient_session_observed(
                 workload: cfg.workload,
                 failed: 0,
             });
-            continue;
-        }
+            wips = 0.0;
+            line_wips = Vec::new();
+            failed = 0;
+            valid = false;
+        } else {
+            let (out, out_valid) = evaluate_with_retries(
+                &cfg,
+                settings,
+                &config,
+                &key,
+                i,
+                wf.as_ref(),
+                &mut jitter_rng,
+                observer,
+                &mut recoveries,
+            );
+            valid = out_valid;
+            wips = if valid { out.metrics.wips } else { 0.0 };
+            for s in &mut servers {
+                s.report(wips);
+            }
+            if valid {
+                breaker.record_success(&key);
+                if wips > best_wips {
+                    best_wips = wips;
+                    best_iter = i;
+                }
+            } else if breaker.record_failure(&key) {
+                observer.record_recovery(
+                    i,
+                    "breaker_open",
+                    settings.retry.max_attempts,
+                    0.0,
+                    &key,
+                    0.0,
+                );
+                if let Some(reg) = observer.registry() {
+                    reg.counter("resilience.breaker_open").inc();
+                }
+                recoveries.push(RecoveryAction {
+                    iteration: i,
+                    action: "breaker_open",
+                    attempt: settings.retry.max_attempts,
+                    delay_s: 0.0,
+                    wips: 0.0,
+                });
+            }
 
-        let (out, valid) = evaluate_with_retries(
-            &cfg,
-            settings,
-            &config,
-            &key,
-            i,
-            wf.as_ref(),
-            &mut jitter_rng,
-            observer,
-            &mut recoveries,
-        );
-        let wips = if valid { out.metrics.wips } else { 0.0 };
-        for s in &mut servers {
-            s.report(wips);
-        }
-        if valid {
-            breaker.record_success(&key);
-            if wips > best_wips {
-                best_wips = wips;
-                best_iter = i;
-            }
-        } else if breaker.record_failure(&key) {
-            observer.record_recovery(i, "breaker_open", settings.retry.max_attempts, 0.0, &key, 0.0);
-            if let Some(reg) = observer.registry() {
-                reg.counter("resilience.breaker_open").inc();
-            }
-            recoveries.push(RecoveryAction {
+            observer.record_iteration(
+                &cfg,
+                "resilient",
+                i,
+                &config,
+                &out,
+                best_wips.max(0.0),
+                best_iter,
+                &servers[0].diagnostics(),
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            records.push(IterationRecord {
                 iteration: i,
-                action: "breaker_open",
-                attempt: settings.retry.max_attempts,
-                delay_s: 0.0,
-                wips: 0.0,
+                wips,
+                line_wips: out.line_wips.clone(),
+                workload: cfg.workload,
+                failed: out.total_failed,
             });
-        }
 
-        observer.record_iteration(
-            &cfg,
-            "resilient",
-            i,
-            &config,
-            &out,
-            best_wips.max(0.0),
-            best_iter,
-            &servers[0].diagnostics(),
-            t0.elapsed().as_secs_f64() * 1e3,
-        );
-        records.push(IterationRecord {
-            iteration: i,
-            wips,
-            line_wips: out.line_wips.clone(),
-            workload: cfg.workload,
-            failed: out.total_failed,
-        });
-
-        // Failure-driven reconfiguration: a crash in this window wounds a
-        // tier; try to backfill it from the healthiest other tier.
-        if settings.reconfigure_on_crash {
-            if let Some(wf) = &wf {
-                let crashed = wf.crashes();
-                if !crashed.is_empty() {
-                    if let Some(event) = heal_after_crash(
-                        &cfg,
-                        settings,
-                        &topology,
-                        &crashed,
-                        i,
-                        &out,
-                        observer,
-                    ) {
-                        if let Ok(next) = topology.reassign(event.node, event.to_tier) {
-                            topology = next;
-                            recoveries.push(RecoveryAction {
-                                iteration: i,
-                                action: "reconfig",
-                                attempt: 0,
-                                delay_s: 0.0,
-                                wips,
-                            });
-                            reconfigs.push(event);
+            // Failure-driven reconfiguration: a crash in this window wounds a
+            // tier; try to backfill it from the healthiest other tier.
+            if settings.reconfigure_on_crash {
+                if let Some(wf) = &wf {
+                    let crashed = wf.crashes();
+                    if !crashed.is_empty() {
+                        if let Some(event) = heal_after_crash(
+                            &cfg,
+                            settings,
+                            &topology,
+                            &crashed,
+                            i,
+                            &out,
+                            observer,
+                        ) {
+                            if let Ok(next) = topology.reassign(event.node, event.to_tier) {
+                                topology = next;
+                                recoveries.push(RecoveryAction {
+                                    iteration: i,
+                                    action: "reconfig",
+                                    attempt: 0,
+                                    delay_s: 0.0,
+                                    wips,
+                                });
+                                reconfigs.push(event);
+                            }
                         }
                     }
                 }
             }
+            line_wips = out.line_wips;
+            failed = out.total_failed;
+        }
+
+        if let Some(ck) = ckpt.as_mut() {
+            let retries = recoveries[recov_mark..]
+                .iter()
+                .filter(|r| r.action == "retry")
+                .count() as u64;
+            let reconfig = reconfigs
+                .get(reconfig_mark)
+                .map(checkpoint::reconfig_state)
+                .unwrap_or(State::Null);
+            ck.append(
+                State::map()
+                    .with("iteration", State::U64(i as u64))
+                    .with("skip", State::Bool(skip))
+                    .with("valid", State::Bool(valid))
+                    .with("wips", State::F64(wips))
+                    .with("line_wips", State::f64_list(&line_wips))
+                    .with("failed", State::U64(failed))
+                    .with("retries", State::U64(retries))
+                    .with(
+                        "recoveries",
+                        checkpoint::recoveries_state(&recoveries[recov_mark..]),
+                    )
+                    .with("reconfig", reconfig),
+            )?;
+            ck.maybe_snapshot(i + 1, iterations, || {
+                resilient_snapshot(
+                    &topology,
+                    &servers,
+                    &breaker,
+                    &jitter_rng,
+                    best_wips,
+                    best_iter,
+                    &records,
+                    &recoveries,
+                    &reconfigs,
+                )
+            })?;
         }
     }
     observer.flush();
@@ -329,6 +540,58 @@ pub fn run_resilient_session_observed(
         final_topology: topology,
         best_wips: best_wips.max(0.0),
     })
+}
+
+/// Full mutable state of a resilient session, snapshot-ready.
+#[allow(clippy::too_many_arguments)]
+fn resilient_snapshot(
+    topology: &Topology,
+    servers: &[HarmonyServer; 3],
+    breaker: &CircuitBreaker,
+    jitter_rng: &SimRng,
+    best_wips: f64,
+    best_iter: u32,
+    records: &[IterationRecord],
+    recoveries: &[RecoveryAction],
+    reconfigs: &[ReconfigEvent],
+) -> State {
+    State::map()
+        .with("kind", State::Str("resilient".into()))
+        .with("topology", checkpoint::topology_state(topology))
+        .with(
+            "servers",
+            State::List(servers.iter().map(Checkpointable::save_state).collect()),
+        )
+        .with("breaker", breaker.save_state())
+        .with(
+            "jitter_rng",
+            State::List(jitter_rng.state().iter().map(|&w| State::U64(w)).collect()),
+        )
+        .with("best_wips", State::F64(best_wips))
+        .with("best_iteration", State::U64(best_iter as u64))
+        .with("records", checkpoint::records_state(records))
+        .with("recoveries", checkpoint::recoveries_state(recoveries))
+        .with("reconfigs", checkpoint::reconfigs_state(reconfigs))
+}
+
+/// Decode a serialized xoshiro256** state (4 words).
+fn rng_words_from_state(state: &State) -> Result<[u64; 4], SessionError> {
+    let list = state.as_list().ok_or_else(|| {
+        SessionError::Checkpoint("jitter_rng state is not a list".into())
+    })?;
+    if list.len() != 4 {
+        return Err(SessionError::Checkpoint(format!(
+            "jitter_rng state expects 4 words, found {}",
+            list.len()
+        )));
+    }
+    let mut words = [0u64; 4];
+    for (w, s) in words.iter_mut().zip(list) {
+        *w = s.as_u64().ok_or_else(|| {
+            SessionError::Checkpoint("jitter_rng word is not a u64".into())
+        })?;
+    }
+    Ok(words)
 }
 
 /// Evaluate one proposal, retrying invalid samples and re-measuring

@@ -9,7 +9,8 @@
 //! tuner faces realistic measurement noise, exactly as on real hardware.
 
 use crate::binding;
-use cluster::config::{ClusterConfig, Role, Topology};
+use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
+use cluster::config::{ClusterConfig, NodeId, Role, Topology};
 use cluster::model::ClusterScenario;
 use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
@@ -19,6 +20,7 @@ use obs::{Registry, TraceRecord, TraceSink};
 use harmony::simplex::SimplexTuner;
 use harmony::strategy::TuningMethod;
 use harmony::workline::build_work_lines;
+use persist::{Checkpointable, PersistError, State};
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
@@ -40,6 +42,10 @@ pub enum SessionError {
     NoSuchNode { node: usize, nodes: usize },
     /// The attached fault plan does not fit the topology.
     FaultPlan(String),
+    /// Checkpointing or resuming failed: an I/O error in the checkpoint
+    /// directory, a corrupt artifact recovery could not route around, or
+    /// a fingerprint mismatch (resuming under a different environment).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -55,6 +61,7 @@ impl std::fmt::Display for SessionError {
                 write!(f, "node {node} out of range (topology has {nodes} nodes)")
             }
             SessionError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SessionError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct SessionConfig {
     /// Seed for fault-related randomness (measurement-noise spikes,
     /// retry jitter), independent of `base_seed`.
     pub fault_seed: u64,
+    /// Crash-safe persistence: journal every iteration and snapshot
+    /// periodically into a directory, optionally resuming from it.
+    /// `None` (the default) writes nothing.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SessionConfig {
@@ -106,6 +117,7 @@ impl SessionConfig {
             node_specs: Vec::new(),
             fault_plan: None,
             fault_seed: 0xFA17,
+            checkpoint: None,
         }
     }
 
@@ -182,6 +194,12 @@ impl SessionConfig {
     /// Builder: set the fault/jitter seed.
     pub fn fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = seed;
+        self
+    }
+
+    /// Builder: checkpoint (and optionally resume) the session.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
         self
     }
 
@@ -327,7 +345,7 @@ impl SessionConfig {
 }
 
 /// One tuning iteration's record in a session trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     pub iteration: u32,
     /// Overall cluster WIPS measured this iteration.
@@ -556,6 +574,29 @@ impl<'a> SessionObserver<'a> {
             .field("wips", wips);
         sink.emit(&rec);
     }
+
+    /// Emit one `resume` trace record when a checkpointed session picks
+    /// up where an interrupted run stopped. Field order is part of the
+    /// trace schema (tests/golden/resume_schema.txt).
+    pub(crate) fn record_resume(
+        &mut self,
+        method: &str,
+        iteration: u32,
+        snapshot_iteration: i64,
+        replayed: u32,
+        best_wips: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("resume")
+            .field("method", method)
+            .field("iteration", iteration)
+            .field("snapshot_iteration", snapshot_iteration)
+            .field("replayed", replayed)
+            .field("best_wips", best_wips);
+        sink.emit(&rec);
+    }
 }
 
 /// Run a prepared scenario, through the metrics-publishing runner when a
@@ -619,6 +660,492 @@ impl BestConfig {
             self.iteration = iteration;
         }
     }
+
+    fn save_state(&self) -> State {
+        State::map()
+            .with("config", checkpoint::config_state(&self.config))
+            .with("wips", State::F64(self.wips))
+            .with("iteration", State::U64(self.iteration as u64))
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        self.config = checkpoint::config_from_state(state.require("config")?)?;
+        self.wips = state.field_f64("wips")?;
+        self.iteration = state.field_u64("iteration")? as u32;
+        Ok(())
+    }
+}
+
+/// Work-line node sets for a topology (one `Vec<NodeId>` per line).
+fn work_lines(topology: &Topology) -> Result<Vec<Vec<NodeId>>, SessionError> {
+    let nodes: Vec<(usize, u8)> = topology
+        .roles()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                i,
+                match r {
+                    Role::Proxy => 0u8,
+                    Role::App => 1,
+                    Role::Db => 2,
+                },
+            )
+        })
+        .collect();
+    let lines = build_work_lines(&nodes).map_err(|_| SessionError::MissingTier)?;
+    Ok(lines.into_iter().map(|l| l.nodes).collect())
+}
+
+/// The tuner side of one session iteration, one variant per §III layout.
+///
+/// Every tuning method is the same closed loop — propose a cluster
+/// configuration, measure it, feed the result back — differing only in
+/// how proposals are assembled and which throughput each server sees.
+/// `TuneEngine` owns exactly that difference, so a single
+/// [`drive_tuning`] loop (and a single checkpoint/replay path) serves
+/// all four methods.
+enum TuneEngine {
+    /// No tuning: always propose the default configuration.
+    Baseline,
+    /// Default method: one server over every parameter of every node.
+    Single(HarmonyServer),
+    /// Parameter duplication: one server per tier, values replicated
+    /// across the tier's nodes, all fed the overall WIPS.
+    Tiers(Box<[HarmonyServer; 3]>),
+    /// Parameter partitioning (and the hybrid's fine phase): one server
+    /// per work line, each fed its own line's throughput, proposals
+    /// overlaid on `base`.
+    Lines {
+        servers: Vec<HarmonyServer>,
+        lines: Vec<Vec<NodeId>>,
+        base: ClusterConfig,
+    },
+}
+
+impl TuneEngine {
+    fn tier_servers() -> [HarmonyServer; 3] {
+        [
+            HarmonyServer::new(
+                "proxy-tier",
+                Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
+            ),
+            HarmonyServer::new(
+                "web-tier",
+                Box::new(SimplexTuner::new(binding::role_space(Role::App))),
+            ),
+            HarmonyServer::new(
+                "db-tier",
+                Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
+            ),
+        ]
+    }
+
+    fn line_servers(count: usize, seed: Option<&harmony::space::Configuration>) -> Vec<HarmonyServer> {
+        (0..count)
+            .map(|i| {
+                let tuner = match seed {
+                    Some(seed) => SimplexTuner::with_seed(binding::tier_space(), seed.clone()),
+                    None => SimplexTuner::new(binding::tier_space()),
+                };
+                HarmonyServer::new(format!("line-{i}"), Box::new(tuner))
+            })
+            .collect()
+    }
+
+    /// The engine a method starts with (the hybrid starts coarse, on
+    /// tiers, and switches via [`TuneEngine::fine_phase`]).
+    fn for_method(cfg: &SessionConfig, method: TuningMethod) -> Result<TuneEngine, SessionError> {
+        Ok(match method {
+            TuningMethod::None => TuneEngine::Baseline,
+            TuningMethod::Default => TuneEngine::Single(HarmonyServer::new(
+                "all-nodes",
+                Box::new(SimplexTuner::new(binding::full_space(&cfg.topology))),
+            )),
+            TuningMethod::Duplication | TuningMethod::Hybrid => {
+                TuneEngine::Tiers(Box::new(Self::tier_servers()))
+            }
+            TuningMethod::Partitioning => TuneEngine::Lines {
+                servers: Self::line_servers(work_lines(&cfg.topology)?.len(), None),
+                lines: work_lines(&cfg.topology)?,
+                base: ClusterConfig::defaults(&cfg.topology),
+            },
+        })
+    }
+
+    /// The hybrid's fine phase: per-line tuning seeded from (and overlaid
+    /// on) the coarse phase's best configuration.
+    fn fine_phase(
+        cfg: &SessionConfig,
+        seed_config: &ClusterConfig,
+    ) -> Result<TuneEngine, SessionError> {
+        let seed_tier = binding::tier_config_from(seed_config, &cfg.topology)
+            .ok_or(SessionError::ConfigExtract)?;
+        let lines = work_lines(&cfg.topology)?;
+        Ok(TuneEngine::Lines {
+            servers: Self::line_servers(lines.len(), Some(&seed_tier)),
+            lines,
+            base: seed_config.clone(),
+        })
+    }
+
+    /// Assemble this iteration's proposed cluster configuration.
+    fn propose(&mut self, cfg: &SessionConfig) -> ClusterConfig {
+        match self {
+            TuneEngine::Baseline => ClusterConfig::defaults(&cfg.topology),
+            TuneEngine::Single(server) => {
+                binding::config_from_full(&cfg.topology, &server.next_config())
+            }
+            TuneEngine::Tiers(servers) => {
+                let pc = servers[0].next_config();
+                let wc = servers[1].next_config();
+                let dc = servers[2].next_config();
+                binding::config_from_roles(&cfg.topology, &pc, &wc, &dc)
+            }
+            TuneEngine::Lines {
+                servers,
+                lines,
+                base,
+            } => {
+                let mut config = base.clone();
+                for (server, line) in servers.iter_mut().zip(lines.iter()) {
+                    let proposal = server.next_config();
+                    binding::apply_line_config(&mut config, &cfg.topology, line, &proposal);
+                }
+                config
+            }
+        }
+    }
+
+    /// Work-line partition for the scenario, when this engine uses one.
+    fn lines(&self) -> Option<Vec<Vec<NodeId>>> {
+        match self {
+            TuneEngine::Lines { lines, .. } => Some(lines.clone()),
+            _ => None,
+        }
+    }
+
+    /// Feed the measured throughput back to the server(s).
+    fn report(&mut self, wips: f64, line_wips: &[f64]) {
+        match self {
+            TuneEngine::Baseline => {}
+            TuneEngine::Single(server) => server.report(wips),
+            TuneEngine::Tiers(servers) => {
+                for s in servers.iter_mut() {
+                    s.report(wips);
+                }
+            }
+            TuneEngine::Lines { servers, .. } => {
+                for (s, lw) in servers.iter_mut().zip(line_wips) {
+                    s.report(*lw);
+                }
+            }
+        }
+    }
+
+    /// Tuner diagnostics for the trace (first server's, as before).
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        match self {
+            TuneEngine::Baseline => Vec::new(),
+            TuneEngine::Single(server) => server.diagnostics(),
+            TuneEngine::Tiers(servers) => servers[0].diagnostics(),
+            TuneEngine::Lines { servers, .. } => servers
+                .first()
+                .map(|s| s.diagnostics())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn save_state(&self) -> State {
+        match self {
+            TuneEngine::Baseline => State::map().with("kind", State::Str("baseline".into())),
+            TuneEngine::Single(server) => State::map()
+                .with("kind", State::Str("single".into()))
+                .with("servers", State::List(vec![Checkpointable::save_state(server)])),
+            TuneEngine::Tiers(servers) => State::map()
+                .with("kind", State::Str("tiers".into()))
+                .with(
+                    "servers",
+                    State::List(servers.iter().map(Checkpointable::save_state).collect()),
+                ),
+            TuneEngine::Lines {
+                servers,
+                lines,
+                base,
+            } => State::map()
+                .with("kind", State::Str("lines".into()))
+                .with(
+                    "servers",
+                    State::List(servers.iter().map(Checkpointable::save_state).collect()),
+                )
+                .with(
+                    "lines",
+                    State::List(
+                        lines
+                            .iter()
+                            .map(|l| {
+                                State::List(
+                                    l.iter().map(|&n| State::U64(n as u64)).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                )
+                .with("base", checkpoint::config_state(base)),
+        }
+    }
+
+    /// Rebuild an engine skeleton for the serialized `kind` (spaces come
+    /// from the session environment, not the snapshot) and restore the
+    /// server states into it.
+    fn from_state(cfg: &SessionConfig, state: &State) -> Result<TuneEngine, PersistError> {
+        let restore_into = |server: &mut HarmonyServer, saved: &State| {
+            Checkpointable::restore_state(server, saved)
+        };
+        match state.field_str("kind")? {
+            "baseline" => Ok(TuneEngine::Baseline),
+            "single" => {
+                let saved = state.field_list("servers")?;
+                let first = saved.first().ok_or_else(|| {
+                    PersistError::Schema("single engine has no server state".into())
+                })?;
+                let mut server = HarmonyServer::new(
+                    "all-nodes",
+                    Box::new(SimplexTuner::new(binding::full_space(&cfg.topology))),
+                );
+                restore_into(&mut server, first)?;
+                Ok(TuneEngine::Single(server))
+            }
+            "tiers" => {
+                let saved = state.field_list("servers")?;
+                if saved.len() != 3 {
+                    return Err(PersistError::Schema(format!(
+                        "tiers engine expects 3 server states, found {}",
+                        saved.len()
+                    )));
+                }
+                let mut servers = Box::new(Self::tier_servers());
+                for (server, st) in servers.iter_mut().zip(saved) {
+                    restore_into(server, st)?;
+                }
+                Ok(TuneEngine::Tiers(servers))
+            }
+            "lines" => {
+                let lines = state
+                    .field_list("lines")?
+                    .iter()
+                    .map(|l| {
+                        l.as_list()
+                            .ok_or_else(|| PersistError::Schema("line is not a list".into()))?
+                            .iter()
+                            .map(|n| {
+                                n.as_u64().map(|v| v as NodeId).ok_or_else(|| {
+                                    PersistError::Schema("line node is not a u64".into())
+                                })
+                            })
+                            .collect::<Result<Vec<NodeId>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let base = checkpoint::config_from_state(state.require("base")?)?;
+                let saved = state.field_list("servers")?;
+                if saved.len() != lines.len() {
+                    return Err(PersistError::Schema(format!(
+                        "lines engine expects {} server states, found {}",
+                        lines.len(),
+                        saved.len()
+                    )));
+                }
+                let mut servers = Self::line_servers(lines.len(), None);
+                for (server, st) in servers.iter_mut().zip(saved) {
+                    restore_into(server, st)?;
+                }
+                Ok(TuneEngine::Lines {
+                    servers,
+                    lines,
+                    base,
+                })
+            }
+            other => Err(PersistError::Schema(format!("unknown engine kind '{other}'"))),
+        }
+    }
+}
+
+pub(crate) fn ckerr(e: PersistError) -> SessionError {
+    SessionError::Checkpoint(e.to_string())
+}
+
+/// Full tuner state of a plain tuning session, snapshot-ready.
+fn tune_snapshot(engine: &TuneEngine, best: &BestConfig, records: &[IterationRecord]) -> State {
+    State::map()
+        .with("kind", State::Str("tune".into()))
+        .with("engine", engine.save_state())
+        .with("best", best.save_state())
+        .with("records", checkpoint::records_state(records))
+}
+
+/// Trace label for iteration `i` (the hybrid's coarse phase labels its
+/// records `duplication`, so the phase switch is visible in the trace).
+fn method_label(method: TuningMethod, i: u32, switch_at: u32) -> &'static str {
+    if method == TuningMethod::Hybrid && i < switch_at {
+        TuningMethod::Duplication.label()
+    } else {
+        method.label()
+    }
+}
+
+/// The one tuning loop behind every method: propose → simulate →
+/// observe, with optional crash-safe checkpointing and resume.
+///
+/// `switch_at` is only meaningful for [`TuningMethod::Hybrid`] (the
+/// iteration at which the coarse tier engine is replaced by per-line
+/// fine tuning seeded from the best configuration so far); other methods
+/// ignore it.
+fn drive_tuning(
+    cfg: &SessionConfig,
+    method: TuningMethod,
+    iterations: u32,
+    switch_at: u32,
+    observer: &mut SessionObserver,
+) -> Result<TuningRun, SessionError> {
+    cfg.validate_faults()?;
+    let switch_at = if method == TuningMethod::Hybrid {
+        switch_at.min(iterations)
+    } else {
+        iterations
+    };
+    let mut engine = TuneEngine::for_method(cfg, method)?;
+    let mut records: Vec<IterationRecord> = Vec::with_capacity(iterations as usize);
+    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
+    let mut start = 0u32;
+
+    let mut ckpt = match cfg.checkpoint.as_ref() {
+        None => None,
+        Some(policy) => {
+            let fp = checkpoint::session_fingerprint(cfg, method.label(), iterations, switch_at);
+            let (ck, resumed) = Checkpointer::open(policy, fp)?;
+            if let Some(resumed) = resumed {
+                let mut snapshot_iteration: i64 = -1;
+                if let Some((snap_iter, state)) = resumed.snapshot.as_ref() {
+                    snapshot_iteration = *snap_iter as i64;
+                    start = *snap_iter as u32;
+                    if start > switch_at {
+                        // The snapshot engine is already the fine phase.
+                    } else if method == TuningMethod::Hybrid && start == switch_at {
+                        // Snapshot taken exactly at the switch boundary:
+                        // the saved engine is still coarse; the live loop
+                        // below rebuilds the fine engine at `i == switch_at`.
+                    }
+                    engine = TuneEngine::from_state(cfg, state.require("engine").map_err(ckerr)?)
+                        .map_err(ckerr)?;
+                    best.restore_state(state.require("best").map_err(ckerr)?)
+                        .map_err(ckerr)?;
+                    records = checkpoint::records_from_state(
+                        state.require("records").map_err(ckerr)?,
+                    )
+                    .map_err(ckerr)?;
+                }
+                // Replay the journal past the snapshot: re-derive each
+                // proposal from the deterministic tuner and feed it the
+                // journaled measurement — no re-simulation, no trace
+                // output (those records already exist in the stream).
+                let mut replayed = 0u32;
+                for delta in &resumed.deltas {
+                    let i = delta.field_u64("iteration").map_err(ckerr)? as u32;
+                    if i != start {
+                        return Err(SessionError::Checkpoint(format!(
+                            "journal gap: expected iteration {start}, found {i}"
+                        )));
+                    }
+                    if method == TuningMethod::Hybrid && i == switch_at {
+                        engine = TuneEngine::fine_phase(cfg, &best.config)?;
+                    }
+                    let config = engine.propose(cfg);
+                    let wips = delta.field_f64("wips").map_err(ckerr)?;
+                    let line_wips = delta
+                        .require("line_wips")
+                        .and_then(State::to_f64_vec)
+                        .map_err(ckerr)?;
+                    let failed = delta.field_u64("failed").map_err(ckerr)?;
+                    engine.report(wips, &line_wips);
+                    best.consider(&config, wips, i);
+                    records.push(IterationRecord {
+                        iteration: i,
+                        wips,
+                        line_wips,
+                        workload: cfg.workload,
+                        failed,
+                    });
+                    start += 1;
+                    replayed += 1;
+                }
+                observer.record_resume(
+                    method.label(),
+                    start,
+                    snapshot_iteration,
+                    replayed,
+                    best.wips.max(0.0),
+                );
+            }
+            Some(ck)
+        }
+    };
+
+    for i in start..iterations {
+        if method == TuningMethod::Hybrid && i == switch_at {
+            engine = TuneEngine::fine_phase(cfg, &best.config)?;
+        }
+        let t0 = Instant::now();
+        let config = engine.propose(cfg);
+        let mut scenario = cfg.scenario(config.clone(), i);
+        scenario.lines = engine.lines();
+        let mut out = run_scenario(&scenario, observer.registry());
+        cfg.apply_fault_noise(i, &mut out);
+        let wips = out.metrics.wips;
+        engine.report(wips, &out.line_wips);
+        best.consider(&config, wips, i);
+        observer.record_iteration(
+            cfg,
+            method_label(method, i, switch_at),
+            i,
+            &config,
+            &out,
+            best.wips,
+            best.iteration,
+            &engine.diagnostics(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+        records.push(IterationRecord {
+            iteration: i,
+            wips,
+            line_wips: out.line_wips.clone(),
+            workload: cfg.workload,
+            failed: out.total_failed,
+        });
+        if let Some(ck) = ckpt.as_mut() {
+            ck.append(
+                State::map()
+                    .with("iteration", State::U64(i as u64))
+                    .with("wips", State::F64(wips))
+                    .with("line_wips", State::f64_list(&out.line_wips))
+                    .with("failed", State::U64(out.total_failed)),
+            )?;
+            ck.maybe_snapshot(i + 1, iterations, || {
+                tune_snapshot(&engine, &best, &records)
+            })?;
+        }
+    }
+    observer.flush();
+    Ok(TuningRun {
+        method,
+        records,
+        best_config: best.config,
+        best_wips: best.wips,
+        convergence_iteration: if method == TuningMethod::None {
+            0
+        } else {
+            best.iteration
+        },
+    })
 }
 
 /// Tune with the paper's **default method**: one Harmony server over every
@@ -636,46 +1163,7 @@ pub fn tune_default_method_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    cfg.validate_faults()?;
-    let space = binding::full_space(&cfg.topology);
-    let mut server = HarmonyServer::new("all-nodes", Box::new(SimplexTuner::new(space)));
-    let mut records = Vec::with_capacity(iterations as usize);
-    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
-    for i in 0..iterations {
-        let t0 = Instant::now();
-        let proposal = server.next_config();
-        let config = binding::config_from_full(&cfg.topology, &proposal);
-        let out = cfg.evaluate_observed(config.clone(), i, observer.registry());
-        let wips = out.metrics.wips;
-        server.report(wips);
-        best.consider(&config, wips, i);
-        observer.record_iteration(
-            cfg,
-            TuningMethod::Default.label(),
-            i,
-            &config,
-            &out,
-            best.wips,
-            best.iteration,
-            &server.diagnostics(),
-            t0.elapsed().as_secs_f64() * 1e3,
-        );
-        records.push(IterationRecord {
-            iteration: i,
-            wips,
-            line_wips: out.line_wips,
-            workload: cfg.workload,
-            failed: out.total_failed,
-        });
-    }
-    observer.flush();
-    Ok(TuningRun {
-        method: TuningMethod::Default,
-        records,
-        best_config: best.config,
-        best_wips: best.wips,
-        convergence_iteration: best.iteration,
-    })
+    drive_tuning(cfg, TuningMethod::Default, iterations, iterations, observer)
 }
 
 /// Tune with **parameter duplication**: one server per tier (7/7/9
@@ -692,62 +1180,7 @@ pub fn tune_duplication_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    cfg.validate_faults()?;
-    let mut servers = [
-        HarmonyServer::new(
-            "proxy-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
-        ),
-        HarmonyServer::new(
-            "web-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::App))),
-        ),
-        HarmonyServer::new(
-            "db-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
-        ),
-    ];
-    let mut records = Vec::with_capacity(iterations as usize);
-    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
-    for i in 0..iterations {
-        let t0 = Instant::now();
-        let pc = servers[0].next_config();
-        let wc = servers[1].next_config();
-        let dc = servers[2].next_config();
-        let config = binding::config_from_roles(&cfg.topology, &pc, &wc, &dc);
-        let out = cfg.evaluate_observed(config.clone(), i, observer.registry());
-        let wips = out.metrics.wips;
-        for s in &mut servers {
-            s.report(wips);
-        }
-        best.consider(&config, wips, i);
-        observer.record_iteration(
-            cfg,
-            TuningMethod::Duplication.label(),
-            i,
-            &config,
-            &out,
-            best.wips,
-            best.iteration,
-            &servers[0].diagnostics(),
-            t0.elapsed().as_secs_f64() * 1e3,
-        );
-        records.push(IterationRecord {
-            iteration: i,
-            wips,
-            line_wips: out.line_wips,
-            workload: cfg.workload,
-            failed: out.total_failed,
-        });
-    }
-    observer.flush();
-    Ok(TuningRun {
-        method: TuningMethod::Duplication,
-        records,
-        best_config: best.config,
-        best_wips: best.wips,
-        convergence_iteration: best.iteration,
-    })
+    drive_tuning(cfg, TuningMethod::Duplication, iterations, iterations, observer)
 }
 
 /// Tune with **parameter partitioning**: the cluster is split into work
@@ -764,78 +1197,7 @@ pub fn tune_partitioning_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    cfg.validate_faults()?;
-    let nodes: Vec<(usize, u8)> = cfg
-        .topology
-        .roles()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            (
-                i,
-                match r {
-                    Role::Proxy => 0u8,
-                    Role::App => 1,
-                    Role::Db => 2,
-                },
-            )
-        })
-        .collect();
-    let lines = build_work_lines(&nodes).map_err(|_| SessionError::MissingTier)?;
-    let mut servers: Vec<HarmonyServer> = (0..lines.len())
-        .map(|i| {
-            HarmonyServer::new(
-                format!("line-{i}"),
-                Box::new(SimplexTuner::new(binding::tier_space())),
-            )
-        })
-        .collect();
-
-    let mut records = Vec::with_capacity(iterations as usize);
-    let mut best = BestConfig::new(ClusterConfig::defaults(&cfg.topology));
-    for i in 0..iterations {
-        let t0 = Instant::now();
-        let mut config = ClusterConfig::defaults(&cfg.topology);
-        for (server, line) in servers.iter_mut().zip(&lines) {
-            let proposal = server.next_config();
-            binding::apply_line_config(&mut config, &cfg.topology, &line.nodes, &proposal);
-        }
-        let mut scenario = cfg.scenario(config.clone(), i);
-        scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let mut out = run_scenario(&scenario, observer.registry());
-        cfg.apply_fault_noise(i, &mut out);
-        let wips = out.metrics.wips;
-        for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
-            s.report(*line_wips);
-        }
-        best.consider(&config, wips, i);
-        observer.record_iteration(
-            cfg,
-            TuningMethod::Partitioning.label(),
-            i,
-            &config,
-            &out,
-            best.wips,
-            best.iteration,
-            &servers[0].diagnostics(),
-            t0.elapsed().as_secs_f64() * 1e3,
-        );
-        records.push(IterationRecord {
-            iteration: i,
-            wips,
-            line_wips: out.line_wips,
-            workload: cfg.workload,
-            failed: out.total_failed,
-        });
-    }
-    observer.flush();
-    Ok(TuningRun {
-        method: TuningMethod::Partitioning,
-        records,
-        best_config: best.config,
-        best_wips: best.wips,
-        convergence_iteration: best.iteration,
-    })
+    drive_tuning(cfg, TuningMethod::Partitioning, iterations, iterations, observer)
 }
 
 /// The paper's future-work **hybrid**: duplication for the first
@@ -858,86 +1220,10 @@ pub fn tune_hybrid_observed(
     switch_at: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    let switch_at = switch_at.min(iterations);
-    let mut coarse = tune_duplication_observed(cfg, switch_at, observer)?;
-
-    // Seed per-line tuning from the duplication best.
-    let seed_tier = binding::tier_config_from(&coarse.best_config, &cfg.topology)
-        .ok_or(SessionError::ConfigExtract)?;
-    let nodes: Vec<(usize, u8)> = cfg
-        .topology
-        .roles()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            (
-                i,
-                match r {
-                    Role::Proxy => 0u8,
-                    Role::App => 1,
-                    Role::Db => 2,
-                },
-            )
-        })
-        .collect();
-    let lines = build_work_lines(&nodes).map_err(|_| SessionError::MissingTier)?;
-    let mut servers: Vec<HarmonyServer> = (0..lines.len())
-        .map(|i| {
-            HarmonyServer::new(
-                format!("line-{i}"),
-                Box::new(SimplexTuner::with_seed(
-                    binding::tier_space(),
-                    seed_tier.clone(),
-                )),
-            )
-        })
-        .collect();
-
-    let mut best = BestConfig::new(coarse.best_config.clone());
-    best.wips = coarse.best_wips;
-    best.iteration = coarse.convergence_iteration;
-    for i in switch_at..iterations {
-        let t0 = Instant::now();
-        let mut config = coarse.best_config.clone();
-        for (server, line) in servers.iter_mut().zip(&lines) {
-            let proposal = server.next_config();
-            binding::apply_line_config(&mut config, &cfg.topology, &line.nodes, &proposal);
-        }
-        let mut scenario = cfg.scenario(config.clone(), i);
-        scenario.lines = Some(lines.iter().map(|l| l.nodes.clone()).collect());
-        let mut out = run_scenario(&scenario, observer.registry());
-        cfg.apply_fault_noise(i, &mut out);
-        let wips = out.metrics.wips;
-        for (s, line_wips) in servers.iter_mut().zip(&out.line_wips) {
-            s.report(*line_wips);
-        }
-        best.consider(&config, wips, i);
-        observer.record_iteration(
-            cfg,
-            TuningMethod::Hybrid.label(),
-            i,
-            &config,
-            &out,
-            best.wips,
-            best.iteration,
-            &servers[0].diagnostics(),
-            t0.elapsed().as_secs_f64() * 1e3,
-        );
-        coarse.records.push(IterationRecord {
-            iteration: i,
-            wips,
-            line_wips: out.line_wips,
-            workload: cfg.workload,
-            failed: out.total_failed,
-        });
-    }
-    observer.flush();
+    let run = drive_tuning(cfg, TuningMethod::Hybrid, iterations, switch_at, observer)?;
     Ok(TuningRun {
         method: TuningMethod::Hybrid,
-        records: coarse.records,
-        best_config: best.config,
-        best_wips: best.wips,
-        convergence_iteration: best.iteration,
+        ..run
     })
 }
 
@@ -957,51 +1243,11 @@ pub fn tune_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    match method {
-        TuningMethod::None => {
-            cfg.validate_faults()?;
-            let mut records = Vec::with_capacity(iterations as usize);
-            let default = ClusterConfig::defaults(&cfg.topology);
-            let mut best = BestConfig::new(default.clone());
-            for i in 0..iterations {
-                let t0 = Instant::now();
-                let out = cfg.evaluate_observed(default.clone(), i, observer.registry());
-                best.consider(&default, out.metrics.wips, i);
-                observer.record_iteration(
-                    cfg,
-                    TuningMethod::None.label(),
-                    i,
-                    &default,
-                    &out,
-                    best.wips,
-                    best.iteration,
-                    &[],
-                    t0.elapsed().as_secs_f64() * 1e3,
-                );
-                records.push(IterationRecord {
-                    iteration: i,
-                    wips: out.metrics.wips,
-                    line_wips: out.line_wips,
-                    workload: cfg.workload,
-                    failed: out.total_failed,
-                });
-            }
-            observer.flush();
-            Ok(TuningRun {
-                method: TuningMethod::None,
-                records,
-                best_config: best.config,
-                best_wips: best.wips,
-                convergence_iteration: 0,
-            })
-        }
-        TuningMethod::Default => tune_default_method_observed(cfg, iterations, observer),
-        TuningMethod::Duplication => tune_duplication_observed(cfg, iterations, observer),
-        TuningMethod::Partitioning => tune_partitioning_observed(cfg, iterations, observer),
-        TuningMethod::Hybrid => {
-            tune_hybrid_observed(cfg, iterations, iterations / 3, observer)
-        }
-    }
+    let switch_at = match method {
+        TuningMethod::Hybrid => iterations / 3,
+        _ => iterations,
+    };
+    drive_tuning(cfg, method, iterations, switch_at, observer)
 }
 
 #[cfg(test)]

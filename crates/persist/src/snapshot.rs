@@ -1,0 +1,121 @@
+//! Atomic whole-state snapshots.
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic: 8 bytes "AHCKPT\x00\x01"] [crc32(body): u32 LE] [body: State]
+//! ```
+//!
+//! Writes are atomic: the bytes go to a `.tmp` sibling, are fsynced,
+//! and the file is renamed into place (rename is atomic on POSIX
+//! filesystems), so a crash leaves either the old snapshot or the new
+//! one — never a half-written file under the real name. Loads verify
+//! magic and checksum and surface [`PersistError::Corrupt`] so callers
+//! can quarantine the file and fall back to an older snapshot.
+
+use crate::crc::crc32;
+use crate::state::State;
+use crate::PersistError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Snapshot file magic: format name + version byte.
+pub const MAGIC: &[u8; 8] = b"AHCKPT\x00\x01";
+
+/// Write `state` to `path` atomically (temp + fsync + rename).
+pub fn write(path: &Path, state: &State) -> Result<(), PersistError> {
+    let body = state.encode();
+    let mut bytes = Vec::with_capacity(MAGIC.len() + 4 + body.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (directory entry); best-effort on
+    // filesystems that do not support directory fsync.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Load and verify a snapshot.
+pub fn load(path: &Path) -> Result<State, PersistError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(PersistError::Corrupt("snapshot file too short".into()));
+    }
+    let (magic, rest) = bytes.split_at(MAGIC.len());
+    if magic != MAGIC {
+        return Err(PersistError::Corrupt("bad snapshot magic".into()));
+    }
+    let (crc_bytes, body) = rest.split_at(4);
+    let mut crc_buf = [0u8; 4];
+    crc_buf.copy_from_slice(crc_bytes);
+    let expected = u32::from_le_bytes(crc_buf);
+    if crc32(body) != expected {
+        return Err(PersistError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    State::decode(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("persist-snap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let path = temp_path("ok.ckpt");
+        let state = State::map()
+            .with("iteration", State::U64(40))
+            .with("best", State::F64(123.456));
+        write(&path, &state).unwrap();
+        assert_eq!(load(&path).unwrap(), state);
+        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up by rename");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let path = temp_path("flip.ckpt");
+        write(&path, &State::map().with("v", State::U64(7))).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 3;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_corrupt() {
+        let path = temp_path("short.ckpt");
+        std::fs::write(&path, b"AHCK").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Corrupt(_))));
+        std::fs::write(&path, b"NOTMAGIC\x00\x00\x00\x00").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load(&temp_path("never.ckpt")),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

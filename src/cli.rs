@@ -40,6 +40,12 @@ pub struct SimArgs {
     pub faults: Option<String>,
     /// Seed for the fault injector's deterministic noise/jitter draws.
     pub fault_seed: Option<u64>,
+    /// Directory for crash-safe session state (journal + snapshots).
+    pub checkpoint_dir: Option<String>,
+    /// Snapshot cadence in iterations (default 10 when checkpointing).
+    pub checkpoint_every: Option<u32>,
+    /// Resume the interrupted session found in `--checkpoint-dir`.
+    pub resume: bool,
 }
 
 impl Default for SimArgs {
@@ -55,6 +61,9 @@ impl Default for SimArgs {
             metrics: false,
             faults: None,
             fault_seed: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 }
@@ -96,6 +105,9 @@ OPTIONS (all subcommands):
   --metrics          print engine/resource metrics at the end of the run
   --faults PATH      JSON fault plan to inject (crashes, slowdowns, noise)
   --fault-seed N     seed for fault noise/jitter draws (default 0xFA17)
+  --checkpoint-dir PATH   journal + snapshot session state for crash recovery
+  --checkpoint-every N    snapshot cadence in iterations (default 10, N >= 1)
+  --resume           continue the interrupted session in --checkpoint-dir
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -235,6 +247,19 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
                 sim.fault_seed = Some(parse_num(args, i, "--fault-seed")?);
                 i += 2;
             }
+            "--checkpoint-dir" => {
+                let v = args.get(i + 1).ok_or("--checkpoint-dir needs a path")?;
+                sim.checkpoint_dir = Some(v.clone());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                sim.checkpoint_every = Some(parse_num(args, i, "--checkpoint-every")?);
+                i += 2;
+            }
+            "--resume" => {
+                sim.resume = true;
+                i += 1;
+            }
             "--plan" => {
                 let v = args.get(i + 1).ok_or("--plan needs a value")?;
                 sim.plan = match v.as_str() {
@@ -250,6 +275,17 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
                 i += 1;
             }
         }
+    }
+    if sim.checkpoint_dir.is_none() {
+        if sim.resume {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        if sim.checkpoint_every.is_some() {
+            return Err("--checkpoint-every requires --checkpoint-dir".into());
+        }
+    }
+    if sim.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".into());
     }
     Ok((sim, leftover))
 }
@@ -386,6 +422,54 @@ mod tests {
         assert!(parse(argv(&["simulate", "--faults"])).is_err());
         assert!(parse(argv(&["reconfig", "--fault-seed", "nope"])).is_err());
         assert!(parse(argv(&["tune", "--fault-seed"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        match parse(argv(&[
+            "tune",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "5",
+            "--resume",
+        ]))
+        .unwrap()
+        {
+            Command::Tune(t) => {
+                assert_eq!(t.sim.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+                assert_eq!(t.sim.checkpoint_every, Some(5));
+                assert!(t.sim.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.checkpoint_dir, None);
+                assert_eq!(sim.checkpoint_every, None);
+                assert!(!sim.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let err = parse(argv(&["tune", "--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = parse(argv(&["tune", "--checkpoint-every", "5"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = parse(argv(&[
+            "tune",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse(argv(&["tune", "--checkpoint-dir"])).is_err());
+        assert!(parse(argv(&["tune", "--checkpoint-every"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! * [`harmony`] — the Active Harmony tuning system;
 //! * [`faults`] — deterministic fault plans and injection;
 //! * [`obs`] — metrics registry and structured trace sinks;
+//! * [`persist`] — crash-safe state: write-ahead journal + snapshots;
 //! * [`orchestrator`] — sessions, experiments, reports.
 
 pub mod cli;
@@ -16,6 +17,7 @@ pub use faults;
 pub use harmony;
 pub use obs;
 pub use orchestrator;
+pub use persist;
 pub use simkit;
 pub use tpcw;
 
@@ -43,6 +45,7 @@ pub mod prelude {
         CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink,
     };
     pub use faults::{FaultPlan, Health};
+    pub use orchestrator::checkpoint::CheckpointPolicy;
     pub use orchestrator::resilient::{
         run_resilient_session, run_resilient_session_observed, ResilienceSettings, ResilientRun,
     };

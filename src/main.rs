@@ -30,14 +30,23 @@ fn main() {
     }
 }
 
-/// Open the `--trace` sink, if requested. Exits on I/O errors: a trace
-/// the user asked for must not be silently dropped.
+/// Open the `--trace` sink, if requested. A resumed session appends so
+/// the continued records land in the same stream as the interrupted
+/// run. Exits on I/O errors: a trace the user asked for must not be
+/// silently dropped.
 fn open_trace(sim: &SimArgs) -> Option<JsonlWriter<BufWriter<File>>> {
-    sim.trace.as_deref().map(|path| match JsonlWriter::create(path) {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("error: cannot open trace file '{path}': {e}");
-            std::process::exit(2);
+    sim.trace.as_deref().map(|path| {
+        let opened = if sim.resume {
+            JsonlWriter::append(path)
+        } else {
+            JsonlWriter::create(path)
+        };
+        match opened {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error: cannot open trace file '{path}': {e}");
+                std::process::exit(2);
+            }
         }
     })
 }
@@ -69,6 +78,13 @@ fn session_of(sim: &SimArgs) -> SessionConfig {
     }
     if let Some(seed) = sim.fault_seed {
         cfg = cfg.fault_seed(seed);
+    }
+    if let Some(dir) = sim.checkpoint_dir.as_deref() {
+        let mut policy = orchestrator::CheckpointPolicy::new(dir).resume(sim.resume);
+        if let Some(every) = sim.checkpoint_every {
+            policy = policy.every(every);
+        }
+        cfg = cfg.checkpoint(policy);
     }
     if let Err(e) = cfg.validate_faults() {
         eprintln!("error: {e}");
@@ -160,7 +176,11 @@ fn run_tune(t: &TuneArgs) {
         run.first_within(0.99),
     );
     if let Some(path) = t.sim.trace.as_deref() {
-        println!("trace: {} records -> {path}", run.records.len());
+        if t.sim.resume {
+            println!("trace: resumed, appending to {path}");
+        } else {
+            println!("trace: {} records -> {path}", run.records.len());
+        }
     }
     print_metrics(registry.as_ref());
 }

@@ -202,6 +202,42 @@ fn recovery_records_match_golden_schema() {
 }
 
 #[test]
+fn resume_record_matches_golden_schema() {
+    let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true);
+    let dir = std::env::temp_dir().join(format!(
+        "resume-schema-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A completed checkpointed run's directory is indistinguishable from
+    // one killed at the final iteration boundary, so resuming it yields
+    // a pure-replay session whose first record is the `resume` splice.
+    let ck = cfg
+        .clone()
+        .checkpoint(CheckpointPolicy::new(&dir).every(2));
+    tune_observed(&ck, TuningMethod::Default, 4, &mut SessionObserver::none()).expect("run");
+    let resumed = ck.checkpoint(CheckpointPolicy::new(&dir).every(2).resume(true));
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    tune_observed(&resumed, TuningMethod::Default, 4, &mut observer).expect("resume");
+
+    let lines = records_of_kind(&sink.records, "resume");
+    assert_eq!(lines.len(), 1, "exactly one resume record: {lines:?}");
+    let expected = golden_keys_from(include_str!("golden/resume_schema.txt"));
+    assert_eq!(
+        key_sequence(&lines[0]),
+        expected,
+        "drifted from tests/golden/resume_schema.txt: {}",
+        lines[0]
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn trace_values_track_the_run() {
     let records = traced_run(TuningMethod::Default, 5);
     let mut best = f64::NEG_INFINITY;
