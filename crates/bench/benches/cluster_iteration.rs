@@ -236,6 +236,79 @@ fn report_checkpoint_overhead() {
     );
 }
 
+/// Head-to-head: the evaluation engine must deliver >= 1.5x on a
+/// multi-candidate replay while producing the *same* WIPS series bit
+/// for bit. Three runs of the same 30-iteration simplex session:
+///
+/// * `sequential` — no engine, the baseline tuning loop;
+/// * `speculative` — cold cache + one worker per core, so the engine
+///   pre-evaluates the reflect/expand/contract candidate set it is
+///   told about via `Tuner::speculate` (a wash on single-core hosts,
+///   where there is nobody to overlap the extra work with);
+/// * `warm replay` — the same session again on the now-warm cache,
+///   which is what a resumed run gets after `persist` restores the
+///   cache: every candidate is a hit and the DES never runs.
+fn report_eval_speedup() {
+    use harmony::strategy::TuningMethod;
+    use orchestrator::eval::EvalSettings;
+    use orchestrator::session::tune;
+    use std::time::Instant;
+
+    let topology = Topology::single();
+    let cfg = SessionConfig::new(topology, Workload::Shopping, 400).plan(IntervalPlan::tiny());
+    let iters = 30u32;
+
+    let t0 = Instant::now();
+    let plain = tune(&cfg, TuningMethod::Default, iters).expect("sequential tune");
+    let sequential = t0.elapsed();
+
+    let spec_cfg = cfg.clone().eval_settings(EvalSettings::default().cache(true).threads(0));
+    let t1 = Instant::now();
+    let speculated = tune(&spec_cfg, TuningMethod::Default, iters).expect("speculative tune");
+    let speculative = t1.elapsed();
+    let spec_counters = spec_cfg.eval.counters();
+
+    let warm_cfg = cfg.clone().eval_settings(EvalSettings::default().cache(true));
+    let _ = tune(&warm_cfg, TuningMethod::Default, iters).expect("cache warm-up");
+    let before = warm_cfg.eval.counters();
+    let t2 = Instant::now();
+    let replayed = tune(&warm_cfg, TuningMethod::Default, iters).expect("warm replay");
+    let warm = t2.elapsed();
+    let warm_counters = warm_cfg.eval.counters().since(&before);
+
+    for (label, run) in [("speculative", &speculated), ("warm replay", &replayed)] {
+        assert_eq!(
+            plain.wips_series(),
+            run.wips_series(),
+            "{label} engine changed the measured WIPS series"
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "iteration/eval warm-replay speedup ({iters}-iteration simplex session): {:.1}x \
+         (target >= 1.5x; sequential {:.0} ms, warm cache {:.2} ms, \
+         hit rate {:.0}% [{} hits / {} misses])",
+        sequential.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        sequential.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        warm_counters.hit_rate() * 100.0,
+        warm_counters.hits,
+        warm_counters.misses
+    );
+    println!(
+        "iteration/eval speculation ({cores} core(s), cold cache): {:.2}x \
+         (sequential {:.0} ms, speculative {:.0} ms, hit rate {:.0}% \
+         [{} hits / {} misses], {} speculated)",
+        sequential.as_secs_f64() / speculative.as_secs_f64().max(1e-9),
+        sequential.as_secs_f64() * 1e3,
+        speculative.as_secs_f64() * 1e3,
+        spec_counters.hit_rate() * 100.0,
+        spec_counters.hits,
+        spec_counters.misses,
+        spec_counters.speculated
+    );
+}
+
 fn main() {
     let mut c = Criterion::from_args();
     bench_workloads(&mut c);
@@ -246,4 +319,5 @@ fn main() {
     report_overhead();
     report_injector_overhead();
     report_checkpoint_overhead();
+    report_eval_speedup();
 }

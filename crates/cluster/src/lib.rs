@@ -35,6 +35,11 @@
 //! assert_eq!(outcome.node_utilization.len(), 3); // proxy, app, db
 //! ```
 
+// Library code must surface failures as typed errors, never panic;
+// test modules (cfg(test)) are exempt. CI enforces this with a clippy
+// step dedicated to these crates.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod appserver;
 pub mod cache;
 pub mod config;

@@ -71,6 +71,9 @@ pub const PROXY_TUNABLES: [TunableDef; 7] = [
 
 impl ProxyParams {
     /// Table 3 defaults.
+    // Each tunable's default lies inside its own [min, max] by
+    // construction of the table; covered by `defaults_are_valid` tests.
+    #[allow(clippy::expect_used)]
     pub fn default_config() -> Self {
         Self::from_values(&PROXY_TUNABLES.map(|t| t.default)).expect("defaults valid")
     }
@@ -159,6 +162,9 @@ pub struct EffectivePool {
 
 impl WebParams {
     /// Table 3 defaults.
+    // Each tunable's default lies inside its own [min, max] by
+    // construction of the table; covered by `defaults_are_valid` tests.
+    #[allow(clippy::expect_used)]
     pub fn default_config() -> Self {
         Self::from_values(&WEB_TUNABLES.map(|t| t.default)).expect("defaults valid")
     }
@@ -253,6 +259,9 @@ pub const DB_TUNABLES: [TunableDef; 9] = [
 
 impl DbParams {
     /// Table 3 defaults.
+    // Each tunable's default lies inside its own [min, max] by
+    // construction of the table; covered by `defaults_are_valid` tests.
+    #[allow(clippy::expect_used)]
     pub fn default_config() -> Self {
         Self::from_values(&DB_TUNABLES.map(|t| t.default)).expect("defaults valid")
     }

@@ -81,6 +81,16 @@ impl HarmonyServer {
     pub fn diagnostics(&self) -> Vec<(&'static str, f64)> {
         self.tuner.diagnostics()
     }
+
+    /// Configurations this server may propose over its next few
+    /// [`HarmonyServer::next_config`] calls (see [`Tuner::speculate`]).
+    /// Empty while a proposal awaits its report.
+    pub fn speculate(&self) -> Vec<Vec<Configuration>> {
+        if self.pending.is_some() {
+            return Vec::new();
+        }
+        self.tuner.speculate()
+    }
 }
 
 impl Checkpointable for HarmonyServer {
@@ -175,5 +185,22 @@ mod tests {
     fn report_without_propose_panics() {
         let mut s = server();
         s.report(1.0);
+    }
+
+    #[test]
+    fn speculate_predicts_next_config_and_respects_pending() {
+        let mut s = server();
+        for _ in 0..10 {
+            let ahead = s.speculate();
+            let c = s.next_config();
+            if let Some(next) = ahead.first() {
+                assert!(next.contains(&c), "speculated {next:?}, proposed {c}");
+            }
+            assert!(
+                s.speculate().is_empty(),
+                "speculation must stay silent while a report is due"
+            );
+            s.report(c.get(0) as f64);
+        }
     }
 }

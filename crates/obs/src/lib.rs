@@ -18,6 +18,11 @@
 //!
 //! Everything here is `std`-only: no serde, no external crates.
 
+// Library code must surface failures as typed errors, never panic;
+// test modules (cfg(test)) are exempt. CI enforces this with a clippy
+// step dedicated to these crates.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod hist;
 mod metrics;
 mod span;

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::hist::{HistSnapshot, Histogram};
 
@@ -74,6 +74,12 @@ impl Gauge {
     }
 }
 
+/// Lock a registry map, recovering from poisoning: the maps hold only
+/// `Arc` handles, so state left by a panicked thread is still coherent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[derive(Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -94,46 +100,34 @@ impl Registry {
 
     /// Get or create the counter `name` and hand back a lock-free handle.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.counters.lock().unwrap();
+        let mut map = lock(&self.inner.counters);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.gauges.lock().unwrap();
+        let mut map = lock(&self.inner.gauges);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.inner.hists.lock().unwrap();
+        let mut map = lock(&self.inner.hists);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Copy out every metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self
-                .inner
-                .counters
-                .lock()
-                .unwrap()
+            counters: lock(&self.inner.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock(&self.inner.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            hists: self
-                .inner
-                .hists
-                .lock()
-                .unwrap()
+            hists: lock(&self.inner.hists)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

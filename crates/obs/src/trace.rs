@@ -160,16 +160,19 @@ pub(crate) fn csv_field(s: &str) -> String {
 
 impl<W: Write> TraceSink for CsvWriter<W> {
     fn emit(&mut self, record: &TraceRecord) {
-        if self.header.is_none() {
-            let cols: Vec<String> = record.fields().iter().map(|(k, _)| k.clone()).collect();
-            let _ = writeln!(
-                self.w,
-                "{}",
-                cols.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",")
-            );
-            self.header = Some(cols);
-        }
-        let header = self.header.as_ref().unwrap();
+        let header = match &mut self.header {
+            Some(header) => header,
+            none => {
+                let cols: Vec<String> =
+                    record.fields().iter().map(|(k, _)| k.clone()).collect();
+                let _ = writeln!(
+                    self.w,
+                    "{}",
+                    cols.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",")
+                );
+                none.insert(cols)
+            }
+        };
         let row: Vec<String> = header
             .iter()
             .map(|col| {

@@ -97,7 +97,7 @@ pub fn session_fingerprint(
     fnv1a(canon.as_bytes())
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;

@@ -14,6 +14,8 @@
 //!   re-measurement, circuit breaking, failure-driven reconfiguration;
 //! * [`checkpoint`] — crash-safe session persistence: write-ahead
 //!   journal, periodic snapshots, and deterministic resume;
+//! * [`eval`] — the evaluation engine: memoized measurements and
+//!   speculative parallel candidate evaluation;
 //! * [`experiments`] — one typed runner per paper table/figure;
 //! * [`par`] — crossbeam-based parallel fan-out of independent runs;
 //! * [`report`] — text tables and sparklines for the regenerators.
@@ -42,6 +44,7 @@
 
 pub mod binding;
 pub mod checkpoint;
+pub mod eval;
 pub mod experiments;
 pub mod export;
 pub mod par;
@@ -52,6 +55,7 @@ pub mod schedule;
 pub mod session;
 
 pub use checkpoint::CheckpointPolicy;
+pub use eval::{EvalEngine, EvalSettings};
 pub use experiments::Effort;
 pub use resilient::{run_resilient_session, ResilienceSettings, ResilientRun};
 pub use session::{tune, SessionConfig, SessionError, TuningRun};

@@ -3,14 +3,21 @@
 //! Tuning itself is sequential (each iteration depends on the last
 //! observation), but the experiment harness runs many *independent*
 //! simulations: replicas over seeds, the 3×3 matrix of Figure 4, the four
-//! Table 4 methods. Those fan out across cores with `std::thread::scope`
-//! — no `unsafe`, no leaked threads, no external crates, results
-//! returned in input order.
+//! Table 4 methods — and the evaluation engine speculates on future
+//! simplex candidates the same way (see `crate::eval`). Those fan out
+//! across cores with `std::thread::scope` — no `unsafe`, no leaked
+//! threads, no external crates, results returned in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Map `f` over `items` in parallel, preserving order. Uses up to
 /// `max_threads` worker threads (0 = number of available cores).
+///
+/// An explicit `max_threads == 1` never spawns: the mapping runs on the
+/// calling thread. Memory is bounded by the output vector itself —
+/// workers write each result straight into its slot (no channel, so a
+/// fast producer can never buffer the whole result set twice).
 ///
 /// A panic in `f` propagates to the caller when the scope joins.
 pub fn parallel_map<I, O, F>(items: &[I], max_threads: usize, f: F) -> Vec<O>
@@ -27,11 +34,11 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
+    let slots: Vec<Mutex<Option<O>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let tx = tx.clone();
             let next = &next;
+            let slots = &slots;
             let f = &f;
             scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -39,32 +46,45 @@ where
                     break;
                 }
                 let out = f(&items[idx]);
-                if tx.send((idx, out)).is_err() {
-                    break;
+                // Uncontended by construction: `idx` is claimed by
+                // exactly one worker. A poisoned slot only means another
+                // worker panicked mid-store; the scope join re-raises
+                // that panic before the slot is ever read.
+                if let Ok(mut slot) = slots[idx].lock() {
+                    *slot = Some(out);
                 }
             });
         }
         // `std::thread::scope` joins every worker here and re-raises the
-        // first panic, so a poisoned result can never be observed below.
+        // first panic, so a half-filled result can never be observed.
     });
-    drop(tx);
-    let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
-    for (idx, out) in rx {
-        results[idx] = Some(out);
-    }
-    // The scope above joins every worker, so each index was filled.
-    #[allow(clippy::expect_used)]
-    results
+    slots
         .into_iter()
-        .map(|o| o.expect("every index processed"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .map(|o| {
+            #[allow(clippy::expect_used)]
+            o.expect("every index processed: scope joined all workers")
+        })
         .collect()
 }
 
-fn effective_threads(max_threads: usize, work: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let cap = if max_threads == 0 { cores } else { max_threads };
+/// Worker-thread count for `work` independent tasks under a
+/// `max_threads` request: an explicit request is honoured exactly (never
+/// silently inflated), `0` means one thread per available core, and the
+/// result is clamped to `[1, work]` — more workers than tasks would only
+/// spawn idle threads. `available_parallelism` failure (exotic
+/// platforms, restricted cgroups) degrades to sequential, never panics.
+pub fn effective_threads(max_threads: usize, work: usize) -> usize {
+    let cap = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        max_threads
+    };
     cap.min(work).max(1)
 }
 
@@ -101,6 +121,29 @@ mod tests {
         let items = vec![1, 2, 3];
         let out = parallel_map(&items, 1, |&x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn single_thread_request_never_spawns() {
+        // Regression: an explicit 1-thread request must run on the
+        // calling thread, not on one spawned worker.
+        let caller = std::thread::current().id();
+        let items = vec![1, 2, 3];
+        let ids = parallel_map(&items, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn explicit_thread_request_is_honoured() {
+        // Regression: `effective_threads` must never inflate an explicit
+        // request (e.g. to the core count) — only clamp it to the work.
+        assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(3, 2), 2);
+        assert_eq!(effective_threads(1, 100), 1);
+        assert_eq!(effective_threads(64, 1), 1);
+        // 0 = auto: at least one thread, never more than the work.
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(0, 1), 1);
     }
 
     #[test]

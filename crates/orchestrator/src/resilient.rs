@@ -30,8 +30,7 @@
 use crate::binding;
 use crate::checkpoint::{self, Checkpointer};
 use crate::session::{
-    ckerr, config_summary, run_scenario, IterationRecord, SessionConfig, SessionError,
-    SessionObserver,
+    ckerr, config_summary, IterationRecord, SessionConfig, SessionError, SessionObserver,
 };
 use crate::reconfigure::ReconfigEvent;
 use cluster::config::{ClusterConfig, Role, Topology};
@@ -232,6 +231,11 @@ pub fn run_resilient_session_observed(
                         state.require("reconfigs").map_err(ckerr)?,
                     )
                     .map_err(ckerr)?;
+                    // Warm the evaluation cache from the snapshot (older
+                    // snapshots — or cache-off sessions — lack the field).
+                    if let Some(cached) = state.get("eval_cache") {
+                        base.eval.restore_cache(cached).map_err(ckerr)?;
+                    }
                 }
                 // Replay the journal past the snapshot. Proposals are
                 // re-derived deterministically; measured outcomes, retry
@@ -517,7 +521,7 @@ pub fn run_resilient_session_observed(
                     .with("reconfig", reconfig),
             )?;
             ck.maybe_snapshot(i + 1, iterations, || {
-                resilient_snapshot(
+                let mut snap = resilient_snapshot(
                     &topology,
                     &servers,
                     &breaker,
@@ -527,7 +531,11 @@ pub fn run_resilient_session_observed(
                     &records,
                     &recoveries,
                     &reconfigs,
-                )
+                );
+                if base.eval.cache_enabled() {
+                    snap.set("eval_cache", base.eval.save_cache_state());
+                }
+                snap
             })?;
         }
     }
@@ -658,10 +666,9 @@ fn evaluate_with_retries(
                     let retry_cfg = cfg
                         .clone()
                         .base_seed(cfg.base_seed ^ remeasure_salt(remeasures));
-                    out = run_scenario(
-                        &retry_cfg.scenario(config.clone(), iteration),
-                        observer.registry(),
-                    );
+                    out = retry_cfg
+                        .eval
+                        .run(&retry_cfg.scenario(config.clone(), iteration), observer.registry());
                     if let Some(plan) = cfg.fault_plan.as_ref() {
                         let injector = FaultInjector::new(plan, cfg.fault_seed);
                         let shifted =
@@ -705,7 +712,7 @@ fn evaluate_with_retries(
         let retry_cfg = cfg.clone().base_seed(cfg.base_seed ^ remeasure_salt(attempt));
         let mut scenario = retry_cfg.scenario(config.clone(), iteration);
         scenario.faults = steady_state_timeline(cfg, iteration);
-        out = run_scenario(&scenario, observer.registry());
+        out = cfg.eval.run(&scenario, observer.registry());
         valid = out.metrics.wips > 0.0;
     }
     (out, valid)

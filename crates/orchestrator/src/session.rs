@@ -10,6 +10,7 @@
 
 use crate::binding;
 use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
+use crate::eval::{EvalCounters, EvalEngine, EvalSettings};
 use cluster::config::{ClusterConfig, NodeId, Role, Topology};
 use cluster::model::ClusterScenario;
 use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
@@ -18,6 +19,7 @@ use faults::{FaultClock, FaultInjector, FaultPlan, WindowFaults};
 use harmony::server::HarmonyServer;
 use obs::{Registry, TraceRecord, TraceSink};
 use harmony::simplex::SimplexTuner;
+use harmony::space::Configuration;
 use harmony::strategy::TuningMethod;
 use harmony::workline::build_work_lines;
 use persist::{Checkpointable, PersistError, State};
@@ -25,6 +27,7 @@ use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Recoverable failures of a tuning session. Everything that used to
@@ -100,6 +103,11 @@ pub struct SessionConfig {
     /// periodically into a directory, optionally resuming from it.
     /// `None` (the default) writes nothing.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Evaluation engine: memoized measurements and speculative parallel
+    /// candidate evaluation, shared (via `Arc`) across clones of this
+    /// config. The default is fully transparent — no cache, one thread —
+    /// so sessions behave exactly as if the engine did not exist.
+    pub eval: Arc<EvalEngine>,
 }
 
 impl SessionConfig {
@@ -118,6 +126,7 @@ impl SessionConfig {
             fault_plan: None,
             fault_seed: 0xFA17,
             checkpoint: None,
+            eval: Arc::new(EvalEngine::new(EvalSettings::default())),
         }
     }
 
@@ -203,6 +212,14 @@ impl SessionConfig {
         self
     }
 
+    /// Builder: replace the evaluation engine (memoization cache +
+    /// speculative parallel candidate evaluation). Clones made after
+    /// this call share the new engine.
+    pub fn eval_settings(mut self, settings: EvalSettings) -> Self {
+        self.eval = Arc::new(EvalEngine::new(settings));
+        self
+    }
+
     /// Degrade node `node` to `cpu_scale` of nominal CPU speed.
     pub fn degrade_cpu(&mut self, node: usize, cpu_scale: f64) -> Result<(), SessionError> {
         if node >= self.topology.len() {
@@ -267,6 +284,26 @@ impl SessionConfig {
         }
     }
 
+    /// Seed for replication `rep` of a measurement experiment
+    /// ([`SessionConfig::measure_default`] /
+    /// [`SessionConfig::measure_until_precise`]). Offset from the
+    /// tuning-iteration domain by a large odd constant so replication
+    /// samples never alias `seed_for(i)` — reusing `0..reps` as
+    /// iteration indices made "independent" replications identical to
+    /// the first tuning measurements (and would collide in the
+    /// evaluation cache). `pin_seed` still wins: a pinned session runs
+    /// *every* measurement (iterations and replications alike) on
+    /// `base_seed`, so pinned baselines stay bit-equal to pinned
+    /// iterations; the disjoint domain protects unpinned sessions,
+    /// where the aliasing was a real bug.
+    fn replication_seed_for(&self, rep: u32) -> u64 {
+        const REPLICATION_DOMAIN: u64 = 0x9E37_79B9_7F4A_7C15;
+        if self.pin_seed {
+            return self.base_seed;
+        }
+        (self.base_seed ^ REPLICATION_DOMAIN).wrapping_add(rep as u64)
+    }
+
     /// Build the scenario for one iteration.
     pub fn scenario(&self, config: ClusterConfig, iteration: u32) -> ClusterScenario {
         let faults = self
@@ -291,21 +328,35 @@ impl SessionConfig {
 
     /// Evaluate one configuration (one iteration cycle).
     pub fn evaluate(&self, config: ClusterConfig, iteration: u32) -> IterationOutcome {
-        let mut out = run_iteration(&self.scenario(config, iteration));
-        self.apply_fault_noise(iteration, &mut out);
-        out
+        self.evaluate_observed(config, iteration, None)
     }
 
     /// Like [`SessionConfig::evaluate`], but publishes engine and
-    /// per-tier resource metrics when a registry is attached.
+    /// per-tier resource metrics when a registry is attached. Routed
+    /// through the evaluation engine; the fault noise spike is applied
+    /// *after* the cache lookup so cached entries stay raw and
+    /// noise-deterministic (see [`crate::eval`]).
     pub fn evaluate_observed(
         &self,
         config: ClusterConfig,
         iteration: u32,
         registry: Option<&Registry>,
     ) -> IterationOutcome {
-        let mut out = run_scenario(&self.scenario(config, iteration), registry);
+        let scenario = self.scenario(config, iteration);
+        let mut out = self.eval.run(&scenario, registry);
         self.apply_fault_noise(iteration, &mut out);
+        out
+    }
+
+    /// Evaluate one replication of a measurement experiment. Identical to
+    /// [`SessionConfig::evaluate`] except the seed comes from the
+    /// replication domain ([`SessionConfig::replication_seed_for`]), so
+    /// measurement replications are independent of tuning iterations.
+    fn evaluate_replication(&self, config: ClusterConfig, rep: u32) -> IterationOutcome {
+        let mut scenario = self.scenario(config, rep);
+        scenario.seed = self.replication_seed_for(rep);
+        let mut out = self.eval.run(&scenario, None);
+        self.apply_fault_noise(rep, &mut out);
         out
     }
 
@@ -314,7 +365,7 @@ impl SessionConfig {
     pub fn measure_default(&self, reps: u32) -> (f64, f64) {
         let mut stats = simkit::stats::Welford::new();
         for i in 0..reps {
-            let out = self.evaluate(ClusterConfig::defaults(&self.topology), i);
+            let out = self.evaluate_replication(ClusterConfig::defaults(&self.topology), i);
             stats.record(out.metrics.wips);
         }
         (stats.mean(), stats.std_dev())
@@ -331,7 +382,7 @@ impl SessionConfig {
     ) -> simkit::ci::ConfidenceInterval {
         let mut samples = Vec::new();
         for i in 0..max_reps.max(2) {
-            let out = self.evaluate(config.clone(), i);
+            let out = self.evaluate_replication(config.clone(), i);
             samples.push(out.metrics.wips);
             if samples.len() >= 2 {
                 let ci = simkit::ci::replication_ci(&samples);
@@ -597,6 +648,33 @@ impl<'a> SessionObserver<'a> {
             .field("best_wips", best_wips);
         sink.emit(&rec);
     }
+
+    /// Emit one `eval` summary record at the end of a session whose
+    /// evaluation engine is active (cache and/or speculation). Field
+    /// order is part of the trace schema
+    /// (tests/golden/eval_schema.txt). This is the only record that
+    /// varies with the engine configuration; determinism tests strip
+    /// it, like `wall_ms`.
+    pub(crate) fn record_eval(
+        &mut self,
+        method: &str,
+        iterations: u32,
+        threads: usize,
+        counters: &EvalCounters,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("eval")
+            .field("method", method)
+            .field("iterations", iterations)
+            .field("threads", threads as u64)
+            .field("hits", counters.hits)
+            .field("misses", counters.misses)
+            .field("speculated", counters.speculated)
+            .field("hit_rate", counters.hit_rate());
+        sink.emit(&rec);
+    }
 }
 
 /// Run a prepared scenario, through the metrics-publishing runner when a
@@ -825,6 +903,106 @@ impl TuneEngine {
         }
     }
 
+    /// Cluster configurations this engine *may* propose over its next
+    /// `horizon` iterations: element `k` of the outer vector lists
+    /// candidates for the proposal `k` iterations ahead (0 = the very
+    /// next one). Advisory input to speculative evaluation (see
+    /// [`crate::eval`]); multi-server engines cross their servers'
+    /// per-offset candidate lists, capped so a speculation step never
+    /// explodes combinatorially.
+    fn speculate(&self, cfg: &SessionConfig, horizon: usize) -> Vec<Vec<ClusterConfig>> {
+        /// Most joint candidates per offset: reflect follow-ups give 3
+        /// candidates per server, so two servers already reach 9 — cap
+        /// the cross product at a budget that keeps the certain
+        /// single-candidate chains (init, shrink) fully covered.
+        const SPECULATION_CAP: usize = 8;
+
+        if horizon == 0 {
+            return Vec::new();
+        }
+        match self {
+            TuneEngine::Baseline => {
+                vec![vec![ClusterConfig::defaults(&cfg.topology)]; horizon]
+            }
+            TuneEngine::Single(server) => server
+                .speculate()
+                .into_iter()
+                .take(horizon)
+                .map(|cands| {
+                    cands
+                        .iter()
+                        .take(SPECULATION_CAP)
+                        .map(|c| binding::config_from_full(&cfg.topology, c))
+                        .collect()
+                })
+                .collect(),
+            TuneEngine::Tiers(servers) => Self::joint_speculation(
+                &servers.iter().map(|s| s.speculate()).collect::<Vec<_>>(),
+                horizon,
+                SPECULATION_CAP,
+                |combo| binding::config_from_roles(&cfg.topology, &combo[0], &combo[1], &combo[2]),
+            ),
+            TuneEngine::Lines {
+                servers,
+                lines,
+                base,
+            } => Self::joint_speculation(
+                &servers.iter().map(|s| s.speculate()).collect::<Vec<_>>(),
+                horizon,
+                SPECULATION_CAP,
+                |combo| {
+                    let mut config = base.clone();
+                    for (line, proposal) in lines.iter().zip(combo) {
+                        binding::apply_line_config(&mut config, &cfg.topology, line, proposal);
+                    }
+                    config
+                },
+            ),
+        }
+    }
+
+    /// Cross the per-server speculation lists offset by offset: a joint
+    /// candidate exists at offset `k` only while *every* server still
+    /// sees that far ahead, and each combination picks one candidate per
+    /// server (bounded by `cap` combinations per offset).
+    fn joint_speculation(
+        ahead: &[Vec<Vec<Configuration>>],
+        horizon: usize,
+        cap: usize,
+        assemble: impl Fn(&[Configuration]) -> ClusterConfig,
+    ) -> Vec<Vec<ClusterConfig>> {
+        let mut out = Vec::new();
+        for k in 0..horizon {
+            let Some(parts) = ahead
+                .iter()
+                .map(|a| a.get(k).filter(|p| !p.is_empty()))
+                .collect::<Option<Vec<_>>>()
+            else {
+                break;
+            };
+            let mut combos: Vec<Vec<Configuration>> = vec![Vec::new()];
+            for part in parts {
+                let mut next = Vec::with_capacity(cap);
+                'fill: for combo in &combos {
+                    for cand in part.iter() {
+                        if next.len() >= cap {
+                            break 'fill;
+                        }
+                        let mut c = combo.clone();
+                        c.push(cand.clone());
+                        next.push(c);
+                    }
+                }
+                combos = next;
+            }
+            if combos.is_empty() {
+                break;
+            }
+            out.push(combos.iter().map(|combo| assemble(combo)).collect());
+        }
+        out
+    }
+
     /// Feed the measured throughput back to the server(s).
     fn report(&mut self, wips: f64, line_wips: &[f64]) {
         match self {
@@ -1043,6 +1221,12 @@ fn drive_tuning(
                         state.require("records").map_err(ckerr)?,
                     )
                     .map_err(ckerr)?;
+                    // Warm the evaluation cache from the snapshot (older
+                    // snapshots — or cache-off sessions — simply lack
+                    // the field).
+                    if let Some(cached) = state.get("eval_cache") {
+                        cfg.eval.restore_cache(cached).map_err(ckerr)?;
+                    }
                 }
                 // Replay the journal past the snapshot: re-derive each
                 // proposal from the deterministic tuner and feed it the
@@ -1090,15 +1274,34 @@ fn drive_tuning(
         }
     };
 
+    let eval_before = cfg.eval.counters();
     for i in start..iterations {
         if method == TuningMethod::Hybrid && i == switch_at {
             engine = TuneEngine::fine_phase(cfg, &best.config)?;
+        }
+        // Speculative parallel evaluation: ask the tuner what it may
+        // propose over the next few iterations and warm the cache on
+        // worker threads. The horizon never crosses the hybrid's phase
+        // switch (the fine engine proposes from a different space).
+        let spec_horizon = cfg.eval.speculation_horizon();
+        if spec_horizon > 0 {
+            let phase_end = if i < switch_at { switch_at } else { iterations };
+            let horizon = spec_horizon.min((phase_end - i) as usize);
+            let mut scenarios = Vec::new();
+            for (off, candidates) in engine.speculate(cfg, horizon).into_iter().enumerate() {
+                for candidate in candidates {
+                    let mut s = cfg.scenario(candidate, i + off as u32);
+                    s.lines = engine.lines();
+                    scenarios.push(s);
+                }
+            }
+            cfg.eval.prefetch(&scenarios);
         }
         let t0 = Instant::now();
         let config = engine.propose(cfg);
         let mut scenario = cfg.scenario(config.clone(), i);
         scenario.lines = engine.lines();
-        let mut out = run_scenario(&scenario, observer.registry());
+        let mut out = cfg.eval.run(&scenario, observer.registry());
         cfg.apply_fault_noise(i, &mut out);
         let wips = out.metrics.wips;
         engine.report(wips, &out.line_wips);
@@ -1130,9 +1333,27 @@ fn drive_tuning(
                     .with("failed", State::U64(out.total_failed)),
             )?;
             ck.maybe_snapshot(i + 1, iterations, || {
-                tune_snapshot(&engine, &best, &records)
+                let mut snap = tune_snapshot(&engine, &best, &records);
+                if cfg.eval.cache_enabled() {
+                    snap.set("eval_cache", cfg.eval.save_cache_state());
+                }
+                snap
             })?;
         }
+    }
+    if cfg.eval.enabled() {
+        let activity = cfg.eval.counters().since(&eval_before);
+        if let Some(registry) = observer.registry() {
+            registry.counter("eval.cache_hits").add(activity.hits);
+            registry.counter("eval.cache_misses").add(activity.misses);
+            registry.counter("eval.speculated").add(activity.speculated);
+        }
+        observer.record_eval(
+            method.label(),
+            iterations - start,
+            cfg.eval.threads(),
+            &activity,
+        );
     }
     observer.flush();
     Ok(TuningRun {
@@ -1421,6 +1642,91 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert!(events > 0);
+    }
+
+    #[test]
+    fn replication_seeds_are_disjoint_from_iteration_seeds() {
+        // Regression: measure_default/measure_until_precise used to run
+        // replication r with seed_for(r), so "independent" replications
+        // aliased the first tuning iterations of the same session.
+        let cfg = quick_cfg(Workload::Shopping).base_seed(1234);
+        let reps = 64u32;
+        let iter_seeds: std::collections::BTreeSet<u64> =
+            (0..reps).map(|i| cfg.seed_for(i)).collect();
+        for r in 0..reps {
+            assert!(
+                !iter_seeds.contains(&cfg.replication_seed_for(r)),
+                "replication {r} reuses a tuning-iteration seed"
+            );
+        }
+        // Unpinned replications must also differ from each other.
+        let rep_seeds: std::collections::BTreeSet<u64> =
+            (0..reps).map(|r| cfg.replication_seed_for(r)).collect();
+        assert_eq!(rep_seeds.len(), reps as usize);
+        // Pinning still wins: a pinned session runs everything —
+        // replications included — on base_seed, keeping pinned
+        // baselines bit-equal to pinned iterations.
+        let pinned = cfg.clone().pin_seed(true);
+        for r in 0..reps {
+            assert_eq!(pinned.replication_seed_for(r), pinned.base_seed);
+        }
+    }
+
+    #[test]
+    fn unpinned_measurements_estimate_noise() {
+        let cfg = quick_cfg(Workload::Shopping);
+        let (mean, sd) = cfg.measure_default(4);
+        assert!(mean > 0.0);
+        assert!(sd > 0.0, "replications collapsed onto one seed (sd = {sd})");
+        // A pinned session collapses that variance by design.
+        let (_, pinned_sd) = quick_cfg(Workload::Shopping).pin_seed(true).measure_default(4);
+        assert_eq!(pinned_sd, 0.0);
+    }
+
+    #[test]
+    fn cached_tuning_matches_sequential_bit_for_bit() {
+        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 6)
+            .expect("tuning");
+        let cached =
+            quick_cfg(Workload::Shopping).eval_settings(EvalSettings::default().cache(true));
+        let run = tune(&cached, TuningMethod::Default, 6).expect("tuning");
+        assert_eq!(plain.wips_series(), run.wips_series());
+        assert_eq!(plain.best_wips.to_bits(), run.best_wips.to_bits());
+        let c = cached.eval.counters();
+        assert_eq!(c.hits + c.misses, 6);
+    }
+
+    #[test]
+    fn speculative_parallel_tuning_matches_sequential_bit_for_bit() {
+        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 8)
+            .expect("tuning");
+        let spec = quick_cfg(Workload::Shopping)
+            .eval_settings(EvalSettings::default().cache(true).threads(0));
+        let run = tune(&spec, TuningMethod::Default, 8).expect("tuning");
+        assert_eq!(plain.wips_series(), run.wips_series());
+        assert_eq!(plain.best_wips.to_bits(), run.best_wips.to_bits());
+        let c = spec.eval.counters();
+        assert!(c.speculated > 0, "speculation never ran");
+        assert!(c.hits > 0, "speculation never paid off: {c:?}");
+    }
+
+    #[test]
+    fn active_engine_emits_one_eval_record() {
+        let cfg =
+            quick_cfg(Workload::Shopping).eval_settings(EvalSettings::default().cache(true));
+        let mut sink = obs::MemorySink::new();
+        let mut observer = SessionObserver::with_sink(&mut sink);
+        tune_observed(&cfg, TuningMethod::Default, 3, &mut observer).expect("tuning");
+        let records = sink.records();
+        assert_eq!(records.len(), 4, "3 iteration records + 1 eval summary");
+        let eval = records.last().unwrap();
+        assert_eq!(eval.kind(), "eval");
+        let keys: Vec<&str> = eval.fields().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["method", "iterations", "threads", "hits", "misses", "speculated", "hit_rate"]
+        );
+        assert_eq!(eval.get("iterations").and_then(|v| v.as_f64()), Some(3.0));
     }
 
     #[test]

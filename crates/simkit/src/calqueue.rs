@@ -159,9 +159,9 @@ impl<E> CalendarQueue<E> {
         // Retarget the width to spread current entries over about one
         // year: width ~ span / len (bounded).
         if entries.len() >= 2 {
-            let min = entries.iter().map(|e| e.time.as_micros()).min().unwrap();
-            let max = entries.iter().map(|e| e.time.as_micros()).max().unwrap();
-            let span = (max - min).max(1);
+            let min = entries.iter().map(|e| e.time.as_micros()).min().unwrap_or(0);
+            let max = entries.iter().map(|e| e.time.as_micros()).max().unwrap_or(0);
+            let span = max.saturating_sub(min).max(1);
             self.day_width = (span / entries.len() as u64).clamp(1, u64::MAX / 4);
         }
         self.days = (0..new_days).map(|_| Vec::new()).collect();

@@ -52,12 +52,26 @@ impl ConfidenceInterval {
     }
 
     /// Relative half-width (precision of the estimate).
+    ///
+    /// A near-zero mean is degenerate for a *relative* measure, so it is
+    /// resolved by the half-width alone: a degenerate-but-tight interval
+    /// (every replication measured ~0, e.g. a crashed configuration's
+    /// WIPS) reports `0.0` — perfectly precise, sequential sampling must
+    /// stop — while a degenerate wide or undefined (NaN) interval
+    /// reports `INFINITY`, never a negative value and never NaN.
     pub fn relative_precision(&self) -> f64 {
-        if self.mean.abs() < 1e-12 {
-            f64::INFINITY
-        } else {
-            self.half_width / self.mean.abs()
+        const EPS: f64 = 1e-12;
+        if self.half_width.is_nan() || self.mean.is_nan() {
+            return f64::INFINITY;
         }
+        if self.mean.abs() < EPS {
+            return if self.half_width.abs() < EPS {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        (self.half_width / self.mean.abs()).abs()
     }
 }
 
@@ -178,5 +192,27 @@ mod tests {
         let ci = ConfidenceInterval { mean: 100.0, half_width: 5.0, samples: 10 };
         assert_eq!(format!("{ci}"), "100.00 ± 5.00");
         assert!((ci.relative_precision() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_precision_resolves_by_half_width() {
+        // Regression: an all-zeros sample (a crashed configuration
+        // measured over replications) used to report INFINITY, so
+        // sequential sampling burnt its whole replication budget on a
+        // sample that could not get any more precise.
+        let dead = replication_ci(&[0.0, 0.0, 0.0]);
+        assert_eq!(dead.mean, 0.0);
+        assert_eq!(dead.half_width, 0.0);
+        assert_eq!(dead.relative_precision(), 0.0);
+        // A zero mean with genuine spread is still unbounded: the
+        // relative measure is undefined, not satisfied.
+        let mixed = replication_ci(&[-5.0, 5.0]);
+        assert!(mixed.mean.abs() < 1e-12);
+        assert!(mixed.relative_precision().is_infinite());
+        // NaN anywhere never reports precise.
+        let nan = ConfidenceInterval { mean: f64::NAN, half_width: 1.0, samples: 3 };
+        assert!(nan.relative_precision().is_infinite());
+        let nan_hw = ConfidenceInterval { mean: 4.0, half_width: f64::NAN, samples: 3 };
+        assert!(nan_hw.relative_precision().is_infinite());
     }
 }

@@ -63,6 +63,11 @@
 //! assert!(sim.model().served > 300);
 //! ```
 
+// Library code must surface failures as typed errors, never panic;
+// test modules (cfg(test)) are exempt. CI enforces this with a clippy
+// step dedicated to these crates.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod calendar;
 pub mod calqueue;
 pub mod ci;

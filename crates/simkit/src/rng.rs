@@ -188,11 +188,10 @@ impl SimRng {
             }
             x -= w;
         }
-        // Floating-point slack: fall back to the last positive weight.
-        weights
-            .iter()
-            .rposition(|&w| w > 0.0)
-            .expect("at least one positive weight")
+        // Floating-point slack: fall back to the last positive weight
+        // (index 0 if every weight is zero, which the debug_assert above
+        // rejects in test builds).
+        weights.iter().rposition(|&w| w > 0.0).unwrap_or(0)
     }
 
     /// Zipf-like sample over `[0, n)` with skew `theta` in `[0, 1)`.

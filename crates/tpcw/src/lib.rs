@@ -26,6 +26,11 @@
 //! assert!(mix.percent(ix) > 0.0);
 //! ```
 
+// Library code must surface failures as typed errors, never panic;
+// test modules (cfg(test)) are exempt. CI enforces this with a clippy
+// step dedicated to these crates.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod browser;
 pub mod demand;
 pub mod interaction;

@@ -111,7 +111,9 @@ impl Mix {
     /// i.i.d. from them directly (documented substitution in DESIGN.md §1).
     pub fn sample(&self, rng: &mut SimRng) -> Interaction {
         let idx = rng.weighted_index(&self.weights);
-        Interaction::from_index(idx).expect("weight index in range")
+        // `weighted_index` returns a position inside `self.weights`,
+        // which has exactly `Interaction::COUNT` entries.
+        Interaction::ALL[idx.min(Interaction::COUNT - 1)]
     }
 
     /// The raw weight array (for property tests and reporting).

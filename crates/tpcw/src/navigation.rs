@@ -153,14 +153,14 @@ impl NavigationModel {
     pub fn next(&self, from: Interaction, rng: &mut SimRng) -> Interaction {
         let row = &self.rows[from.index()];
         let idx = rng.weighted_index(row);
-        Interaction::from_index(idx).expect("index in range")
+        Interaction::ALL[idx.min(Interaction::COUNT - 1)]
     }
 
     /// Sample a session entry page (stationary-distributed, so entering
     /// and leaving sessions do not perturb the mix).
     pub fn entry(&self, rng: &mut SimRng) -> Interaction {
         let idx = rng.weighted_index(&self.stationary);
-        Interaction::from_index(idx).expect("index in range")
+        Interaction::ALL[idx.min(Interaction::COUNT - 1)]
     }
 
     /// The fitted stationary distribution.

@@ -46,6 +46,12 @@ pub struct SimArgs {
     pub checkpoint_every: Option<u32>,
     /// Resume the interrupted session found in `--checkpoint-dir`.
     pub resume: bool,
+    /// Worker threads for speculative candidate evaluation
+    /// (`None` = 1 = sequential; `Some(0)` = one per core).
+    pub eval_threads: Option<usize>,
+    /// Disable the measurement memoization cache (on by default in the
+    /// CLI; the library default is off).
+    pub no_eval_cache: bool,
 }
 
 impl Default for SimArgs {
@@ -64,6 +70,8 @@ impl Default for SimArgs {
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
+            eval_threads: None,
+            no_eval_cache: false,
         }
     }
 }
@@ -108,6 +116,10 @@ OPTIONS (all subcommands):
   --checkpoint-dir PATH   journal + snapshot session state for crash recovery
   --checkpoint-every N    snapshot cadence in iterations (default 10, N >= 1)
   --resume           continue the interrupted session in --checkpoint-dir
+  --eval-threads N   worker threads for speculative candidate evaluation
+                     (default 1 = sequential; 0 = one per core)
+  --no-eval-cache    disable measurement memoization (identical results,
+                     repeated configurations re-simulate)
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -258,6 +270,14 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
             }
             "--resume" => {
                 sim.resume = true;
+                i += 1;
+            }
+            "--eval-threads" => {
+                sim.eval_threads = Some(parse_num(args, i, "--eval-threads")?);
+                i += 2;
+            }
+            "--no-eval-cache" => {
+                sim.no_eval_cache = true;
                 i += 1;
             }
             "--plan" => {
@@ -470,6 +490,34 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         assert!(parse(argv(&["tune", "--checkpoint-dir"])).is_err());
         assert!(parse(argv(&["tune", "--checkpoint-every"])).is_err());
+    }
+
+    #[test]
+    fn eval_flags() {
+        match parse(argv(&["tune", "--eval-threads", "4", "--no-eval-cache"])).unwrap() {
+            Command::Tune(t) => {
+                assert_eq!(t.sim.eval_threads, Some(4));
+                assert!(t.sim.no_eval_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        // 0 = one thread per core.
+        match parse(argv(&["simulate", "--eval-threads", "0"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.eval_threads, Some(0));
+                assert!(!sim.no_eval_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(sim.eval_threads, None);
+                assert!(!sim.no_eval_cache);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(argv(&["tune", "--eval-threads"])).is_err());
+        assert!(parse(argv(&["tune", "--eval-threads", "lots"])).is_err());
     }
 
     #[test]

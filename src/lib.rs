@@ -46,6 +46,7 @@ pub mod prelude {
     };
     pub use faults::{FaultPlan, Health};
     pub use orchestrator::checkpoint::CheckpointPolicy;
+    pub use orchestrator::eval::{EvalEngine, EvalSettings};
     pub use orchestrator::resilient::{
         run_resilient_session, run_resilient_session_observed, ResilienceSettings, ResilientRun,
     };

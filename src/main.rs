@@ -86,6 +86,14 @@ fn session_of(sim: &SimArgs) -> SessionConfig {
         }
         cfg = cfg.checkpoint(policy);
     }
+    // The CLI caches measurements by default (identical results either
+    // way; see the eval module's determinism argument) — the library
+    // default stays off so programmatic sessions opt in explicitly.
+    cfg = cfg.eval_settings(
+        orchestrator::EvalSettings::default()
+            .cache(!sim.no_eval_cache)
+            .threads(sim.eval_threads.unwrap_or(1)),
+    );
     if let Err(e) = cfg.validate_faults() {
         eprintln!("error: {e}");
         std::process::exit(2);

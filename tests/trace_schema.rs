@@ -238,6 +238,27 @@ fn resume_record_matches_golden_schema() {
 }
 
 #[test]
+fn eval_record_matches_golden_schema() {
+    let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true)
+        .eval_settings(EvalSettings::default().cache(true));
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    tune_observed(&cfg, TuningMethod::Default, 3, &mut observer).expect("tuning session");
+
+    let lines = records_of_kind(&sink.records, "eval");
+    assert_eq!(lines.len(), 1, "exactly one eval summary record: {lines:?}");
+    let expected = golden_keys_from(include_str!("golden/eval_schema.txt"));
+    assert_eq!(
+        key_sequence(&lines[0]),
+        expected,
+        "drifted from tests/golden/eval_schema.txt: {}",
+        lines[0]
+    );
+}
+
+#[test]
 fn trace_values_track_the_run() {
     let records = traced_run(TuningMethod::Default, 5);
     let mut best = f64::NEG_INFINITY;
