@@ -107,8 +107,8 @@ fn bench_faults(c: &mut Criterion) {
 /// this isolates the injector's bookkeeping cost.
 fn report_injector_overhead() {
     let topology = Topology::single();
-    let cfg = SessionConfig::new(topology.clone(), Workload::Shopping, 400)
-        .plan(IntervalPlan::tiny());
+    let cfg =
+        SessionConfig::new(topology.clone(), Workload::Shopping, 400).plan(IntervalPlan::tiny());
     let config = ClusterConfig::defaults(&topology);
     let min_time = Duration::from_millis(400);
     let plain = measure(
@@ -187,23 +187,21 @@ fn report_checkpoint_overhead() {
     let policy = CheckpointPolicy::new(&dir);
     let fp = session_fingerprint(&cfg, "bench", iters, iters);
     let snapshot = |upto: u64| {
-        State::map()
-            .with("kind", State::Str("tune".into()))
-            .with(
-                "records",
-                State::List(
-                    (0..upto)
-                        .map(|i| {
-                            State::map()
-                                .with("iteration", State::U64(i))
-                                .with("wips", State::F64(120.0 + i as f64))
-                                .with("line_wips", State::f64_list(&[120.0 + i as f64]))
-                                .with("workload", State::Str("Shopping".into()))
-                                .with("failed", State::U64(0))
-                        })
-                        .collect(),
-                ),
-            )
+        State::map().with("kind", State::Str("tune".into())).with(
+            "records",
+            State::List(
+                (0..upto)
+                    .map(|i| {
+                        State::map()
+                            .with("iteration", State::U64(i))
+                            .with("wips", State::F64(120.0 + i as f64))
+                            .with("line_wips", State::f64_list(&[120.0 + i as f64]))
+                            .with("workload", State::Str("Shopping".into()))
+                            .with("failed", State::U64(0))
+                    })
+                    .collect(),
+            ),
+        )
     };
     let persistence = measure(
         || {
@@ -262,13 +260,17 @@ fn report_eval_speedup() {
     let plain = tune(&cfg, TuningMethod::Default, iters).expect("sequential tune");
     let sequential = t0.elapsed();
 
-    let spec_cfg = cfg.clone().eval_settings(EvalSettings::default().cache(true).threads(0));
+    let spec_cfg = cfg
+        .clone()
+        .eval_settings(EvalSettings::default().cache(true).threads(0));
     let t1 = Instant::now();
     let speculated = tune(&spec_cfg, TuningMethod::Default, iters).expect("speculative tune");
     let speculative = t1.elapsed();
     let spec_counters = spec_cfg.eval.counters();
 
-    let warm_cfg = cfg.clone().eval_settings(EvalSettings::default().cache(true));
+    let warm_cfg = cfg
+        .clone()
+        .eval_settings(EvalSettings::default().cache(true));
     let _ = tune(&warm_cfg, TuningMethod::Default, iters).expect("cache warm-up");
     let before = warm_cfg.eval.counters();
     let t2 = Instant::now();

@@ -19,7 +19,13 @@ fn bench_tuning_process(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper/tuning_process");
     g.sample_size(10);
     g.bench_function("browsing_smoke", |b| {
-        b.iter(|| black_box(tuning_process::run(Workload::Browsing, &effort(), 1).0.best_wips))
+        b.iter(|| {
+            black_box(
+                tuning_process::run(Workload::Browsing, &effort(), 1)
+                    .0
+                    .best_wips,
+            )
+        })
     });
     g.finish();
 }

@@ -42,30 +42,28 @@ impl Options {
     /// Load the `--faults` plan, if given. Exits on parse errors: a fault
     /// plan the user asked for must not be silently dropped.
     pub fn maybe_fault_plan(&self) -> Option<faults::FaultPlan> {
-        self.fault_plan_path.as_deref().map(|path| {
-            match faults::FaultPlan::load(path) {
+        self.fault_plan_path
+            .as_deref()
+            .map(|path| match faults::FaultPlan::load(path) {
                 Ok(plan) => plan,
                 Err(e) => {
                     eprintln!("could not load fault plan {}: {e}", path.display());
                     std::process::exit(2);
                 }
-            }
-        })
+            })
     }
 
     /// Open the `--trace` JSONL sink, if requested. Exits on I/O errors.
-    pub fn maybe_trace_sink(
-        &self,
-    ) -> Option<JsonlWriter<std::io::BufWriter<std::fs::File>>> {
-        self.trace_path.as_deref().map(|path| {
-            match JsonlWriter::create(path) {
+    pub fn maybe_trace_sink(&self) -> Option<JsonlWriter<std::io::BufWriter<std::fs::File>>> {
+        self.trace_path
+            .as_deref()
+            .map(|path| match JsonlWriter::create(path) {
                 Ok(w) => w,
                 Err(e) => {
                     eprintln!("could not open trace file {}: {e}", path.display());
                     std::process::exit(2);
                 }
-            }
-        })
+            })
     }
 }
 
@@ -175,7 +173,10 @@ mod tests {
     #[test]
     fn parses_trace_path() {
         let o = parse_from(args(&["--trace", "/tmp/run.jsonl"])).unwrap();
-        assert_eq!(o.trace_path, Some(std::path::PathBuf::from("/tmp/run.jsonl")));
+        assert_eq!(
+            o.trace_path,
+            Some(std::path::PathBuf::from("/tmp/run.jsonl"))
+        );
         assert!(parse_from(args(&["--trace"])).is_err());
     }
 

@@ -41,7 +41,11 @@ fn main() {
         let space = binding::full_space(&base.topology);
         let tuner = SimplexTuner::new(space.clone()).conservative(conservative);
         let mut server = HarmonyServer::new(
-            if conservative { "conservative" } else { "plain" },
+            if conservative {
+                "conservative"
+            } else {
+                "plain"
+            },
             Box::new(tuner),
         );
         let mut series = Vec::new();
@@ -54,7 +58,11 @@ fn main() {
             server.report(wips);
             series.push(wips);
         }
-        (conservative, series, extremeness_sum / opts.effort.iterations as f64)
+        (
+            conservative,
+            series,
+            extremeness_sum / opts.effort.iterations as f64,
+        )
     });
 
     let mut table = TextTable::new([
@@ -69,12 +77,16 @@ fn main() {
         let half = series.len() / 2;
         let second = &series[half..];
         let mean = second.iter().sum::<f64>() / second.len() as f64;
-        let var =
-            second.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / second.len() as f64;
+        let var = second.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / second.len() as f64;
         let best = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let worst = second.iter().cloned().fold(f64::INFINITY, f64::min);
         table.row([
-            if *conservative { "conservative" } else { "plain simplex" }.to_string(),
+            if *conservative {
+                "conservative"
+            } else {
+                "plain simplex"
+            }
+            .to_string(),
             fmt_f(best, 1),
             fmt_pct(best / default_wips - 1.0),
             fmt_f(var.sqrt(), 1),

@@ -12,10 +12,10 @@ use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
 use harmony::tuner::Tuner;
 use orchestrator::binding;
+use orchestrator::experiments::population_for;
 use orchestrator::par::parallel_map;
 use orchestrator::report::{fmt_f, fmt_pct, TextTable};
 use orchestrator::session::SessionConfig;
-use orchestrator::experiments::population_for;
 use tpcw::mix::Workload;
 
 fn make_tuner(name: &str, seed: u64) -> Box<dyn Tuner + Send> {

@@ -20,10 +20,14 @@ fn main() {
     );
     let plan = opts.maybe_fault_plan();
     let mut sink = opts.maybe_trace_sink();
-    let mut observer =
-        SessionObserver::new(sink.as_mut().map(|s| s as &mut dyn TraceSink), None);
-    let r = match faults::run_custom(&opts.effort, opts.seed, plan, opts.fault_seed, &mut observer)
-    {
+    let mut observer = SessionObserver::new(sink.as_mut().map(|s| s as &mut dyn TraceSink), None);
+    let r = match faults::run_custom(
+        &opts.effort,
+        opts.seed,
+        plan,
+        opts.fault_seed,
+        &mut observer,
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

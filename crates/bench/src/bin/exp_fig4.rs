@@ -13,7 +13,10 @@ fn main() {
         "== Figure 4: cross-workload configuration matrix (effort: {}, seed: {}) ==\n",
         opts.effort_name, opts.seed
     );
-    println!("Tuning all three workloads ({} iterations each)...", opts.effort.iterations);
+    println!(
+        "Tuning all three workloads ({} iterations each)...",
+        opts.effort.iterations
+    );
     let (summaries, configs) = tuned::tune_all_workloads(&opts.effort, opts.seed);
     for s in &summaries {
         println!(
@@ -27,12 +30,7 @@ fn main() {
     println!("\nEvaluating the 3x3 matrix (plus defaults)...\n");
     let r = fig4::run_with_configs(&configs, &opts.effort, opts.seed);
 
-    let mut table = TextTable::new([
-        "Config \\ Workload",
-        "Browsing",
-        "Shopping",
-        "Ordering",
-    ]);
+    let mut table = TextTable::new(["Config \\ Workload", "Browsing", "Shopping", "Ordering"]);
     for (c, w) in Workload::ALL.iter().enumerate() {
         table.row([
             format!("best-for-{}", w.name()),
@@ -74,19 +72,35 @@ fn main() {
 
     println!(
         "Diagonal dominates its column (paper's claim): {}",
-        if r.diagonal_dominates() { "YES" } else { "no — see EXPERIMENTS.md for noise discussion" }
+        if r.diagonal_dominates() {
+            "YES"
+        } else {
+            "no — see EXPERIMENTS.md for noise discussion"
+        }
     );
     println!("Paper improvements: Browsing 15%, Shopping 16%, Ordering 5%.");
 
     // Table 3 falls out of the same tuning runs — print it too.
     println!("\n== Table 3: tuned parameters (same runs) ==\n");
     let rows = table3::build(&configs);
-    let mut t3 = TextTable::new(["Tunable parameter", "Default", "Browsing", "Shopping", "Ordering"]);
+    let mut t3 = TextTable::new([
+        "Tunable parameter",
+        "Default",
+        "Browsing",
+        "Shopping",
+        "Ordering",
+    ]);
     let mut section = "";
     for row in &rows {
         if row.section != section {
             section = row.section;
-            t3.row([format!("-- {} --", row.section), String::new(), String::new(), String::new(), String::new()]);
+            t3.row([
+                format!("-- {} --", row.section),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
         }
         t3.row([
             row.name.to_string(),

@@ -13,16 +13,15 @@ fn main() {
     );
     let r = fig5::run(&opts.effort, opts.seed);
 
-    println!("WIPS per iteration (workload changes at {:?}):", r.change_points);
+    println!(
+        "WIPS per iteration (workload changes at {:?}):",
+        r.change_points
+    );
     println!("  {}", sparkline(&r.wips_series));
     // Segment annotations.
     let mut labels = String::from("  ");
     let mut prev = 0usize;
-    let mut names: Vec<&str> = r
-        .workloads
-        .iter()
-        .map(|w| w.name())
-        .collect::<Vec<_>>();
+    let mut names: Vec<&str> = r.workloads.iter().map(|w| w.name()).collect::<Vec<_>>();
     names.dedup();
     for (i, cp) in r
         .change_points

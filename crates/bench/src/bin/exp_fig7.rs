@@ -35,8 +35,14 @@ fn main() {
         };
         table.row([
             name.to_string(),
-            format!("{}p/{}a/{}d", r.initial_layout.0, r.initial_layout.1, r.initial_layout.2),
-            format!("{}p/{}a/{}d", r.final_layout.0, r.final_layout.1, r.final_layout.2),
+            format!(
+                "{}p/{}a/{}d",
+                r.initial_layout.0, r.initial_layout.1, r.initial_layout.2
+            ),
+            format!(
+                "{}p/{}a/{}d",
+                r.final_layout.0, r.final_layout.1, r.final_layout.2
+            ),
             moved,
             fmt_f(r.before_wips, 1),
             fmt_f(r.after_wips, 1),
@@ -74,7 +80,10 @@ fn main() {
                         r.final_layout.0, r.final_layout.1, r.final_layout.2
                     ),
                 )
-                .field("reconfig_iteration", r.reconfig_iteration.map(f64::from).unwrap_or(-1.0))
+                .field(
+                    "reconfig_iteration",
+                    r.reconfig_iteration.map(f64::from).unwrap_or(-1.0),
+                )
                 .field("before_wips", r.before_wips)
                 .field("after_wips", r.after_wips)
                 .field("improvement", r.improvement)

@@ -59,12 +59,7 @@ fn main() {
     ];
     let results = parallel_map(&candidates, 0, |t| saturated_wips(t, &opts));
 
-    let mut table = TextTable::new([
-        "Layout",
-        "Saturated WIPS (95% CI)",
-        "System cost",
-        "$/WIPS",
-    ]);
+    let mut table = TextTable::new(["Layout", "Saturated WIPS (95% CI)", "System cost", "$/WIPS"]);
     for (t, (wips, hw, _pop)) in candidates.iter().zip(&results) {
         let cost = prices.system_cost(t, 1);
         table.row([

@@ -27,10 +27,7 @@ fn main() {
         "{} iterations per session, journal append every iteration, snapshot every {}",
         r.iterations, r.snapshot_every
     );
-    println!(
-        "uninterrupted best: {:.1} WIPS\n",
-        r.baseline_best_wips
-    );
+    println!("uninterrupted best: {:.1} WIPS\n", r.baseline_best_wips);
     println!("killed at   recovered from    replayed   trace      result");
     for o in &r.outcomes {
         println!(
@@ -43,7 +40,11 @@ fn main() {
             } else {
                 "DRIFTED"
             },
-            if o.result_identical { "bit-equal" } else { "DIFFERS" },
+            if o.result_identical {
+                "bit-equal"
+            } else {
+                "DIFFERS"
+            },
         );
     }
     let csv = {

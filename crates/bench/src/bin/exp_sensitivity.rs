@@ -15,7 +15,9 @@ fn main() {
         opts.effort_name, opts.seed
     );
     let workloads = [Workload::Browsing, Workload::Ordering];
-    let results = parallel_map(&workloads, 0, |&w| sensitivity::run(w, &opts.effort, opts.seed));
+    let results = parallel_map(&workloads, 0, |&w| {
+        sensitivity::run(w, &opts.effort, opts.seed)
+    });
 
     for r in &results {
         println!(
@@ -31,7 +33,12 @@ fn main() {
                 format!("{:.1}%", e.impact * 100.0),
             ]);
         }
-        table.row(["...".to_string(), String::new(), String::new(), String::new()]);
+        table.row([
+            "...".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
         for e in r.entries.iter().rev().take(4).rev() {
             table.row([
                 e.name.clone(),

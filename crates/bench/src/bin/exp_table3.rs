@@ -11,16 +11,31 @@ fn main() {
         "== Table 3: tuned parameters per workload (effort: {}, seed: {}) ==\n",
         opts.effort_name, opts.seed
     );
-    println!("Tuning all three workloads ({} iterations each)...\n", opts.effort.iterations);
+    println!(
+        "Tuning all three workloads ({} iterations each)...\n",
+        opts.effort.iterations
+    );
     let (_, configs) = tuned::tune_all_workloads(&opts.effort, opts.seed);
     let rows = table3::build(&configs);
 
     let mut section = "";
-    let mut table = TextTable::new(["Tunable parameter", "Default", "Browsing", "Shopping", "Ordering"]);
+    let mut table = TextTable::new([
+        "Tunable parameter",
+        "Default",
+        "Browsing",
+        "Shopping",
+        "Ordering",
+    ]);
     for r in &rows {
         if r.section != section {
             section = r.section;
-            table.row([format!("-- {} --", r.section), String::new(), String::new(), String::new(), String::new()]);
+            table.row([
+                format!("-- {} --", r.section),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
         }
         table.row([
             r.name.to_string(),

@@ -4,5 +4,6 @@
 
 pub mod args;
 pub mod harness;
+pub mod smoke;
 pub mod tuned;
 pub mod util;

@@ -2,8 +2,8 @@
 //! Table 3 regenerators.
 
 use cluster::config::ClusterConfig;
-use orchestrator::experiments::{tuning_process, Effort};
 use orchestrator::experiments::tuning_process::TuningProcessResult;
+use orchestrator::experiments::{tuning_process, Effort};
 use orchestrator::par::parallel_map;
 use tpcw::mix::Workload;
 

@@ -113,14 +113,23 @@ mod tests {
         let t = SimTime::ZERO;
         // Fill all 20 threads.
         for r in 0..20 {
-            assert_eq!(a.http_pool.offer(t, r, SimDuration::ZERO), Admission::Started);
+            assert_eq!(
+                a.http_pool.offer(t, r, SimDuration::ZERO),
+                Admission::Started
+            );
         }
         // Fill the backlog (acceptCount = 10).
         for r in 20..30 {
-            assert_eq!(a.http_pool.offer(t, r, SimDuration::ZERO), Admission::Enqueued);
+            assert_eq!(
+                a.http_pool.offer(t, r, SimDuration::ZERO),
+                Admission::Enqueued
+            );
         }
         // 31st is refused.
-        assert_eq!(a.http_pool.offer(t, 30, SimDuration::ZERO), Admission::Rejected);
+        assert_eq!(
+            a.http_pool.offer(t, 30, SimDuration::ZERO),
+            Admission::Rejected
+        );
     }
 
     #[test]
@@ -148,10 +157,7 @@ mod tests {
         let bytes = 64 * 1024;
         assert!(a_small.chunk_cpu(bytes) > a_big.chunk_cpu(bytes));
         // 64 KB / 512 B = 128 chunks.
-        assert_eq!(
-            a_small.chunk_cpu(bytes),
-            SimDuration::from_micros(128 * 40)
-        );
+        assert_eq!(a_small.chunk_cpu(bytes), SimDuration::from_micros(128 * 40));
     }
 
     #[test]

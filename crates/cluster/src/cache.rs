@@ -1,11 +1,15 @@
 //! Byte-capacity LRU object cache — the substrate of the Squid model's
 //! memory and disk stores.
 //!
-//! Implemented as a slab-backed doubly-linked list plus a `HashMap` index:
+//! Implemented as a slab-backed doubly-linked list plus a hash index:
 //! O(1) lookup, touch, insert, and evict, with no per-operation allocation
-//! once warm (freed slots are reused).
+//! once warm (freed slots are reused). The index hashes with
+//! [`simkit::hash::FxHasher64`] — the cache sits on the per-event hot path
+//! and SipHash was a measurable slice of the lookup cost; bucket placement
+//! never feeds back into simulation outputs, so the swap is
+//! trace-invariant.
 
-use std::collections::HashMap;
+use simkit::hash::FxHashMap;
 
 /// Cache object key (object id in the simulated catalogue).
 pub type ObjectId = u64;
@@ -25,7 +29,7 @@ struct Entry {
 pub struct LruCache {
     capacity_bytes: u64,
     used_bytes: u64,
-    map: HashMap<ObjectId, usize>,
+    map: FxHashMap<ObjectId, usize>,
     slab: Vec<Entry>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -40,7 +44,7 @@ impl LruCache {
         LruCache {
             capacity_bytes,
             used_bytes: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -380,11 +384,7 @@ mod tests {
         }
         // Accounting invariant: used == sum of resident sizes <= capacity.
         assert!(c.used_bytes() <= c.capacity_bytes());
-        let resident: u64 = c
-            .map
-            .values()
-            .map(|&idx| c.slab[idx].bytes)
-            .sum();
+        let resident: u64 = c.map.values().map(|&idx| c.slab[idx].bytes).sum();
         assert_eq!(resident, c.used_bytes());
     }
 }

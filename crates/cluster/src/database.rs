@@ -12,7 +12,7 @@
 use crate::params::DbParams;
 use crate::request::ReqId;
 use simkit::resource::MultiServer;
-use simkit::rng::SimRng;
+use simkit::rng::{LognormalShape, SimRng};
 use simkit::time::{SimDuration, SimTime};
 
 /// Table-open penalty on a table-cache miss: descriptor setup CPU.
@@ -40,6 +40,12 @@ pub struct DbState {
     pub run_slots: MultiServer<ReqId>,
     /// Hot table descriptors the workload needs (from the catalogue scale).
     hot_table_slots: u64,
+    /// Precomputed lognormal shapes for the per-query draws (fixed CVs;
+    /// hoisting the `ln`/`sqrt` derivation off the hot path is
+    /// bit-identical — see `LognormalShape`).
+    cpu_shape: LognormalShape,
+    result_shape: LognormalShape,
+    binlog_shape: LognormalShape,
 }
 
 /// The execution cost of one query, decided at dispatch time.
@@ -60,6 +66,9 @@ impl DbState {
             conn_pool: MultiServer::new(start, params.max_connections.max(1) as u32, None),
             run_slots: MultiServer::new(start, params.thread_concurrency.max(1) as u32, None),
             hot_table_slots: hot_table_slots.max(1),
+            cpu_shape: LognormalShape::from_cv(0.3),
+            result_shape: LognormalShape::from_cv(0.6),
+            binlog_shape: LognormalShape::from_cv(0.7),
         }
     }
 
@@ -109,7 +118,7 @@ impl DbState {
         write_log_kb: f64,
         cores: u32,
     ) -> QueryCost {
-        let mut cpu_ms = rng.lognormal_mean_cv(base_cpu_ms.max(0.05), 0.3);
+        let mut cpu_ms = rng.lognormal_shaped(self.cpu_shape, base_cpu_ms.max(0.05));
         if join_heavy {
             cpu_ms *= self.join_factor();
         }
@@ -125,7 +134,7 @@ impl DbState {
         }
 
         // Result-set chunking through net_buffer_length.
-        let result_bytes = rng.lognormal_mean_cv(RESULT_BYTES_MEAN, 0.6);
+        let result_bytes = rng.lognormal_shaped(self.result_shape, RESULT_BYTES_MEAN);
         let chunks = (result_bytes / self.params.net_buffer_length.max(1024) as f64)
             .ceil()
             .max(1.0) as u64;
@@ -136,7 +145,7 @@ impl DbState {
 
         // Binlog: transaction log bigger than the cache spills to disk.
         let binlog_spill = if write_log_kb > 0.0 {
-            let log_bytes = rng.lognormal_mean_cv(write_log_kb * 1024.0, 0.7);
+            let log_bytes = rng.lognormal_shaped(self.binlog_shape, write_log_kb * 1024.0);
             log_bytes > self.params.binlog_cache_size.max(0) as f64
         } else {
             false
@@ -190,7 +199,11 @@ mod tests {
         let mut p = DbParams::default_config(); // 8 MB default
         assert_eq!(db(p).join_factor(), 1.0);
         p.join_buffer_size = 407_552; // paper's tuned value
-        assert_eq!(db(p).join_factor(), 1.0, "tuned-down buffer must cost nothing");
+        assert_eq!(
+            db(p).join_factor(),
+            1.0,
+            "tuned-down buffer must cost nothing"
+        );
         p.join_buffer_size = 131_072; // half the working set
         assert!((db(p).join_factor() - 2.0).abs() < 1e-9);
     }
@@ -240,10 +253,20 @@ mod tests {
         big.net_buffer_length = 65_536;
         let n = 2_000;
         let cpu_small: u64 = (0..n)
-            .map(|_| db(small).query_cost(&mut rng_a, 5.0, 0.0, false, 0.0, 2).cpu.as_micros())
+            .map(|_| {
+                db(small)
+                    .query_cost(&mut rng_a, 5.0, 0.0, false, 0.0, 2)
+                    .cpu
+                    .as_micros()
+            })
             .sum();
         let cpu_big: u64 = (0..n)
-            .map(|_| db(big).query_cost(&mut rng_b, 5.0, 0.0, false, 0.0, 2).cpu.as_micros())
+            .map(|_| {
+                db(big)
+                    .query_cost(&mut rng_b, 5.0, 0.0, false, 0.0, 2)
+                    .cpu
+                    .as_micros()
+            })
             .sum();
         assert!(cpu_small > cpu_big, "{cpu_small} vs {cpu_big}");
     }

@@ -59,8 +59,10 @@ pub use config::{ClusterConfig, NodeId, NodeParams, Role, Topology};
 pub use faults::{Health, HealthChange, HealthTimeline, Slowdown};
 pub use model::{ClusterModel, ClusterScenario};
 pub use node::NodeUtilization;
-pub use runner::{run_iteration_checked, run_iteration_checked_observed, EvalError};
-pub use params::{DbParams, ProxyParams, TunableDef, WebParams, DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES};
+pub use params::{
+    DbParams, ProxyParams, TunableDef, WebParams, DB_TUNABLES, PROXY_TUNABLES, WEB_TUNABLES,
+};
 pub use pricing::PriceList;
 pub use runner::{run_iteration, IterationOutcome};
+pub use runner::{run_iteration_checked, run_iteration_checked_observed, EvalError};
 pub use spec::NodeSpec;

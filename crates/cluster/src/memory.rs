@@ -179,12 +179,30 @@ mod tests {
         let base = DbParams::default_config();
         let m0 = db_memory_mb(&base);
         for (i, bump) in [
-            DbParams { max_connections: 800, ..base },
-            DbParams { thread_stack: 1_500_000, ..base },
-            DbParams { join_buffer_size: 16_000_000, ..base },
-            DbParams { thread_concurrency: 300, ..base },
-            DbParams { table_cache: 2_000, ..base },
-            DbParams { binlog_cache_size: 1_000_000, ..base },
+            DbParams {
+                max_connections: 800,
+                ..base
+            },
+            DbParams {
+                thread_stack: 1_500_000,
+                ..base
+            },
+            DbParams {
+                join_buffer_size: 16_000_000,
+                ..base
+            },
+            DbParams {
+                thread_concurrency: 300,
+                ..base
+            },
+            DbParams {
+                table_cache: 2_000,
+                ..base
+            },
+            DbParams {
+                binlog_cache_size: 1_000_000,
+                ..base
+            },
         ]
         .iter()
         .enumerate()

@@ -37,11 +37,11 @@ use crate::spec::NodeSpec;
 use faults::{Health, HealthChange, HealthTimeline};
 use simkit::engine::{Model, Scheduler};
 use simkit::resource::Admission;
-use simkit::rng::SimRng;
+use simkit::rng::{LognormalShape, SimRng};
 use simkit::time::{SimDuration, SimTime};
 use tpcw::browser::{BrowserConfig, BrowserId, BrowserPool};
-use tpcw::interaction::Interaction;
 use tpcw::demand::{self, CPU_DEMAND_CV, OBJECT_SIZE_CV};
+use tpcw::interaction::Interaction;
 use tpcw::metrics::{IntervalPlan, MetricsCollector};
 use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
@@ -68,18 +68,23 @@ pub enum Pool {
 }
 
 /// The event alphabet of the cluster model.
+///
+/// Node ids are carried as `u32` (not [`NodeId`]/`usize`) so the whole
+/// event fits in 16 bytes: the calendar's payload array stays half as
+/// wide, which matters because every sift step moves one payload. The
+/// dispatch loop widens back to `usize` exactly once per event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ev {
     /// A browser finished thinking and issues its next interaction.
     Think(BrowserId),
     /// A CPU slice finished on `node` for request `req` (gen-stamped).
-    CpuDone(NodeId, ReqId, u32),
+    CpuDone(u32, ReqId, u32),
     /// A disk I/O finished.
-    DiskDone(NodeId, ReqId, u32),
+    DiskDone(u32, ReqId, u32),
     /// A NIC transfer finished.
-    NicDone(NodeId, ReqId, u32),
+    NicDone(u32, ReqId, u32),
     /// A held-resource pool granted a queued request.
-    Granted(NodeId, ReqId, u32, Pool),
+    Granted(u32, ReqId, u32, Pool),
     /// An injected health transition fires (index into the scenario's
     /// fault timeline changes).
     Health(u32),
@@ -182,7 +187,11 @@ impl ClusterScenario {
             .enumerate()
         {
             if params.role() != *role {
-                return Err(format!("node {i}: params for {} on a {} node", params.role(), role));
+                return Err(format!(
+                    "node {i}: params for {} on a {} node",
+                    params.role(),
+                    role
+                ));
             }
         }
         self.scale.validate()?;
@@ -202,7 +211,11 @@ impl ClusterScenario {
                     return Err(format!("fault transition targets node {}", c.node));
                 }
             }
-            for h in tl.initial.iter().chain(tl.changes.iter().map(|c| &c.health)) {
+            for h in tl
+                .initial
+                .iter()
+                .chain(tl.changes.iter().map(|c| &c.health))
+            {
                 let bad = [h.cpu_factor(), h.disk_factor(), h.nic_factor()]
                     .into_iter()
                     .any(|f| f < 1.0 || !f.is_finite());
@@ -248,6 +261,10 @@ pub struct ClusterModel {
     pub metrics: MetricsCollector,
     /// Service-time jitter stream.
     rng_service: SimRng,
+    /// Precomputed lognormal shapes for the fixed demand CVs (bit-identical
+    /// to deriving them per draw; hoists `ln`/`sqrt` off the hot path).
+    object_size_shape: LognormalShape,
+    cpu_demand_shape: LognormalShape,
     /// Per-line, per-tier node lists (a single implicit line when no
     /// partition is configured).
     line_tiers: Vec<[Vec<NodeId>; 3]>,
@@ -341,6 +358,8 @@ impl ClusterModel {
             requests: RequestSlab::new(),
             metrics: MetricsCollector::new(scenario.plan, start),
             rng_service,
+            object_size_shape: LognormalShape::from_cv(OBJECT_SIZE_CV),
+            cpu_demand_shape: LognormalShape::from_cv(CPU_DEMAND_CV),
             rr: vec![[0; 3]; line_count],
             line_completed: vec![0; line_count],
             line_tiers,
@@ -400,15 +419,17 @@ impl ClusterModel {
         browser as usize % self.line_tiers.len()
     }
 
-    /// The generation-stamped id triple for event scheduling.
+    /// The generation stamp for event scheduling. Only ever called for
+    /// requests that are live (just inserted, in a pipeline stage, or
+    /// popped from a resource queue — queued jobs are never reaped), so
+    /// this is a direct counter read.
+    #[inline(always)]
     fn stamp(&self, req: ReqId) -> u32 {
-        self.requests
-            .get(req)
-            .map(|r| r.generation)
-            .unwrap_or(u32::MAX)
+        self.requests.stamp_of(req)
     }
 
     /// True if the event's generation matches the live request.
+    #[inline(always)]
     fn live(&self, req: ReqId, gen: u32) -> bool {
         self.requests.get(req).is_some_and(|r| r.generation == gen)
     }
@@ -474,6 +495,13 @@ impl ClusterModel {
         let profile = demand::profile(interaction);
 
         let mut req = Request::new(browser, interaction, now);
+        // Batch every remaining draw of this admission — cacheability,
+        // object/size, and the post-response think time — into one pass
+        // over the browser's stream. The browser is closed-loop (at most
+        // one request in flight), so its stream sees the exact same draw
+        // sequence as drawing the think time at completion; stashing it in
+        // the request just touches the RNG state once per admission.
+        let think_mean = self.browsers.config().think_mean;
         let brng = self.browsers.rng(browser);
         let cacheable = brng.chance(profile.cacheable);
         if cacheable {
@@ -482,17 +510,18 @@ impl ClusterModel {
             req.response_bytes = object_size_bytes(obj);
             req.needs_servlet = false;
         } else {
-            let kb = brng.lognormal_mean_cv(profile.object_kb.max(0.5), OBJECT_SIZE_CV);
+            let kb = brng.lognormal_shaped(self.object_size_shape, profile.object_kb.max(0.5));
             req.response_bytes = (kb * 1024.0).max(512.0) as u64;
             req.needs_servlet = true;
             req.queries_remaining = profile.db_queries;
         }
+        req.think = brng.exp_duration(think_mean);
         let line = self.line_of_browser(browser);
         let Some(proxy_node) = self.pick_node(line, Role::Proxy) else {
             // Every proxy in the line is down: connection refused before a
             // request even forms. The browser records the error and thinks
             // again, so the event loop never starves.
-            self.refuse_unrouted(sched, browser);
+            self.refuse_unrouted(sched, browser, req.think);
             return;
         };
         req.line = line as u32;
@@ -508,28 +537,46 @@ impl ClusterModel {
     }
 
     /// Offer a CPU slice; schedule the completion if it started.
-    fn offer_cpu(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, req: ReqId, demand: SimDuration) {
+    fn offer_cpu(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        req: ReqId,
+        demand: SimDuration,
+    ) {
         let gen = self.stamp(req);
         match self.nodes[node].cpu.offer(sched.now(), req, demand) {
-            Admission::Started => sched.after(demand, Ev::CpuDone(node, req, gen)),
+            Admission::Started => sched.after(demand, Ev::CpuDone(node as u32, req, gen)),
             Admission::Enqueued => {}
             Admission::Rejected => unreachable!("cpu queue is unbounded"),
         }
     }
 
-    fn offer_disk(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, req: ReqId, demand: SimDuration) {
+    fn offer_disk(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        req: ReqId,
+        demand: SimDuration,
+    ) {
         let gen = self.stamp(req);
         match self.nodes[node].disk.offer(sched.now(), req, demand) {
-            Admission::Started => sched.after(demand, Ev::DiskDone(node, req, gen)),
+            Admission::Started => sched.after(demand, Ev::DiskDone(node as u32, req, gen)),
             Admission::Enqueued => {}
             Admission::Rejected => unreachable!("disk queue is unbounded"),
         }
     }
 
-    fn offer_nic(&mut self, sched: &mut Scheduler<Ev>, node: NodeId, req: ReqId, demand: SimDuration) {
+    fn offer_nic(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        node: NodeId,
+        req: ReqId,
+        demand: SimDuration,
+    ) {
         let gen = self.stamp(req);
         match self.nodes[node].nic.offer(sched.now(), req, demand) {
-            Admission::Started => sched.after(demand, Ev::NicDone(node, req, gen)),
+            Admission::Started => sched.after(demand, Ev::NicDone(node as u32, req, gen)),
             Admission::Enqueued => {}
             Admission::Rejected => unreachable!("nic queue is unbounded"),
         }
@@ -540,21 +587,21 @@ impl ClusterModel {
     fn advance_cpu(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
         if let Some(d) = self.nodes[node].cpu.complete(sched.now()) {
             let gen = self.stamp(d.job);
-            sched.after(d.demand, Ev::CpuDone(node, d.job, gen));
+            sched.after(d.demand, Ev::CpuDone(node as u32, d.job, gen));
         }
     }
 
     fn advance_disk(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
         if let Some(d) = self.nodes[node].disk.complete(sched.now()) {
             let gen = self.stamp(d.job);
-            sched.after(d.demand, Ev::DiskDone(node, d.job, gen));
+            sched.after(d.demand, Ev::DiskDone(node as u32, d.job, gen));
         }
     }
 
     fn advance_nic(&mut self, sched: &mut Scheduler<Ev>, node: NodeId) {
         if let Some(d) = self.nodes[node].nic.complete(sched.now()) {
             let gen = self.stamp(d.job);
-            sched.after(d.demand, Ev::NicDone(node, d.job, gen));
+            sched.after(d.demand, Ev::NicDone(node as u32, d.job, gen));
         }
     }
 
@@ -562,10 +609,9 @@ impl ClusterModel {
 
     fn proxy_lookup_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        let (proxy_node, object) = {
-            let r = self.requests.get(req).unwrap();
-            (r.proxy_node, r.object)
-        };
+        let r = self.requests.req(req);
+        let (proxy_node, object, bytes, line) =
+            (r.proxy_node, r.object, r.response_bytes, r.line as usize);
         let outcome = match object {
             Some(obj) => self.nodes[proxy_node]
                 .proxy_mut()
@@ -573,34 +619,29 @@ impl ClusterModel {
                 .lookup(obj),
             None => CacheOutcome::Miss,
         };
-        self.requests.get_mut(req).unwrap().cache_outcome = outcome;
+        self.requests.req_mut(req).cache_outcome = outcome;
         match outcome {
             CacheOutcome::MemHit => {
-                let r = self.requests.get(req).unwrap();
-                let bytes = r.response_bytes;
-                let node = &self.nodes[proxy_node];
-                let t = node.nic_time(bytes);
-                self.requests.get_mut(req).unwrap().phase = ReqPhase::ProxySend;
+                let t = self.nodes[proxy_node].nic_time(bytes);
+                self.requests.req_mut(req).phase = ReqPhase::ProxySend;
                 self.offer_nic(sched, proxy_node, req, t);
             }
             CacheOutcome::DiskHit => {
                 // Squid UFS store: metadata read + object read (two
                 // positioned I/Os).
-                let bytes = self.requests.get(req).unwrap().response_bytes;
                 let node = &self.nodes[proxy_node];
                 let t = node.disk_time(bytes) + node.disk_time(4_096);
-                self.requests.get_mut(req).unwrap().phase = ReqPhase::ProxyDiskRead;
+                self.requests.req_mut(req).phase = ReqPhase::ProxyDiskRead;
                 self.offer_disk(sched, proxy_node, req, t);
             }
             CacheOutcome::Miss => {
                 // Forward overhead folded into the app arrival; the proxy
                 // relay CPU was part of the lookup slice.
-                let line = self.requests.get(req).unwrap().line as usize;
                 let Some(app) = self.pick_node(line, Role::App) else {
                     self.fail_request(sched, req);
                     return;
                 };
-                let r = self.requests.get_mut(req).unwrap();
+                let r = self.requests.req_mut(req);
                 r.app_node = app;
                 r.assigned_app = true;
                 self.arrive_app(sched, req, now);
@@ -609,22 +650,18 @@ impl ClusterModel {
     }
 
     fn proxy_disk_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let (proxy_node, bytes) = {
-            let r = self.requests.get(req).unwrap();
-            (r.proxy_node, r.response_bytes)
-        };
+        let r = self.requests.req(req);
+        let (proxy_node, bytes) = (r.proxy_node, r.response_bytes);
         let t = self.nodes[proxy_node].nic_time(bytes);
-        self.requests.get_mut(req).unwrap().phase = ReqPhase::ProxySend;
+        self.requests.req_mut(req).phase = ReqPhase::ProxySend;
         self.offer_nic(sched, proxy_node, req, t);
     }
 
     /// Response is back at the proxy (from the app tier): admit to caches
     /// and send to the browser.
     fn proxy_deliver(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let (proxy_node, object, bytes) = {
-            let r = self.requests.get(req).unwrap();
-            (r.proxy_node, r.object, r.response_bytes)
-        };
+        let r = self.requests.req(req);
+        let (proxy_node, object, bytes) = (r.proxy_node, r.object, r.response_bytes);
         if let Some(obj) = object {
             self.nodes[proxy_node]
                 .proxy_mut()
@@ -632,7 +669,7 @@ impl ClusterModel {
                 .admit(obj, bytes);
         }
         let t = self.nodes[proxy_node].nic_time(bytes);
-        self.requests.get_mut(req).unwrap().phase = ReqPhase::ProxySend;
+        self.requests.req_mut(req).phase = ReqPhase::ProxySend;
         self.offer_nic(sched, proxy_node, req, t);
     }
 
@@ -653,19 +690,22 @@ impl ClusterModel {
         self.metrics
             .record_completion(now, r.interaction, r.elapsed(now));
         self.total_done += 1;
-        let think = self.browsers.sample_think(r.browser);
-        sched.after(think, Ev::Think(r.browser));
+        sched.after(r.think, Ev::Think(r.browser));
     }
 
     /// Refuse a browser's interaction before a request forms (no live
     /// node to route to). Counts as a failed request; the browser goes
-    /// back to thinking.
-    fn refuse_unrouted(&mut self, sched: &mut Scheduler<Ev>, browser: BrowserId) {
+    /// back to thinking (`think` was drawn during the admission batch).
+    fn refuse_unrouted(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        browser: BrowserId,
+        think: SimDuration,
+    ) {
         let now = sched.now();
         self.metrics.record_error(now);
         self.metrics.record_drop(now);
         self.total_failed += 1;
-        let think = self.browsers.sample_think(browser);
         sched.after(think, Ev::Think(browser));
     }
 
@@ -696,14 +736,13 @@ impl ClusterModel {
         self.metrics.record_error(now);
         self.metrics.record_drop(now);
         self.total_failed += 1;
-        let think = self.browsers.sample_think(r.browser);
-        sched.after(think, Ev::Think(r.browser));
+        sched.after(r.think, Ev::Think(r.browser));
     }
 
     // --- application tier ---------------------------------------------------
 
     fn arrive_app(&mut self, sched: &mut Scheduler<Ev>, req: ReqId, now: SimTime) {
-        let app_node = self.requests.get(req).unwrap().app_node;
+        let app_node = self.requests.req(req).app_node;
         let gen = self.stamp(req);
         let admission = self.nodes[app_node]
             .app_mut()
@@ -712,7 +751,7 @@ impl ClusterModel {
             .offer(now, req, SimDuration::ZERO);
         match admission {
             Admission::Started => {
-                sched.immediately(Ev::Granted(app_node, req, gen, Pool::Http));
+                sched.immediately(Ev::Granted(app_node as u32, req, gen, Pool::Http));
             }
             Admission::Enqueued => {}
             Admission::Rejected => {
@@ -724,21 +763,20 @@ impl ClusterModel {
 
     fn http_granted(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        self.requests.get_mut(req).unwrap().holds_http = true;
-        let (app_node, needs_servlet) = {
-            let r = self.requests.get(req).unwrap();
-            (r.app_node, r.needs_servlet)
-        };
+        let r = self.requests.req_mut(req);
+        r.holds_http = true;
+        let (app_node, needs_servlet) = (r.app_node, r.needs_servlet);
         if needs_servlet {
             let gen = self.stamp(req);
-            let admission = self.nodes[app_node]
-                .app_mut()
-                .unwrap()
-                .ajp_pool
-                .offer(now, req, SimDuration::ZERO);
+            let admission =
+                self.nodes[app_node]
+                    .app_mut()
+                    .unwrap()
+                    .ajp_pool
+                    .offer(now, req, SimDuration::ZERO);
             match admission {
                 Admission::Started => {
-                    sched.immediately(Ev::Granted(app_node, req, gen, Pool::Ajp));
+                    sched.immediately(Ev::Granted(app_node as u32, req, gen, Pool::Ajp));
                 }
                 Admission::Enqueued => {}
                 Admission::Rejected => {
@@ -753,39 +791,37 @@ impl ClusterModel {
     }
 
     fn ajp_granted(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        self.requests.get_mut(req).unwrap().holds_ajp = true;
+        self.requests.req_mut(req).holds_ajp = true;
         self.start_app_cpu(sched, req);
     }
 
     fn start_app_cpu(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let (app_node, interaction, bytes) = {
-            let r = self.requests.get(req).unwrap();
-            (r.app_node, r.interaction, r.response_bytes)
-        };
+        let r = self.requests.req(req);
+        let (app_node, interaction, bytes) = (r.app_node, r.interaction, r.response_bytes);
         let profile = demand::profile(interaction);
         let base_ms = self
             .rng_service
-            .lognormal_mean_cv(profile.app_cpu_ms.max(0.05), CPU_DEMAND_CV);
+            .lognormal_shaped(self.cpu_demand_shape, profile.app_cpu_ms.max(0.05));
         let node = &self.nodes[app_node];
         let app = node.app().unwrap();
         let cpu = app
             .servlet_cpu(SimDuration::from_millis_f64(base_ms), bytes)
             .mul_f64(app.scheduling_factor(node.spec.cores));
         let t = node.cpu_time(cpu);
-        self.requests.get_mut(req).unwrap().phase = ReqPhase::AppCpu;
+        self.requests.req_mut(req).phase = ReqPhase::AppCpu;
         self.offer_cpu(sched, app_node, req, t);
     }
 
     fn app_cpu_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let queries = self.requests.get(req).unwrap().queries_remaining;
+        let r = self.requests.req(req);
+        let (queries, line) = (r.queries_remaining, r.line as usize);
         if queries > 0 {
-            let line = self.requests.get(req).unwrap().line as usize;
             let Some(db) = self.pick_node(line, Role::Db) else {
                 self.release_app_threads(sched, req);
                 self.fail_request(sched, req);
                 return;
             };
-            let r = self.requests.get_mut(req).unwrap();
+            let r = self.requests.req_mut(req);
             r.db_node = db;
             r.assigned_db = true;
             self.arrive_db(sched, req);
@@ -802,22 +838,30 @@ impl ClusterModel {
     /// Release HTTP and AJP threads, dispatching queued waiters.
     fn release_app_threads(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        let (app_node, holds_http, holds_ajp) = {
-            let r = self.requests.get(req).unwrap();
-            (r.app_node, r.holds_http, r.holds_ajp)
-        };
+        let r = self.requests.req_mut(req);
+        let (app_node, holds_http, holds_ajp) = (r.app_node, r.holds_http, r.holds_ajp);
+        r.holds_ajp = false;
+        r.holds_http = false;
         if holds_ajp {
-            self.requests.get_mut(req).unwrap().holds_ajp = false;
-            if let Some(d) = self.nodes[app_node].app_mut().unwrap().ajp_pool.complete(now) {
+            if let Some(d) = self.nodes[app_node]
+                .app_mut()
+                .unwrap()
+                .ajp_pool
+                .complete(now)
+            {
                 let gen = self.stamp(d.job);
-                sched.immediately(Ev::Granted(app_node, d.job, gen, Pool::Ajp));
+                sched.immediately(Ev::Granted(app_node as u32, d.job, gen, Pool::Ajp));
             }
         }
         if holds_http {
-            self.requests.get_mut(req).unwrap().holds_http = false;
-            if let Some(d) = self.nodes[app_node].app_mut().unwrap().http_pool.complete(now) {
+            if let Some(d) = self.nodes[app_node]
+                .app_mut()
+                .unwrap()
+                .http_pool
+                .complete(now)
+            {
                 let gen = self.stamp(d.job);
-                sched.immediately(Ev::Granted(app_node, d.job, gen, Pool::Http));
+                sched.immediately(Ev::Granted(app_node as u32, d.job, gen, Pool::Http));
             }
         }
     }
@@ -826,7 +870,7 @@ impl ClusterModel {
 
     fn arrive_db(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        let db_node = self.requests.get(req).unwrap().db_node;
+        let db_node = self.requests.req(req).db_node;
         let gen = self.stamp(req);
         let admission = self.nodes[db_node]
             .db_mut()
@@ -835,7 +879,7 @@ impl ClusterModel {
             .offer(now, req, SimDuration::ZERO);
         match admission {
             Admission::Started => {
-                sched.immediately(Ev::Granted(db_node, req, gen, Pool::DbConn));
+                sched.immediately(Ev::Granted(db_node as u32, req, gen, Pool::DbConn));
             }
             Admission::Enqueued => {}
             Admission::Rejected => unreachable!("connection wait queue is unbounded"),
@@ -844,17 +888,19 @@ impl ClusterModel {
 
     fn db_conn_granted(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        self.requests.get_mut(req).unwrap().holds_db_conn = true;
-        let db_node = self.requests.get(req).unwrap().db_node;
+        let r = self.requests.req_mut(req);
+        r.holds_db_conn = true;
+        let db_node = r.db_node;
         let gen = self.stamp(req);
-        let admission = self.nodes[db_node]
-            .db_mut()
-            .unwrap()
-            .run_slots
-            .offer(now, req, SimDuration::ZERO);
+        let admission =
+            self.nodes[db_node]
+                .db_mut()
+                .unwrap()
+                .run_slots
+                .offer(now, req, SimDuration::ZERO);
         match admission {
             Admission::Started => {
-                sched.immediately(Ev::Granted(db_node, req, gen, Pool::DbRun));
+                sched.immediately(Ev::Granted(db_node as u32, req, gen, Pool::DbRun));
             }
             Admission::Enqueued => {}
             Admission::Rejected => unreachable!("run-slot queue is unbounded"),
@@ -862,11 +908,9 @@ impl ClusterModel {
     }
 
     fn db_run_granted(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        self.requests.get_mut(req).unwrap().holds_db_sched = true;
-        let (db_node, interaction) = {
-            let r = self.requests.get(req).unwrap();
-            (r.db_node, r.interaction)
-        };
+        let r = self.requests.req_mut(req);
+        r.holds_db_sched = true;
+        let (db_node, interaction) = (r.db_node, r.interaction);
         let profile = demand::profile(interaction);
         let node = &self.nodes[db_node];
         let cores = node.spec.cores;
@@ -875,11 +919,15 @@ impl ClusterModel {
             profile.db_cpu_ms,
             profile.db_io_prob,
             profile.join_heavy,
-            if profile.db_write { profile.write_log_kb } else { 0.0 },
+            if profile.db_write {
+                profile.write_log_kb
+            } else {
+                0.0
+            },
             cores,
         );
         {
-            let r = self.requests.get_mut(req).unwrap();
+            let r = self.requests.req_mut(req);
             r.binlog_spill = cost.binlog_spill;
             r.pending_disk = cost.disk_read;
             r.phase = ReqPhase::DbCpu;
@@ -889,20 +937,19 @@ impl ClusterModel {
     }
 
     fn db_cpu_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let (db_node, needs_disk, spill) = {
-            let r = self.requests.get(req).unwrap();
-            (r.db_node, r.pending_disk, r.binlog_spill)
-        };
+        let r = self.requests.req(req);
+        let (db_node, needs_disk, spill) = (r.db_node, r.pending_disk, r.binlog_spill);
         if needs_disk {
             let t = self.nodes[db_node].disk_time(crate::database::DATA_PAGE_BYTES);
-            let r = self.requests.get_mut(req).unwrap();
+            let r = self.requests.req_mut(req);
             r.phase = ReqPhase::DbDiskRead;
             r.pending_disk = false;
             self.offer_disk(sched, db_node, req, t);
         } else if spill {
             let t = self.nodes[db_node].disk_seq_time(64 * 1024);
-            self.requests.get_mut(req).unwrap().phase = ReqPhase::DbBinlogFlush;
-            self.requests.get_mut(req).unwrap().binlog_spill = false;
+            let r = self.requests.req_mut(req);
+            r.phase = ReqPhase::DbBinlogFlush;
+            r.binlog_spill = false;
             self.offer_disk(sched, db_node, req, t);
         } else {
             self.db_query_finished(sched, req);
@@ -910,13 +957,11 @@ impl ClusterModel {
     }
 
     fn db_disk_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
-        let (db_node, phase, spill) = {
-            let r = self.requests.get(req).unwrap();
-            (r.db_node, r.phase, r.binlog_spill)
-        };
+        let r = self.requests.req(req);
+        let (db_node, phase, spill) = (r.db_node, r.phase, r.binlog_spill);
         if phase == ReqPhase::DbDiskRead && spill {
             let t = self.nodes[db_node].disk_seq_time(64 * 1024);
-            let r = self.requests.get_mut(req).unwrap();
+            let r = self.requests.req_mut(req);
             r.phase = ReqPhase::DbBinlogFlush;
             r.binlog_spill = false;
             self.offer_disk(sched, db_node, req, t);
@@ -927,20 +972,31 @@ impl ClusterModel {
 
     fn db_query_finished(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
-        let db_node = self.requests.get(req).unwrap().db_node;
+        let r = self.requests.req_mut(req);
         // Release run slot then connection, dispatching waiters.
-        self.requests.get_mut(req).unwrap().holds_db_sched = false;
-        if let Some(d) = self.nodes[db_node].db_mut().unwrap().run_slots.complete(now) {
+        r.holds_db_sched = false;
+        r.holds_db_conn = false;
+        let db_node = r.db_node;
+        if let Some(d) = self.nodes[db_node]
+            .db_mut()
+            .unwrap()
+            .run_slots
+            .complete(now)
+        {
             let gen = self.stamp(d.job);
-            sched.immediately(Ev::Granted(db_node, d.job, gen, Pool::DbRun));
+            sched.immediately(Ev::Granted(db_node as u32, d.job, gen, Pool::DbRun));
         }
-        self.requests.get_mut(req).unwrap().holds_db_conn = false;
-        if let Some(d) = self.nodes[db_node].db_mut().unwrap().conn_pool.complete(now) {
+        if let Some(d) = self.nodes[db_node]
+            .db_mut()
+            .unwrap()
+            .conn_pool
+            .complete(now)
+        {
             let gen = self.stamp(d.job);
-            sched.immediately(Ev::Granted(db_node, d.job, gen, Pool::DbConn));
+            sched.immediately(Ev::Granted(db_node as u32, d.job, gen, Pool::DbConn));
         }
         let remaining = {
-            let r = self.requests.get_mut(req).unwrap();
+            let r = self.requests.req_mut(req);
             r.queries_remaining -= 1;
             r.queries_remaining
         };
@@ -960,11 +1016,11 @@ impl Model for ClusterModel {
         match event {
             Ev::Think(browser) => self.issue_request(sched, browser),
             Ev::CpuDone(node, req, gen) => {
-                self.advance_cpu(sched, node);
+                self.advance_cpu(sched, node as usize);
                 if !self.live(req, gen) {
                     return;
                 }
-                match self.requests.get(req).unwrap().phase {
+                match self.requests.req(req).phase {
                     ReqPhase::ProxyLookup => self.proxy_lookup_done(sched, req),
                     ReqPhase::AppCpu => self.app_cpu_done(sched, req),
                     ReqPhase::DbCpu => self.db_cpu_done(sched, req),
@@ -972,24 +1028,22 @@ impl Model for ClusterModel {
                 }
             }
             Ev::DiskDone(node, req, gen) => {
-                self.advance_disk(sched, node);
+                self.advance_disk(sched, node as usize);
                 if !self.live(req, gen) {
                     return;
                 }
-                match self.requests.get(req).unwrap().phase {
+                match self.requests.req(req).phase {
                     ReqPhase::ProxyDiskRead => self.proxy_disk_done(sched, req),
-                    ReqPhase::DbDiskRead | ReqPhase::DbBinlogFlush => {
-                        self.db_disk_done(sched, req)
-                    }
+                    ReqPhase::DbDiskRead | ReqPhase::DbBinlogFlush => self.db_disk_done(sched, req),
                     other => unreachable!("DiskDone in phase {other:?}"),
                 }
             }
             Ev::NicDone(node, req, gen) => {
-                self.advance_nic(sched, node);
+                self.advance_nic(sched, node as usize);
                 if !self.live(req, gen) {
                     return;
                 }
-                match self.requests.get(req).unwrap().phase {
+                match self.requests.req(req).phase {
                     ReqPhase::ProxySend => self.complete_request(sched, req),
                     other => unreachable!("NicDone in phase {other:?}"),
                 }
@@ -1028,7 +1082,6 @@ pub fn start_simulation(scenario: &ClusterScenario) -> simkit::engine::Simulatio
     }
     sim
 }
-
 
 #[cfg(test)]
 mod tests {

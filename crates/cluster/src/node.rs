@@ -67,10 +67,7 @@ impl Node {
     pub fn new(spec: NodeSpec, params: &NodeParams, start: SimTime, hot_table_slots: u64) -> Self {
         let (role_state, mem_used_mb) = match params {
             NodeParams::Proxy(p) => (RoleState::Proxy(ProxyState::new(*p)), proxy_memory_mb(p)),
-            NodeParams::App(w) => (
-                RoleState::App(AppState::new(*w, start)),
-                app_memory_mb(w),
-            ),
+            NodeParams::App(w) => (RoleState::App(AppState::new(*w, start)), app_memory_mb(w)),
             NodeParams::Db(d) => (
                 RoleState::Db(DbState::new(*d, start, hot_table_slots)),
                 db_memory_mb(d),

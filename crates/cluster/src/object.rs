@@ -84,8 +84,7 @@ pub fn object_size_bytes(id: ObjectId) -> u64 {
     let u = ((h >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
     let z = inv_norm_cdf(u);
     let kb = MEDIAN_KB * (SIGMA * z).exp();
-    let bytes = (kb * 1024.0).round();
-    (bytes as u64).clamp(MIN_BYTES, MAX_BYTES)
+    simkit::time::round_nonneg(kb * 1024.0).clamp(MIN_BYTES, MAX_BYTES)
 }
 
 #[cfg(test)]

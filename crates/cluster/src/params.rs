@@ -8,7 +8,6 @@
 //! construction — the tuner explores freely, and [`WebParams::http_pool`]
 //! resolves conflicts the way the real servers do (the max acts as a cap).
 
-
 /// Metadata of one tunable parameter: what the tuner needs to know.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TunableDef {
@@ -60,13 +59,48 @@ pub struct ProxyParams {
 
 /// Tunable metadata for the proxy, in Table 3 order.
 pub const PROXY_TUNABLES: [TunableDef; 7] = [
-    TunableDef { name: "cache_mem", min: 1, max: 64, default: 8 },
-    TunableDef { name: "cache_swap_low", min: 50, max: 97, default: 90 },
-    TunableDef { name: "cache_swap_high", min: 55, max: 99, default: 95 },
-    TunableDef { name: "maximum_object_size", min: 256, max: 16_384, default: 4_096 },
-    TunableDef { name: "minimum_object_size", min: 0, max: 2_048, default: 0 },
-    TunableDef { name: "maximum_object_size_in_memory", min: 1, max: 4_096, default: 8 },
-    TunableDef { name: "store_objects_per_bucket", min: 5, max: 500, default: 20 },
+    TunableDef {
+        name: "cache_mem",
+        min: 1,
+        max: 64,
+        default: 8,
+    },
+    TunableDef {
+        name: "cache_swap_low",
+        min: 50,
+        max: 97,
+        default: 90,
+    },
+    TunableDef {
+        name: "cache_swap_high",
+        min: 55,
+        max: 99,
+        default: 95,
+    },
+    TunableDef {
+        name: "maximum_object_size",
+        min: 256,
+        max: 16_384,
+        default: 4_096,
+    },
+    TunableDef {
+        name: "minimum_object_size",
+        min: 0,
+        max: 2_048,
+        default: 0,
+    },
+    TunableDef {
+        name: "maximum_object_size_in_memory",
+        min: 1,
+        max: 4_096,
+        default: 8,
+    },
+    TunableDef {
+        name: "store_objects_per_bucket",
+        min: 5,
+        max: 500,
+        default: 20,
+    },
 ];
 
 impl ProxyParams {
@@ -143,13 +177,48 @@ pub struct WebParams {
 
 /// Tunable metadata for the web server, in Table 3 order.
 pub const WEB_TUNABLES: [TunableDef; 7] = [
-    TunableDef { name: "minProcessors", min: 1, max: 512, default: 5 },
-    TunableDef { name: "maxProcessors", min: 1, max: 512, default: 20 },
-    TunableDef { name: "acceptCount", min: 1, max: 1_024, default: 10 },
-    TunableDef { name: "bufferSize", min: 512, max: 16_384, default: 2_048 },
-    TunableDef { name: "AJPminProcessors", min: 1, max: 512, default: 5 },
-    TunableDef { name: "AJPmaxProcessors", min: 1, max: 512, default: 20 },
-    TunableDef { name: "AJPacceptCount", min: 1, max: 1_024, default: 10 },
+    TunableDef {
+        name: "minProcessors",
+        min: 1,
+        max: 512,
+        default: 5,
+    },
+    TunableDef {
+        name: "maxProcessors",
+        min: 1,
+        max: 512,
+        default: 20,
+    },
+    TunableDef {
+        name: "acceptCount",
+        min: 1,
+        max: 1_024,
+        default: 10,
+    },
+    TunableDef {
+        name: "bufferSize",
+        min: 512,
+        max: 16_384,
+        default: 2_048,
+    },
+    TunableDef {
+        name: "AJPminProcessors",
+        min: 1,
+        max: 512,
+        default: 5,
+    },
+    TunableDef {
+        name: "AJPmaxProcessors",
+        min: 1,
+        max: 512,
+        default: 20,
+    },
+    TunableDef {
+        name: "AJPacceptCount",
+        min: 1,
+        max: 1_024,
+        default: 10,
+    },
 ];
 
 /// Effective (conflict-resolved) thread-pool sizing.
@@ -246,15 +315,60 @@ pub struct DbParams {
 
 /// Tunable metadata for the database, in Table 3 order.
 pub const DB_TUNABLES: [TunableDef; 9] = [
-    TunableDef { name: "binlog_cache_size", min: 4_096, max: 1_048_576, default: 32_768 },
-    TunableDef { name: "delayed_insert_limit", min: 10, max: 1_000, default: 100 },
-    TunableDef { name: "max_connections", min: 10, max: 1_000, default: 100 },
-    TunableDef { name: "delayed_queue_size", min: 100, max: 20_000, default: 1_000 },
-    TunableDef { name: "join_buffer_size", min: 131_072, max: 16_777_216, default: 8_388_600 },
-    TunableDef { name: "net_buffer_length", min: 1_024, max: 65_536, default: 16_384 },
-    TunableDef { name: "table_cache", min: 16, max: 2_048, default: 64 },
-    TunableDef { name: "thread_con", min: 1, max: 512, default: 10 },
-    TunableDef { name: "thread_stack", min: 32_768, max: 2_097_152, default: 65_535 },
+    TunableDef {
+        name: "binlog_cache_size",
+        min: 4_096,
+        max: 1_048_576,
+        default: 32_768,
+    },
+    TunableDef {
+        name: "delayed_insert_limit",
+        min: 10,
+        max: 1_000,
+        default: 100,
+    },
+    TunableDef {
+        name: "max_connections",
+        min: 10,
+        max: 1_000,
+        default: 100,
+    },
+    TunableDef {
+        name: "delayed_queue_size",
+        min: 100,
+        max: 20_000,
+        default: 1_000,
+    },
+    TunableDef {
+        name: "join_buffer_size",
+        min: 131_072,
+        max: 16_777_216,
+        default: 8_388_600,
+    },
+    TunableDef {
+        name: "net_buffer_length",
+        min: 1_024,
+        max: 65_536,
+        default: 16_384,
+    },
+    TunableDef {
+        name: "table_cache",
+        min: 16,
+        max: 2_048,
+        default: 64,
+    },
+    TunableDef {
+        name: "thread_con",
+        min: 1,
+        max: 512,
+        default: 10,
+    },
+    TunableDef {
+        name: "thread_stack",
+        min: 32_768,
+        max: 2_097_152,
+        default: 65_535,
+    },
 ];
 
 impl DbParams {
@@ -393,7 +507,9 @@ mod tests {
         }
         let tuned_db = [
             [63_488, 200, 201, 2_600, 407_552, 31_744, 873, 81, 102_400],
-            [153_600, 400, 451, 9_100, 407_552, 38_912, 905, 91, 1_018_880],
+            [
+                153_600, 400, 451, 9_100, 407_552, 38_912, 905, 91, 1_018_880,
+            ],
             [284_672, 700, 701, 7_100, 407_552, 34_816, 761, 76, 773_120],
         ];
         for cfg in tuned_db {
@@ -447,7 +563,12 @@ mod tests {
 
     #[test]
     fn clamp_and_contains() {
-        let d = TunableDef { name: "x", min: 10, max: 20, default: 15 };
+        let d = TunableDef {
+            name: "x",
+            min: 10,
+            max: 20,
+            default: 15,
+        };
         assert_eq!(d.clamp(5), 10);
         assert_eq!(d.clamp(25), 20);
         assert_eq!(d.clamp(12), 12);

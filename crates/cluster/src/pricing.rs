@@ -52,11 +52,7 @@ impl PriceList {
     pub fn system_cost(&self, topology: &Topology, extra_nodes: usize) -> f64 {
         let servers = topology.len() + extra_nodes;
         let hardware = servers as f64 * (self.server + self.network_per_node);
-        let software: f64 = topology
-            .roles()
-            .iter()
-            .map(|r| self.software_for(*r))
-            .sum();
+        let software: f64 = topology.roles().iter().map(|r| self.software_for(*r)).sum();
         self.fixed + hardware + software
     }
 

@@ -35,11 +35,15 @@ pub enum ReqPhase {
 }
 
 /// One in-flight web interaction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Request {
     pub browser: BrowserId,
     pub interaction: Interaction,
     pub issued_at: SimTime,
+    /// Think time after this interaction completes (or fails). Drawn up
+    /// front at admission so the browser stream's draws batch into one
+    /// contiguous run (see `ClusterModel::issue_request`).
+    pub think: SimDuration,
     /// Proxy node that accepted the request.
     pub proxy_node: NodeId,
     /// App node chosen when forwarded (meaningless for proxy hits).
@@ -85,6 +89,7 @@ impl Request {
             browser,
             interaction,
             issued_at,
+            think: SimDuration::ZERO,
             proxy_node: 0,
             app_node: 0,
             db_node: 0,
@@ -114,9 +119,17 @@ impl Request {
 }
 
 /// Free-list slab of requests.
+///
+/// Storage is a dense `Vec<Request>` — no `Option` wrapper, no boxing.
+/// Liveness is carried entirely by the generation counters: a slot is
+/// live iff its occupant's stamped `generation` equals the slot's current
+/// generation, and the counter bumps exactly once per [`Self::remove`],
+/// so a freed slot's stale occupant can never alias a live one. This is
+/// what lets the event handlers use the unchecked [`Self::req`] accessors
+/// after a single liveness check (one bounds check, no discriminant).
 #[derive(Debug, Default)]
 pub struct RequestSlab {
-    slots: Vec<Option<Request>>,
+    slots: Vec<Request>,
     generations: Vec<u32>,
     free: Vec<ReqId>,
     live: usize,
@@ -136,14 +149,14 @@ impl RequestSlab {
         match self.free.pop() {
             Some(id) => {
                 req.generation = self.generations[id as usize];
-                self.slots[id as usize] = Some(req);
+                self.slots[id as usize] = req;
                 id
             }
             None => {
                 let id = self.slots.len() as ReqId;
                 req.generation = 0;
                 self.generations.push(0);
-                self.slots.push(Some(req));
+                self.slots.push(req);
                 id
             }
         }
@@ -151,27 +164,53 @@ impl RequestSlab {
 
     /// Access a live request.
     pub fn get(&self, id: ReqId) -> Option<&Request> {
-        self.slots.get(id as usize).and_then(|s| s.as_ref())
+        let r = self.slots.get(id as usize)?;
+        (r.generation == self.generations[id as usize]).then_some(r)
     }
 
     pub fn get_mut(&mut self, id: ReqId) -> Option<&mut Request> {
-        self.slots.get_mut(id as usize).and_then(|s| s.as_mut())
+        let r = self.slots.get_mut(id as usize)?;
+        (r.generation == self.generations[id as usize]).then_some(r)
+    }
+
+    /// Direct access to a request known to be live (hot path; callers
+    /// have already passed a generation check this event).
+    #[inline(always)]
+    pub fn req(&self, id: ReqId) -> &Request {
+        debug_assert!(self.get(id).is_some(), "req() on dead slot {id}");
+        &self.slots[id as usize]
+    }
+
+    /// Direct mutable access to a request known to be live.
+    #[inline(always)]
+    pub fn req_mut(&mut self, id: ReqId) -> &mut Request {
+        debug_assert!(self.get(id).is_some(), "req_mut() on dead slot {id}");
+        &mut self.slots[id as usize]
     }
 
     /// Remove a request, recycling its slot (generation bumps so stale
     /// events referencing the old occupant can be detected).
     pub fn remove(&mut self, id: ReqId) -> Option<Request> {
-        let slot = self.slots.get_mut(id as usize)?;
-        let req = slot.take()?;
+        let r = *self.slots.get(id as usize)?;
+        if r.generation != self.generations[id as usize] {
+            return None;
+        }
         self.generations[id as usize] = self.generations[id as usize].wrapping_add(1);
         self.free.push(id);
         self.live -= 1;
-        Some(req)
+        Some(r)
     }
 
     /// Current generation of a slot (for stale-event checks).
     pub fn generation(&self, id: ReqId) -> Option<u32> {
         self.generations.get(id as usize).copied()
+    }
+
+    /// Generation of a request known to be live (hot path).
+    #[inline(always)]
+    pub fn stamp_of(&self, id: ReqId) -> u32 {
+        debug_assert!(self.get(id).is_some(), "stamp_of() on dead slot {id}");
+        self.generations[id as usize]
     }
 
     pub fn live(&self) -> usize {
@@ -215,6 +254,20 @@ mod tests {
         let gen_b = slab.get(b).unwrap().generation;
         assert_ne!(gen_a, gen_b, "generation must change on reuse");
         assert_eq!(slab.generation(b), Some(gen_b));
+        assert_eq!(slab.stamp_of(b), gen_b);
+    }
+
+    #[test]
+    fn dead_slot_is_invisible_until_reinserted() {
+        let mut slab = RequestSlab::new();
+        let a = slab.insert(req());
+        slab.remove(a);
+        // The dense slot still physically holds the old bytes, but every
+        // checked accessor must treat it as vacant.
+        assert!(slab.get(a).is_none());
+        assert!(slab.get_mut(a).is_none());
+        assert!(slab.remove(a).is_none(), "double-remove must be a no-op");
+        assert_eq!(slab.live(), 0);
     }
 
     #[test]
@@ -232,10 +285,7 @@ mod tests {
     #[test]
     fn elapsed_measures_from_issue() {
         let r = req();
-        assert_eq!(
-            r.elapsed(SimTime::from_secs(3)),
-            SimDuration::from_secs(2)
-        );
+        assert_eq!(r.elapsed(SimTime::from_secs(3)), SimDuration::from_secs(2));
     }
 
     #[test]

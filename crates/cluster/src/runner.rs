@@ -30,7 +30,10 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             EvalError::IdleDuringWarmup => {
-                write!(f, "cluster went idle during warmup — no browsers scheduled?")
+                write!(
+                    f,
+                    "cluster went idle during warmup — no browsers scheduled?"
+                )
             }
             EvalError::IdleDuringMeasurement => {
                 write!(f, "cluster went idle during measurement")
@@ -116,9 +119,7 @@ pub fn run_iteration(scenario: &ClusterScenario) -> IterationOutcome {
 
 /// Execute one iteration, returning an error instead of panicking when
 /// the scenario is invalid or the simulation stalls.
-pub fn run_iteration_checked(
-    scenario: &ClusterScenario,
-) -> Result<IterationOutcome, EvalError> {
+pub fn run_iteration_checked(scenario: &ClusterScenario) -> Result<IterationOutcome, EvalError> {
     run_iteration_inner(scenario, None)
 }
 
@@ -146,7 +147,11 @@ pub fn run_iteration_observed(
 }
 
 /// Publish per-node resource metrics for a finished run.
-fn publish_node_metrics(model: &crate::model::ClusterModel, registry: &obs::Registry, end: SimTime) {
+fn publish_node_metrics(
+    model: &crate::model::ClusterModel,
+    registry: &obs::Registry,
+    end: SimTime,
+) {
     for (i, node) in model.nodes.iter().enumerate() {
         let tier = node.role().name();
         let prefix = format!("cluster.n{i}.{tier}");
@@ -182,7 +187,9 @@ fn publish_node_metrics(model: &crate::model::ClusterModel, registry: &obs::Regi
     }
     registry.counter("cluster.done").add(model.total_done());
     registry.counter("cluster.failed").add(model.total_failed());
-    registry.histogram("cluster.wips").record(model.metrics.wips());
+    registry
+        .histogram("cluster.wips")
+        .record(model.metrics.wips());
 }
 
 #[cfg(test)]
@@ -233,7 +240,10 @@ mod tests {
             .gauges
             .iter()
             .any(|(k, v)| k == "cluster.n2.db.cpu.utilization" && *v > 0.0));
-        assert!(snap.hists.iter().any(|(k, h)| k == "cluster.wips" && h.count == 1));
+        assert!(snap
+            .hists
+            .iter()
+            .any(|(k, h)| k == "cluster.wips" && h.count == 1));
     }
 
     #[test]
@@ -280,7 +290,11 @@ mod tests {
         let out = run_iteration(&s);
         assert_eq!(out.line_wips.len(), 2);
         let total: f64 = out.line_wips.iter().sum();
-        assert!((total - out.metrics.wips).abs() < 1e-6, "line sum {total} vs wips {}", out.metrics.wips);
+        assert!(
+            (total - out.metrics.wips).abs() < 1e-6,
+            "line sum {total} vs wips {}",
+            out.metrics.wips
+        );
         // Browsers split evenly, so the two lines carry similar load.
         let ratio = out.line_wips[0] / out.line_wips[1];
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
@@ -461,7 +475,12 @@ mod tests {
         let b = run_iteration(&markov);
         assert!(b.metrics.wips > 0.0);
         let rel = (a.metrics.wips - b.metrics.wips).abs() / a.metrics.wips;
-        assert!(rel < 0.15, "iid {} vs markov {}", a.metrics.wips, b.metrics.wips);
+        assert!(
+            rel < 0.15,
+            "iid {} vs markov {}",
+            a.metrics.wips,
+            b.metrics.wips
+        );
         // Ordering funnel still completes under sessions.
         assert!(b.metrics.order_completed > 0);
     }

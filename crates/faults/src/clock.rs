@@ -79,10 +79,7 @@ mod tests {
     #[test]
     fn windows_are_contiguous() {
         let mut clock = FaultClock::new(SimDuration::from_secs(30));
-        assert_eq!(
-            clock.next_window(),
-            (SimTime::ZERO, SimTime::from_secs(30))
-        );
+        assert_eq!(clock.next_window(), (SimTime::ZERO, SimTime::from_secs(30)));
         assert_eq!(
             clock.next_window(),
             (SimTime::from_secs(30), SimTime::from_secs(60))

@@ -53,9 +53,7 @@ impl WindowFaults {
     }
 
     pub fn is_trivial(&self) -> bool {
-        self.changes.is_empty()
-            && self.noise == 1.0
-            && self.initial.iter().all(Health::is_up)
+        self.changes.is_empty() && self.noise == 1.0 && self.initial.iter().all(Health::is_up)
     }
 
     /// Nodes that transition to `Down` inside the window.
@@ -157,7 +155,10 @@ impl FaultInjector {
 
     /// Node healths once every event strictly before `t` has applied.
     pub fn health_at(&self, t: SimTime, nodes: usize) -> Vec<Health> {
-        self.fold_until(t, nodes).iter().map(NodeFold::health).collect()
+        self.fold_until(t, nodes)
+            .iter()
+            .map(NodeFold::health)
+            .collect()
     }
 
     /// Project the plan onto the measurement window `[start, end)`.
@@ -241,7 +242,11 @@ mod tests {
     fn window_splits_initial_and_changes() {
         let inj = FaultInjector::new(&plan(), 1);
         let w = inj.window(SimTime::from_secs(20), SimTime::from_secs(50), 5);
-        assert_eq!(w.initial[1].cpu_factor(), 2.5, "pre-window slowdown is initial");
+        assert_eq!(
+            w.initial[1].cpu_factor(),
+            2.5,
+            "pre-window slowdown is initial"
+        );
         assert_eq!(w.changes.len(), 1);
         assert_eq!(
             w.changes[0],

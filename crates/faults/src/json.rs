@@ -173,8 +173,8 @@ impl<'a> Parser<'a> {
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
-                            let ch = char::from_u32(code)
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let ch =
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?;
                             let mut buf = [0u8; 4];
                             out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
                         }
@@ -258,8 +258,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structures() {
-        let v = parse(r#"{"events": [{"at_s": 30, "kind": "crash", "node": 3}], "x": []}"#)
-            .unwrap();
+        let v =
+            parse(r#"{"events": [{"at_s": 30, "kind": "crash", "node": 3}], "x": []}"#).unwrap();
         let events = v.get("events").unwrap().as_arr().unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].get("at_s").unwrap().as_f64(), Some(30.0));

@@ -71,16 +71,27 @@ pub enum PlanError {
     Json(String),
     MissingField(&'static str),
     UnknownKind(String),
-    BadFactor { kind: String, factor: f64 },
-    NodeOutOfRange { node: usize, nodes: usize },
-    MissingNode { kind: String },
+    BadFactor {
+        kind: String,
+        factor: f64,
+    },
+    NodeOutOfRange {
+        node: usize,
+        nodes: usize,
+    },
+    MissingNode {
+        kind: String,
+    },
     /// Two events share the same explicit id.
     DuplicateId(u64),
     /// An event timestamp is negative (times are simulated seconds ≥ 0).
     NegativeTime(f64),
     /// A node is scheduled to crash again while already down — the
     /// windows of the two crashes overlap with no restart in between.
-    OverlappingCrash { node: usize, at_s: f64 },
+    OverlappingCrash {
+        node: usize,
+        at_s: f64,
+    },
     Io(String),
 }
 
@@ -158,9 +169,7 @@ impl FaultPlan {
 
     fn with(mut self, at_s: f64, node: Option<usize>, kind: FaultKind) -> Self {
         self.push(FaultEvent {
-            at: SimTime::from_micros(
-                simkit::time::SimDuration::from_secs_f64(at_s).as_micros(),
-            ),
+            at: SimTime::from_micros(simkit::time::SimDuration::from_secs_f64(at_s).as_micros()),
             node,
             kind,
             id: None,
@@ -211,9 +220,7 @@ impl FaultPlan {
                 });
             }
             match e.node {
-                Some(n) if n >= nodes => {
-                    return Err(PlanError::NodeOutOfRange { node: n, nodes })
-                }
+                Some(n) if n >= nodes => return Err(PlanError::NodeOutOfRange { node: n, nodes }),
                 None if e.kind.needs_node() => {
                     return Err(PlanError::MissingNode {
                         kind: e.kind.name().to_string(),
@@ -366,10 +373,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_kind() {
-        let err = FaultPlan::parse_json(
-            r#"{"events": [{"at_s": 1.0, "node": 0, "kind": "meltdown"}]}"#,
-        )
-        .unwrap_err();
+        let err =
+            FaultPlan::parse_json(r#"{"events": [{"at_s": 1.0, "node": 0, "kind": "meltdown"}]}"#)
+                .unwrap_err();
         assert_eq!(err, PlanError::UnknownKind("meltdown".into()));
     }
 
@@ -457,7 +463,11 @@ mod tests {
             plan.push(FaultEvent {
                 at: SimTime::from_secs(at),
                 node: Some(0),
-                kind: if at == 1 { FaultKind::Crash } else { FaultKind::Restart },
+                kind: if at == 1 {
+                    FaultKind::Crash
+                } else {
+                    FaultKind::Restart
+                },
                 id: Some(9),
             });
         }
@@ -479,10 +489,16 @@ mod tests {
         let plan = FaultPlan::new().crash(10.0, 1).crash(20.0, 1);
         assert_eq!(
             plan.validate(3).unwrap_err(),
-            PlanError::OverlappingCrash { node: 1, at_s: 20.0 }
+            PlanError::OverlappingCrash {
+                node: 1,
+                at_s: 20.0
+            }
         );
         // An intervening restart makes it legal again.
-        let plan = FaultPlan::new().crash(10.0, 1).restart(15.0, 1).crash(20.0, 1);
+        let plan = FaultPlan::new()
+            .crash(10.0, 1)
+            .restart(15.0, 1)
+            .crash(20.0, 1);
         assert!(plan.validate(3).is_ok());
         // Crashes on different nodes never conflict.
         let plan = FaultPlan::new().crash(10.0, 0).crash(11.0, 1);

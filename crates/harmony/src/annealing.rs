@@ -200,7 +200,10 @@ mod tests {
             t.observe(-1e6);
         }
         let late_accepted = t.accepted() - before;
-        assert!(late_accepted <= 2, "late bad moves accepted {late_accepted}");
+        assert!(
+            late_accepted <= 2,
+            "late bad moves accepted {late_accepted}"
+        );
         assert!(early_accepted >= 1);
     }
 

@@ -100,11 +100,7 @@ pub struct CoordinateDescent {
 impl CoordinateDescent {
     pub fn new(space: ParamSpace) -> Self {
         let current = space.default_config();
-        let steps = space
-            .defs()
-            .iter()
-            .map(|d| (d.span() / 4).max(1))
-            .collect();
+        let steps = space.defs().iter().map(|d| (d.span() / 4).max(1)).collect();
         CoordinateDescent {
             space,
             current,
@@ -140,7 +136,10 @@ impl CoordinateDescent {
     fn probe_config(&self) -> Configuration {
         let mut c = self.current.clone();
         let d = self.space.def(self.dim);
-        c.set(self.dim, d.clamp(c.get(self.dim) + self.direction * self.steps[self.dim]));
+        c.set(
+            self.dim,
+            d.clamp(c.get(self.dim) + self.direction * self.steps[self.dim]),
+        );
         c
     }
 }

@@ -7,7 +7,6 @@
 //! snapshots with an exponential moving average before the algorithm reads
 //! them.
 
-
 /// The four monitored resources, in urgency order (most urgent first by
 /// default — an overloaded CPU hurts more than a busy NIC; §IV footnote 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -141,7 +141,7 @@ pub fn decide<T: Copy + Eq>(
     for overloaded in &l1 {
         let candidates = l2.iter().filter(|k| {
             k.tier != overloaded.tier          // 4(a)
-                && tier_size(k.tier) > 1       // 4(b)
+                && tier_size(k.tier) > 1 // 4(b)
         });
         // 4(c): minimise F + N_k * M_km - N_k * A_k.
         let best = candidates.min_by(|a, b| {
@@ -200,13 +200,25 @@ mod tests {
     #[test]
     fn no_overload_no_decision() {
         let reports = vec![report(0, 0, 0.5, 0.1), report(1, 1, 0.5, 0.1)];
-        assert!(decide(&reports, &Thresholds::default(), &CostModel::default(), sizes(&reports)).is_none());
+        assert!(decide(
+            &reports,
+            &Thresholds::default(),
+            &CostModel::default(),
+            sizes(&reports)
+        )
+        .is_none());
     }
 
     #[test]
     fn no_idle_donor_no_decision() {
         let reports = vec![report(0, 0, 0.95, 0.5), report(1, 1, 0.6, 0.5)];
-        assert!(decide(&reports, &Thresholds::default(), &CostModel::default(), sizes(&reports)).is_none());
+        assert!(decide(
+            &reports,
+            &Thresholds::default(),
+            &CostModel::default(),
+            sizes(&reports)
+        )
+        .is_none());
     }
 
     #[test]
@@ -237,17 +249,26 @@ mod tests {
             report(1, 1, 0.95, 0.5),
             report(2, 1, 0.9, 0.5),
         ];
-        assert!(decide(&reports, &Thresholds::default(), &CostModel::default(), sizes(&reports)).is_none());
+        assert!(decide(
+            &reports,
+            &Thresholds::default(),
+            &CostModel::default(),
+            sizes(&reports)
+        )
+        .is_none());
     }
 
     #[test]
     fn donor_must_be_in_a_different_tier() {
         // Idle node in the same tier as the overloaded one: no move.
-        let reports = vec![
-            report(0, 1, 0.1, 0.05),
-            report(1, 1, 0.95, 0.5),
-        ];
-        assert!(decide(&reports, &Thresholds::default(), &CostModel::default(), sizes(&reports)).is_none());
+        let reports = vec![report(0, 1, 0.1, 0.05), report(1, 1, 0.95, 0.5)];
+        assert!(decide(
+            &reports,
+            &Thresholds::default(),
+            &CostModel::default(),
+            sizes(&reports)
+        )
+        .is_none());
     }
 
     #[test]
@@ -330,11 +351,7 @@ mod tests {
     fn mem_only_overload_triggers() {
         let mut r = report(0, 0, 0.2, 0.1);
         r.util.mem = 0.95;
-        let reports = vec![
-            r,
-            report(1, 1, 0.1, 0.05),
-            report(2, 1, 0.2, 0.1),
-        ];
+        let reports = vec![r, report(1, 1, 0.1, 0.05), report(2, 1, 0.2, 0.1)];
         let d = decide(
             &reports,
             &Thresholds::default(),

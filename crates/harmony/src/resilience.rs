@@ -300,7 +300,10 @@ mod tests {
         assert!(!b.is_open("cfg-a"));
         assert!(b.record_failure("cfg-a"), "second failure trips");
         assert!(b.is_open("cfg-a"));
-        assert!(!b.record_failure("cfg-a"), "already open, not newly tripped");
+        assert!(
+            !b.record_failure("cfg-a"),
+            "already open, not newly tripped"
+        );
         assert_eq!(b.open_count(), 1);
         assert!(!b.is_open("cfg-b"), "keys independent");
         b.record_success("cfg-a");

@@ -53,11 +53,7 @@ impl<T: Tuner> Revalidating<T> {
             .filter(|(_, (_, n))| *n >= 2)
             .map(|(c, (sum, n))| (c.clone(), sum / *n as f64, *n))
             .max_by(|a, b| a.1.total_cmp(&b.1));
-        averaged.or_else(|| {
-            self.inner
-                .best()
-                .map(|(c, p)| (c.clone(), p, 1))
-        })
+        averaged.or_else(|| self.inner.best().map(|(c, p)| (c.clone(), p, 1)))
     }
 
     /// Access the wrapped tuner.

@@ -408,7 +408,8 @@ impl Tuner for SimplexTuner {
     /// it is meant for workload changes, where the old optimum is stale.
     fn reset(&mut self) {
         let seed = self.space.default_config();
-        let fresh = SimplexTuner::with_seed(self.space.clone(), seed).conservative(self.conservative);
+        let fresh =
+            SimplexTuner::with_seed(self.space.clone(), seed).conservative(self.conservative);
         *self = fresh;
     }
 
@@ -524,7 +525,9 @@ impl Phase {
             "eval_contract_in" => Phase::EvalContractIn,
             "shrink" => Phase::Shrink { next: next()? },
             other => {
-                return Err(PersistError::Schema(format!("unknown simplex phase '{other}'")))
+                return Err(PersistError::Schema(format!(
+                    "unknown simplex phase '{other}'"
+                )))
             }
         })
     }
@@ -663,7 +666,10 @@ mod tests {
         run(&mut t, f, 120);
         let (best, perf) = t.best().unwrap();
         let dist = (((best.get(0) - 120).pow(2) + (best.get(1) - 60).pow(2)) as f64).sqrt();
-        assert!(dist < 12.0, "best {best} (perf {perf}) too far from optimum");
+        assert!(
+            dist < 12.0,
+            "best {best} (perf {perf}) too far from optimum"
+        );
     }
 
     #[test]
@@ -710,7 +716,10 @@ mod tests {
         let a = max_step(&mut aggressive);
         let c = max_step(&mut conservative);
         assert!(c <= 260, "conservative moved {c} in one step");
-        assert!(a >= c, "aggressive ({a}) should move at least as far as conservative ({c})");
+        assert!(
+            a >= c,
+            "aggressive ({a}) should move at least as far as conservative ({c})"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub struct ParamSpace {
 
 impl ParamSpace {
     pub fn new(defs: Vec<ParamDef>) -> Self {
-        assert!(!defs.is_empty(), "a search space needs at least one dimension");
+        assert!(
+            !defs.is_empty(),
+            "a search space needs at least one dimension"
+        );
         ParamSpace {
             defs: Arc::new(defs),
         }
@@ -169,7 +172,9 @@ impl fmt::Display for SpaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpaceError::Arity(want, got) => write!(f, "expected {want} values, got {got}"),
-            SpaceError::OutOfBounds(dim, v) => write!(f, "dimension {dim}: value {v} out of bounds"),
+            SpaceError::OutOfBounds(dim, v) => {
+                write!(f, "dimension {dim}: value {v} out of bounds")
+            }
         }
     }
 }
@@ -229,7 +234,10 @@ mod tests {
     fn extremeness_counts_boundary_params() {
         let s = space();
         // Zero-span dim `c` never counts as extreme.
-        assert_eq!(s.extremeness(&Configuration::from_values(vec![0, 10, 1])), 2.0 / 3.0);
+        assert_eq!(
+            s.extremeness(&Configuration::from_values(vec![0, 10, 1])),
+            2.0 / 3.0
+        );
         assert_eq!(s.extremeness(&s.default_config()), 0.0);
     }
 

@@ -74,10 +74,7 @@ mod tests {
         assert_eq!(TuningMethod::None.label(), "None (No Tuning)");
         assert_eq!(TuningMethod::Default.label(), "Default method");
         assert_eq!(TuningMethod::Duplication.label(), "Parameter duplication");
-        assert_eq!(
-            TuningMethod::Partitioning.label(),
-            "Parameter partitioning"
-        );
+        assert_eq!(TuningMethod::Partitioning.label(), "Parameter partitioning");
     }
 
     #[test]

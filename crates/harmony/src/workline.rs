@@ -40,7 +40,9 @@ impl std::error::Error for WorkLineError {}
 /// round-robin across lines. Every line gets at least one node of each
 /// tier; tiers larger than the line count contribute extra nodes to the
 /// earlier lines.
-pub fn build_work_lines<T: Copy + Ord>(nodes: &[(usize, T)]) -> Result<Vec<WorkLine>, WorkLineError> {
+pub fn build_work_lines<T: Copy + Ord>(
+    nodes: &[(usize, T)],
+) -> Result<Vec<WorkLine>, WorkLineError> {
     if nodes.is_empty() {
         return Err(WorkLineError::NoNodes);
     }
@@ -104,9 +106,15 @@ mod tests {
     #[test]
     fn every_line_has_every_tier() {
         let nodes = [
-            (0, 0), (1, 0), (2, 0),
-            (3, 1), (4, 1), (5, 1),
-            (6, 2), (7, 2), (8, 2),
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 1),
+            (4, 1),
+            (5, 1),
+            (6, 2),
+            (7, 2),
+            (8, 2),
         ];
         let lines = build_work_lines(&nodes).unwrap();
         assert_eq!(lines.len(), 3);
@@ -124,9 +132,6 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(
-            build_work_lines::<u8>(&[]),
-            Err(WorkLineError::NoNodes)
-        );
+        assert_eq!(build_work_lines::<u8>(&[]), Err(WorkLineError::NoNodes));
     }
 }

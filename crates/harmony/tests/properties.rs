@@ -177,7 +177,11 @@ fn reconfig_decisions_satisfy_constraints() {
             );
             assert_ne!(donor.tier, relieved.tier, "case {case}");
             assert_eq!(d.to_tier, relieved.tier, "case {case}");
-            assert!(size(donor.tier) > 1, "case {case}: would empty tier {}", donor.tier);
+            assert!(
+                size(donor.tier) > 1,
+                "case {case}: would empty tier {}",
+                donor.tier
+            );
         }
     }
 }

@@ -13,7 +13,11 @@ fn space_2d() -> ParamSpace {
     ])
 }
 
-fn drive(tuner: &mut SimplexTuner, f: impl Fn(&Configuration) -> f64, n: usize) -> Vec<Configuration> {
+fn drive(
+    tuner: &mut SimplexTuner,
+    f: impl Fn(&Configuration) -> f64,
+    n: usize,
+) -> Vec<Configuration> {
     let mut proposals = Vec::with_capacity(n);
     for _ in 0..n {
         let c = tuner.propose();
@@ -91,7 +95,10 @@ fn recovers_after_objective_shift() {
     let phase1 = |c: &Configuration| -((c.get(0) - 600).abs() as f64);
     drive(&mut t, phase1, 60);
     let best_before = t.best().unwrap().0.get(0);
-    assert!((400..=800).contains(&best_before), "phase 1 best {best_before}");
+    assert!(
+        (400..=800).contains(&best_before),
+        "phase 1 best {best_before}"
+    );
     // Shift: optimum now at -600. Drive on and look at late proposals.
     let phase2 = |c: &Configuration| -((c.get(0) + 600).abs() as f64);
     let proposals = drive(&mut t, phase2, 120);

@@ -203,7 +203,10 @@ mod tests {
         reg.histogram("h").record(2.0);
         let snap = reg.snapshot();
         assert_eq!(
-            snap.counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            snap.counters
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
             vec!["a", "z"]
         );
         assert_eq!(snap.gauges.len(), 1);

@@ -163,12 +163,14 @@ impl<W: Write> TraceSink for CsvWriter<W> {
         let header = match &mut self.header {
             Some(header) => header,
             none => {
-                let cols: Vec<String> =
-                    record.fields().iter().map(|(k, _)| k.clone()).collect();
+                let cols: Vec<String> = record.fields().iter().map(|(k, _)| k.clone()).collect();
                 let _ = writeln!(
                     self.w,
                     "{}",
-                    cols.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",")
+                    cols.iter()
+                        .map(|c| csv_field(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
                 );
                 none.insert(cols)
             }

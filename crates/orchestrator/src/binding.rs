@@ -116,9 +116,9 @@ pub fn split_tier_config(c: &Configuration) -> (ProxyParams, WebParams, DbParams
 #[allow(clippy::expect_used)]
 pub fn params_from_slice(role: Role, values: &[i64]) -> NodeParams {
     match role {
-        Role::Proxy => NodeParams::Proxy(
-            ProxyParams::from_values(values).expect("bounds enforced by space"),
-        ),
+        Role::Proxy => {
+            NodeParams::Proxy(ProxyParams::from_values(values).expect("bounds enforced by space"))
+        }
         Role::App => {
             NodeParams::App(WebParams::from_values(values).expect("bounds enforced by space"))
         }
@@ -169,10 +169,7 @@ pub fn apply_line_config(
 /// Extract the tier configuration (23 values) that `node_source` nodes of
 /// a config currently hold — used to seed partitioned tuning from a
 /// duplication result (the hybrid method).
-pub fn tier_config_from(
-    config: &ClusterConfig,
-    topology: &Topology,
-) -> Option<Configuration> {
+pub fn tier_config_from(config: &ClusterConfig, topology: &Topology) -> Option<Configuration> {
     let proxy = topology.nodes_in(Role::Proxy).first().copied()?;
     let app = topology.nodes_in(Role::App).first().copied()?;
     let db = topology.nodes_in(Role::Db).first().copied()?;
@@ -250,7 +247,11 @@ mod tests {
         c.set(0, 60); // proxy.cache_mem
         apply_line_config(&mut cfg, &t, &[0, 2, 4], &c);
         assert_eq!(cfg.node(0).as_proxy().unwrap().cache_mem, 60);
-        assert_eq!(cfg.node(1).as_proxy().unwrap().cache_mem, 8, "other line untouched");
+        assert_eq!(
+            cfg.node(1).as_proxy().unwrap().cache_mem,
+            8,
+            "other line untouched"
+        );
         assert_eq!(cfg.node(2).as_app().unwrap().max_processors, 20);
     }
 

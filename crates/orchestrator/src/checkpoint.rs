@@ -292,8 +292,7 @@ pub(crate) fn topology_from_state(state: &State) -> Result<Topology, PersistErro
 }
 
 fn node_params_from_values(role: Role, values: &[i64]) -> Result<NodeParams, PersistError> {
-    let out_of_range =
-        |e| schema(format!("{} node values out of range: {e}", role.name()));
+    let out_of_range = |e| schema(format!("{} node values out of range: {e}", role.name()));
     Ok(match role {
         Role::Proxy => NodeParams::Proxy(ProxyParams::from_values(values).map_err(out_of_range)?),
         Role::App => NodeParams::App(WebParams::from_values(values).map_err(out_of_range)?),
@@ -338,8 +337,7 @@ pub(crate) fn config_from_state(state: &State) -> Result<ClusterConfig, PersistE
         roles.push(role);
         params.push(node_params_from_values(role, &values)?);
     }
-    let topology =
-        Topology::new(roles).map_err(|e| schema(format!("invalid topology: {e}")))?;
+    let topology = Topology::new(roles).map_err(|e| schema(format!("invalid topology: {e}")))?;
     ClusterConfig::new(&topology, params).map_err(|e| schema(format!("invalid config: {e}")))
 }
 
@@ -403,9 +401,7 @@ pub(crate) fn recoveries_state(recoveries: &[RecoveryAction]) -> State {
     )
 }
 
-pub(crate) fn recoveries_from_state(
-    state: &State,
-) -> Result<Vec<RecoveryAction>, PersistError> {
+pub(crate) fn recoveries_from_state(state: &State) -> Result<Vec<RecoveryAction>, PersistError> {
     state
         .as_list()
         .ok_or_else(|| schema("recoveries is not a list"))?
@@ -447,9 +443,7 @@ pub(crate) fn reconfigs_state(events: &[ReconfigEvent]) -> State {
     State::List(events.iter().map(reconfig_state).collect())
 }
 
-pub(crate) fn reconfigs_from_state(
-    state: &State,
-) -> Result<Vec<ReconfigEvent>, PersistError> {
+pub(crate) fn reconfigs_from_state(state: &State) -> Result<Vec<ReconfigEvent>, PersistError> {
     state
         .as_list()
         .ok_or_else(|| schema("reconfigs is not a list"))?
@@ -476,7 +470,10 @@ mod tests {
     fn fingerprint_is_sensitive_to_the_environment() {
         let base = session_fingerprint(&cfg(), "tune", 10, 10);
         assert_eq!(base, session_fingerprint(&cfg(), "tune", 10, 10));
-        assert_ne!(base, session_fingerprint(&cfg().base_seed(7), "tune", 10, 10));
+        assert_ne!(
+            base,
+            session_fingerprint(&cfg().base_seed(7), "tune", 10, 10)
+        );
         assert_ne!(base, session_fingerprint(&cfg(), "resilient", 10, 10));
         assert_ne!(base, session_fingerprint(&cfg(), "tune", 11, 11));
         assert_ne!(
@@ -577,7 +574,8 @@ mod tests {
         let policy = CheckpointPolicy::new(&dir).every(2);
         let (mut ckpt, resumed) = Checkpointer::open(&policy, 0xABCD).expect("fresh");
         assert!(resumed.is_none());
-        ckpt.append(State::map().with("iteration", State::U64(0))).expect("append");
+        ckpt.append(State::map().with("iteration", State::U64(0)))
+            .expect("append");
         ckpt.maybe_snapshot(1, 10, || State::map().with("kind", State::Str("t".into())))
             .expect("iteration 1 is off-cadence, no snapshot");
         drop(ckpt);

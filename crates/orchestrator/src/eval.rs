@@ -295,7 +295,8 @@ impl EvalEngine {
             run_iteration_checked(s).ok()
         });
         let executed = todo.len();
-        self.speculated.fetch_add(executed as u64, Ordering::Relaxed);
+        self.speculated
+            .fetch_add(executed as u64, Ordering::Relaxed);
         let mut cache = self.lock();
         for ((key, _), out) in todo.into_iter().zip(outs) {
             if let Some(out) = out {
@@ -423,8 +424,7 @@ mod tests {
     use tpcw::mix::Workload;
 
     fn cfg() -> SessionConfig {
-        SessionConfig::new(Topology::single(), Workload::Shopping, 200)
-            .plan(IntervalPlan::tiny())
+        SessionConfig::new(Topology::single(), Workload::Shopping, 200).plan(IntervalPlan::tiny())
     }
 
     fn scenario(seed_offset: u32) -> ClusterScenario {

@@ -11,9 +11,7 @@
 
 use super::{scale_pop, Effort};
 use crate::reconfigure::ReconfigEvent;
-use crate::resilient::{
-    run_resilient_session_observed, ResilienceSettings, ResilientRun,
-};
+use crate::resilient::{run_resilient_session_observed, ResilienceSettings, ResilientRun};
 use crate::session::{SessionConfig, SessionError, SessionObserver};
 use cluster::config::{Role, Topology};
 use faults::FaultPlan;
@@ -110,12 +108,7 @@ pub fn run_custom(
         observer,
     )?;
 
-    let count = |action: &str| {
-        run.recoveries
-            .iter()
-            .filter(|r| r.action == action)
-            .count()
-    };
+    let count = |action: &str| run.recoveries.iter().filter(|r| r.action == action).count();
     Ok(FaultsResult {
         wips_series: run.wips_series(),
         crash_iteration: run.first_crash_iteration(),

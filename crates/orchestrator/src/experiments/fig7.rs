@@ -50,11 +50,7 @@ pub struct Fig7Result {
 }
 
 fn layout(t: &Topology) -> (usize, usize, usize) {
-    (
-        t.count(Role::Proxy),
-        t.count(Role::App),
-        t.count(Role::Db),
-    )
+    (t.count(Role::Proxy), t.count(Role::App), t.count(Role::Db))
 }
 
 /// Run one Figure 7 variant.

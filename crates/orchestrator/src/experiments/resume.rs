@@ -16,9 +16,7 @@ use std::path::{Path, PathBuf};
 
 use super::{scale_pop, Effort};
 use crate::checkpoint::CheckpointPolicy;
-use crate::session::{
-    tune_observed, SessionConfig, SessionError, SessionObserver, TuningRun,
-};
+use crate::session::{tune_observed, SessionConfig, SessionError, SessionObserver, TuningRun};
 use cluster::config::Topology;
 use harmony::strategy::TuningMethod;
 use obs::{MemorySink, TraceRecord, TraceSink, Value};
@@ -138,9 +136,13 @@ fn uint_field(record: &TraceRecord, key: &str) -> u64 {
 }
 
 fn session(effort: &Effort, seed: u64) -> SessionConfig {
-    SessionConfig::new(Topology::single(), Workload::Shopping, scale_pop(1_700, effort))
-        .plan(effort.plan)
-        .base_seed(seed)
+    SessionConfig::new(
+        Topology::single(),
+        Workload::Shopping,
+        scale_pop(1_700, effort),
+    )
+    .plan(effort.plan)
+    .base_seed(seed)
 }
 
 /// Run the experiment, checkpointing under a scratch directory in the
@@ -158,11 +160,7 @@ pub fn run(effort: &Effort, seed: u64) -> Result<ResumeResult, SessionError> {
 
 /// [`run`] with an explicit scratch directory (left in place: the
 /// checkpoint directories it holds are the experiment's artifact).
-pub fn run_in(
-    effort: &Effort,
-    seed: u64,
-    scratch: &Path,
-) -> Result<ResumeResult, SessionError> {
+pub fn run_in(effort: &Effort, seed: u64, scratch: &Path) -> Result<ResumeResult, SessionError> {
     let cfg = session(effort, seed);
     let iterations = effort.iterations;
     let snapshot_every = (iterations / 5).max(1);
@@ -188,14 +186,17 @@ pub fn run_in(
             let _ = tune_observed(&ck_cfg, TuningMethod::Default, iterations, &mut observer);
         })?;
         let pre = lines_of(&sink.inner);
-        let prefix_identical =
-            pre.len() == k as usize && full_lines[..pre.len()] == pre[..];
+        let prefix_identical = pre.len() == k as usize && full_lines[..pre.len()] == pre[..];
 
         let resume_cfg = cfg.clone().checkpoint(policy.resume(true));
         let mut resumed_sink = MemorySink::new();
         let mut observer = SessionObserver::with_sink(&mut resumed_sink);
-        let run: TuningRun =
-            tune_observed(&resume_cfg, TuningMethod::Default, iterations, &mut observer)?;
+        let run: TuningRun = tune_observed(
+            &resume_cfg,
+            TuningMethod::Default,
+            iterations,
+            &mut observer,
+        )?;
         let resumed = lines_of(&resumed_sink);
         let splice = resumed_sink.records.first().ok_or_else(|| {
             SessionError::Checkpoint("resumed session produced no trace records".into())
@@ -248,9 +249,11 @@ mod tests {
         let effort = Effort::smoke();
         let a = run(&effort, 7).expect("run a");
         let b = run(&effort, 7).expect("run b");
-        assert_eq!(a.baseline_best_wips.to_bits(), b.baseline_best_wips.to_bits());
-        let kills =
-            |r: &ResumeResult| r.outcomes.iter().map(|o| o.kill_at).collect::<Vec<_>>();
+        assert_eq!(
+            a.baseline_best_wips.to_bits(),
+            b.baseline_best_wips.to_bits()
+        );
+        let kills = |r: &ResumeResult| r.outcomes.iter().map(|o| o.kill_at).collect::<Vec<_>>();
         assert_eq!(kills(&a), kills(&b));
     }
 }

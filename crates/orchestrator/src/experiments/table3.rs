@@ -104,7 +104,9 @@ pub fn directional_checks(rows: &[Table3Row]) -> Vec<(String, bool)> {
         // is verified by direct A/B evaluation in tests/paper_shapes.rs;
         // here we check the tuner found no reason to grow it.
         "join buffer does not grow beyond the 8 MB default".into(),
-        join.tuned.iter().all(|&v| v <= (join.default as f64 * 1.05) as i64),
+        join.tuned
+            .iter()
+            .all(|&v| v <= (join.default as f64 * 1.05) as i64),
     ));
 
     let table_cache = get("table_cache");

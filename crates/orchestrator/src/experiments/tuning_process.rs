@@ -39,9 +39,13 @@ pub struct TuningProcessResult {
 
 /// Run the tuning process for one workload on the single-line topology.
 pub fn run(workload: Workload, effort: &Effort, seed: u64) -> (TuningProcessResult, TuningRun) {
-    let cfg = SessionConfig::new(Topology::single(), workload, population_for(workload, effort))
-        .plan(effort.plan)
-        .base_seed(seed);
+    let cfg = SessionConfig::new(
+        Topology::single(),
+        workload,
+        population_for(workload, effort),
+    )
+    .plan(effort.plan)
+    .base_seed(seed);
     let (default_wips, default_std) = cfg.measure_default(effort.reps);
     let run = tune_default_method(&cfg, effort.iterations)
         .unwrap_or_else(|e| panic!("tuning session failed: {e}"));

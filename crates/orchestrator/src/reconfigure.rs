@@ -245,12 +245,9 @@ fn check(
             cost: cost_inputs(&latest[node]),
         })
         .collect();
-    decide(
-        &reports,
-        &settings.thresholds,
-        &settings.cost_model,
-        |t| topology.count(t),
-    )
+    decide(&reports, &settings.thresholds, &settings.cost_model, |t| {
+        topology.count(t)
+    })
 }
 
 /// Cost-model inputs estimated from the node's latest utilization: busier
@@ -280,7 +277,8 @@ mod tests {
             check_every: Some(2),
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping).expect("session");
+        let run =
+            run_reconfig_session(&cfg, &settings, 6, |_| Workload::Shopping).expect("session");
         assert!(run.events.is_empty(), "events: {:?}", run.events);
         assert_eq!(run.final_topology, cfg.topology);
         assert_eq!(run.records.len(), 6);
@@ -294,7 +292,8 @@ mod tests {
             force_check_at: Some(3),
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 6, |_| Workload::Browsing).expect("session");
+        let run =
+            run_reconfig_session(&cfg, &settings, 6, |_| Workload::Browsing).expect("session");
         // May or may not move (low load => probably not), but must not
         // crash and must keep all iterations.
         assert_eq!(run.records.len(), 6);
@@ -315,7 +314,8 @@ mod tests {
             },
             ..Default::default()
         };
-        let run = run_reconfig_session(&cfg, &settings, 4, |_| Workload::Browsing).expect("session");
+        let run =
+            run_reconfig_session(&cfg, &settings, 4, |_| Workload::Browsing).expect("session");
         assert_eq!(run.events.len(), 1, "expected one move: {:?}", run.events);
         let e = &run.events[0];
         assert_eq!(e.to_tier, Role::Proxy);

@@ -29,15 +29,15 @@
 
 use crate::binding;
 use crate::checkpoint::{self, Checkpointer};
+use crate::reconfigure::ReconfigEvent;
 use crate::session::{
     ckerr, config_summary, IterationRecord, SessionConfig, SessionError, SessionObserver,
 };
-use crate::reconfigure::ReconfigEvent;
 use cluster::config::{ClusterConfig, Role, Topology};
 use cluster::runner::IterationOutcome;
 use faults::{FaultClock, FaultEvent, FaultInjector, Health, HealthTimeline, WindowFaults};
-use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
 use harmony::monitor::UtilizationSnapshot;
+use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
 use harmony::resilience::{CircuitBreaker, OutlierGate, RetryPolicy};
 use harmony::server::HarmonyServer;
 use harmony::simplex::SimplexTuner;
@@ -215,9 +215,9 @@ pub fn run_resilient_session_observed(
                     breaker
                         .restore_state(state.require("breaker").map_err(ckerr)?)
                         .map_err(ckerr)?;
-                    jitter_rng = SimRng::from_state(
-                        rng_words_from_state(state.require("jitter_rng").map_err(ckerr)?)?,
-                    );
+                    jitter_rng = SimRng::from_state(rng_words_from_state(
+                        state.require("jitter_rng").map_err(ckerr)?,
+                    )?);
                     best_wips = state.field_f64("best_wips").map_err(ckerr)?;
                     best_iter = state.field_u64("best_iteration").map_err(ckerr)? as u32;
                     records =
@@ -295,11 +295,10 @@ pub fn run_resilient_session_observed(
                     match delta.require("reconfig").map_err(ckerr)? {
                         State::Null => {}
                         event_state => {
-                            let event = checkpoint::reconfig_from_state(event_state)
-                                .map_err(ckerr)?;
-                            topology = topology
-                                .reassign(event.node, event.to_tier)
-                                .map_err(|e| {
+                            let event =
+                                checkpoint::reconfig_from_state(event_state).map_err(ckerr)?;
+                            topology =
+                                topology.reassign(event.node, event.to_tier).map_err(|e| {
                                     SessionError::Checkpoint(format!(
                                         "journaled reconfiguration does not apply: {e}"
                                     ))
@@ -468,15 +467,9 @@ pub fn run_resilient_session_observed(
                 if let Some(wf) = &wf {
                     let crashed = wf.crashes();
                     if !crashed.is_empty() {
-                        if let Some(event) = heal_after_crash(
-                            &cfg,
-                            settings,
-                            &topology,
-                            &crashed,
-                            i,
-                            &out,
-                            observer,
-                        ) {
+                        if let Some(event) =
+                            heal_after_crash(&cfg, settings, &topology, &crashed, i, &out, observer)
+                        {
                             if let Ok(next) = topology.reassign(event.node, event.to_tier) {
                                 topology = next;
                                 recoveries.push(RecoveryAction {
@@ -584,9 +577,9 @@ fn resilient_snapshot(
 
 /// Decode a serialized xoshiro256** state (4 words).
 fn rng_words_from_state(state: &State) -> Result<[u64; 4], SessionError> {
-    let list = state.as_list().ok_or_else(|| {
-        SessionError::Checkpoint("jitter_rng state is not a list".into())
-    })?;
+    let list = state
+        .as_list()
+        .ok_or_else(|| SessionError::Checkpoint("jitter_rng state is not a list".into()))?;
     if list.len() != 4 {
         return Err(SessionError::Checkpoint(format!(
             "jitter_rng state expects 4 words, found {}",
@@ -595,9 +588,9 @@ fn rng_words_from_state(state: &State) -> Result<[u64; 4], SessionError> {
     }
     let mut words = [0u64; 4];
     for (w, s) in words.iter_mut().zip(list) {
-        *w = s.as_u64().ok_or_else(|| {
-            SessionError::Checkpoint("jitter_rng word is not a u64".into())
-        })?;
+        *w = s
+            .as_u64()
+            .ok_or_else(|| SessionError::Checkpoint("jitter_rng word is not a u64".into()))?;
     }
     Ok(words)
 }
@@ -666,13 +659,13 @@ fn evaluate_with_retries(
                     let retry_cfg = cfg
                         .clone()
                         .base_seed(cfg.base_seed ^ remeasure_salt(remeasures));
-                    out = retry_cfg
-                        .eval
-                        .run(&retry_cfg.scenario(config.clone(), iteration), observer.registry());
+                    out = retry_cfg.eval.run(
+                        &retry_cfg.scenario(config.clone(), iteration),
+                        observer.registry(),
+                    );
                     if let Some(plan) = cfg.fault_plan.as_ref() {
                         let injector = FaultInjector::new(plan, cfg.fault_seed);
-                        let shifted =
-                            start + SimDuration::from_micros(remeasures as u64);
+                        let shifted = start + SimDuration::from_micros(remeasures as u64);
                         let factor = injector.wips_noise(shifted, w.noise);
                         out.metrics.wips *= factor;
                         for lw in &mut out.line_wips {
@@ -709,7 +702,9 @@ fn evaluate_with_retries(
             delay_s: delay.as_secs_f64(),
             wips: out.metrics.wips,
         });
-        let retry_cfg = cfg.clone().base_seed(cfg.base_seed ^ remeasure_salt(attempt));
+        let retry_cfg = cfg
+            .clone()
+            .base_seed(cfg.base_seed ^ remeasure_salt(attempt));
         let mut scenario = retry_cfg.scenario(config.clone(), iteration);
         scenario.faults = steady_state_timeline(cfg, iteration);
         out = cfg.eval.run(&scenario, observer.registry());

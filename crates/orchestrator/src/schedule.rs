@@ -44,7 +44,10 @@ impl WorkloadSchedule {
                 return *w;
             }
         }
-        self.segments.last().map(|(_, w)| *w).unwrap_or(Workload::Shopping)
+        self.segments
+            .last()
+            .map(|(_, w)| *w)
+            .unwrap_or(Workload::Shopping)
     }
 
     /// Iterations at which the workload changes (segment boundaries).

@@ -17,11 +17,11 @@ use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
 use faults::{FaultClock, FaultInjector, FaultPlan, WindowFaults};
 use harmony::server::HarmonyServer;
-use obs::{Registry, TraceRecord, TraceSink};
 use harmony::simplex::SimplexTuner;
 use harmony::space::Configuration;
 use harmony::strategy::TuningMethod;
 use harmony::workline::build_work_lines;
+use obs::{Registry, TraceRecord, TraceSink};
 use persist::{Checkpointable, PersistError, State};
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
@@ -55,10 +55,16 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::MissingTier => {
-                write!(f, "topology is missing a tier — every work line needs a proxy, app, and db node")
+                write!(
+                    f,
+                    "topology is missing a tier — every work line needs a proxy, app, and db node"
+                )
             }
             SessionError::ConfigExtract => {
-                write!(f, "cannot extract a uniform per-tier configuration — tier nodes disagree")
+                write!(
+                    f,
+                    "cannot extract a uniform per-tier configuration — tier nodes disagree"
+                )
             }
             SessionError::NoSuchNode { node, nodes } => {
                 write!(f, "node {node} out of range (topology has {nodes} nodes)")
@@ -170,7 +176,8 @@ impl SessionConfig {
     /// injection, heterogeneous clusters).
     pub fn node_spec(mut self, node: usize, spec: NodeSpec) -> Self {
         if self.node_specs.len() <= node {
-            self.node_specs.resize(self.topology.len().max(node + 1), None);
+            self.node_specs
+                .resize(self.topology.len().max(node + 1), None);
         }
         self.node_specs[node] = Some(spec);
         self
@@ -819,7 +826,10 @@ impl TuneEngine {
         ]
     }
 
-    fn line_servers(count: usize, seed: Option<&harmony::space::Configuration>) -> Vec<HarmonyServer> {
+    fn line_servers(
+        count: usize,
+        seed: Option<&harmony::space::Configuration>,
+    ) -> Vec<HarmonyServer> {
         (0..count)
             .map(|i| {
                 let tuner = match seed {
@@ -1027,25 +1037,27 @@ impl TuneEngine {
             TuneEngine::Baseline => Vec::new(),
             TuneEngine::Single(server) => server.diagnostics(),
             TuneEngine::Tiers(servers) => servers[0].diagnostics(),
-            TuneEngine::Lines { servers, .. } => servers
-                .first()
-                .map(|s| s.diagnostics())
-                .unwrap_or_default(),
+            TuneEngine::Lines { servers, .. } => {
+                servers.first().map(|s| s.diagnostics()).unwrap_or_default()
+            }
         }
     }
 
     fn save_state(&self) -> State {
         match self {
             TuneEngine::Baseline => State::map().with("kind", State::Str("baseline".into())),
-            TuneEngine::Single(server) => State::map()
-                .with("kind", State::Str("single".into()))
-                .with("servers", State::List(vec![Checkpointable::save_state(server)])),
-            TuneEngine::Tiers(servers) => State::map()
-                .with("kind", State::Str("tiers".into()))
-                .with(
+            TuneEngine::Single(server) => {
+                State::map().with("kind", State::Str("single".into())).with(
+                    "servers",
+                    State::List(vec![Checkpointable::save_state(server)]),
+                )
+            }
+            TuneEngine::Tiers(servers) => {
+                State::map().with("kind", State::Str("tiers".into())).with(
                     "servers",
                     State::List(servers.iter().map(Checkpointable::save_state).collect()),
-                ),
+                )
+            }
             TuneEngine::Lines {
                 servers,
                 lines,
@@ -1061,11 +1073,7 @@ impl TuneEngine {
                     State::List(
                         lines
                             .iter()
-                            .map(|l| {
-                                State::List(
-                                    l.iter().map(|&n| State::U64(n as u64)).collect(),
-                                )
-                            })
+                            .map(|l| State::List(l.iter().map(|&n| State::U64(n as u64)).collect()))
                             .collect(),
                     ),
                 )
@@ -1143,7 +1151,9 @@ impl TuneEngine {
                     base,
                 })
             }
-            other => Err(PersistError::Schema(format!("unknown engine kind '{other}'"))),
+            other => Err(PersistError::Schema(format!(
+                "unknown engine kind '{other}'"
+            ))),
         }
     }
 }
@@ -1217,10 +1227,9 @@ fn drive_tuning(
                         .map_err(ckerr)?;
                     best.restore_state(state.require("best").map_err(ckerr)?)
                         .map_err(ckerr)?;
-                    records = checkpoint::records_from_state(
-                        state.require("records").map_err(ckerr)?,
-                    )
-                    .map_err(ckerr)?;
+                    records =
+                        checkpoint::records_from_state(state.require("records").map_err(ckerr)?)
+                            .map_err(ckerr)?;
                     // Warm the evaluation cache from the snapshot (older
                     // snapshots — or cache-off sessions — simply lack
                     // the field).
@@ -1401,7 +1410,13 @@ pub fn tune_duplication_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    drive_tuning(cfg, TuningMethod::Duplication, iterations, iterations, observer)
+    drive_tuning(
+        cfg,
+        TuningMethod::Duplication,
+        iterations,
+        iterations,
+        observer,
+    )
 }
 
 /// Tune with **parameter partitioning**: the cluster is split into work
@@ -1418,7 +1433,13 @@ pub fn tune_partitioning_observed(
     iterations: u32,
     observer: &mut SessionObserver,
 ) -> Result<TuningRun, SessionError> {
-    drive_tuning(cfg, TuningMethod::Partitioning, iterations, iterations, observer)
+    drive_tuning(
+        cfg,
+        TuningMethod::Partitioning,
+        iterations,
+        iterations,
+        observer,
+    )
 }
 
 /// The paper's future-work **hybrid**: duplication for the first
@@ -1594,7 +1615,8 @@ mod tests {
         let mut sink = obs::MemorySink::new();
         let registry = Registry::new();
         let mut observer = SessionObserver::new(Some(&mut sink), Some(&registry));
-        let observed = tune_observed(&cfg, TuningMethod::Default, 5, &mut observer).expect("tuning");
+        let observed =
+            tune_observed(&cfg, TuningMethod::Default, 5, &mut observer).expect("tuning");
 
         // Observation must not perturb the search.
         assert_eq!(plain.wips_series(), observed.wips_series());
@@ -1630,7 +1652,10 @@ mod tests {
             assert!(r.get("ci_half").and_then(|v| v.as_f64()).unwrap() > 0.0);
         }
         // best_wips in the last record equals the run's best.
-        let last_best = records[4].get("best_wips").and_then(|v| v.as_f64()).unwrap();
+        let last_best = records[4]
+            .get("best_wips")
+            .and_then(|v| v.as_f64())
+            .unwrap();
         assert_eq!(last_best, observed.best_wips);
 
         // The registry accumulated engine metrics across all runs.
@@ -1679,14 +1704,15 @@ mod tests {
         assert!(mean > 0.0);
         assert!(sd > 0.0, "replications collapsed onto one seed (sd = {sd})");
         // A pinned session collapses that variance by design.
-        let (_, pinned_sd) = quick_cfg(Workload::Shopping).pin_seed(true).measure_default(4);
+        let (_, pinned_sd) = quick_cfg(Workload::Shopping)
+            .pin_seed(true)
+            .measure_default(4);
         assert_eq!(pinned_sd, 0.0);
     }
 
     #[test]
     fn cached_tuning_matches_sequential_bit_for_bit() {
-        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 6)
-            .expect("tuning");
+        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 6).expect("tuning");
         let cached =
             quick_cfg(Workload::Shopping).eval_settings(EvalSettings::default().cache(true));
         let run = tune(&cached, TuningMethod::Default, 6).expect("tuning");
@@ -1698,8 +1724,7 @@ mod tests {
 
     #[test]
     fn speculative_parallel_tuning_matches_sequential_bit_for_bit() {
-        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 8)
-            .expect("tuning");
+        let plain = tune(&quick_cfg(Workload::Shopping), TuningMethod::Default, 8).expect("tuning");
         let spec = quick_cfg(Workload::Shopping)
             .eval_settings(EvalSettings::default().cache(true).threads(0));
         let run = tune(&spec, TuningMethod::Default, 8).expect("tuning");
@@ -1712,8 +1737,7 @@ mod tests {
 
     #[test]
     fn active_engine_emits_one_eval_record() {
-        let cfg =
-            quick_cfg(Workload::Shopping).eval_settings(EvalSettings::default().cache(true));
+        let cfg = quick_cfg(Workload::Shopping).eval_settings(EvalSettings::default().cache(true));
         let mut sink = obs::MemorySink::new();
         let mut observer = SessionObserver::with_sink(&mut sink);
         tune_observed(&cfg, TuningMethod::Default, 3, &mut observer).expect("tuning");
@@ -1724,7 +1748,15 @@ mod tests {
         let keys: Vec<&str> = eval.fields().iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             keys,
-            ["method", "iterations", "threads", "hits", "misses", "speculated", "hit_rate"]
+            [
+                "method",
+                "iterations",
+                "threads",
+                "hits",
+                "misses",
+                "speculated",
+                "hit_rate"
+            ]
         );
         assert_eq!(eval.get("iterations").and_then(|v| v.as_f64()), Some(3.0));
     }

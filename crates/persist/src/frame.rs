@@ -95,7 +95,10 @@ mod tests {
         write_frame(&mut buf, b"");
         write_frame(&mut buf, b"third frame");
         let result = scan(&buf);
-        assert_eq!(result.payloads, vec![b"first".to_vec(), Vec::new(), b"third frame".to_vec()]);
+        assert_eq!(
+            result.payloads,
+            vec![b"first".to_vec(), Vec::new(), b"third frame".to_vec()]
+        );
         assert_eq!(result.valid_len, buf.len() as u64);
         assert!(!result.torn_tail);
     }

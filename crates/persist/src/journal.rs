@@ -138,7 +138,8 @@ mod tests {
         let path = temp_path("roundtrip.wal");
         let mut j = Journal::create(&path).unwrap();
         for i in 0..5u64 {
-            j.append(&State::map().with("iteration", State::U64(i))).unwrap();
+            j.append(&State::map().with("iteration", State::U64(i)))
+                .unwrap();
         }
         drop(j);
         let scan = Journal::scan(&path).unwrap();
@@ -167,7 +168,10 @@ mod tests {
         j.append(&State::U64(3)).unwrap();
         drop(j);
         let healed = Journal::scan(&path).unwrap();
-        assert_eq!(healed.records, vec![State::U64(1), State::U64(2), State::U64(3)]);
+        assert_eq!(
+            healed.records,
+            vec![State::U64(1), State::U64(2), State::U64(3)]
+        );
         assert!(!healed.torn_tail);
         std::fs::remove_file(&path).unwrap();
     }

@@ -85,7 +85,10 @@ mod tests {
             .with("best", State::F64(123.456));
         write(&path, &state).unwrap();
         assert_eq!(load(&path).unwrap(), state);
-        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up by rename");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp cleaned up by rename"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -432,10 +432,15 @@ mod tests {
 
     #[test]
     fn typed_field_accessors_report_schema_errors() {
-        let m = State::map().with("n", State::U64(3)).with("s", State::Str("x".into()));
+        let m = State::map()
+            .with("n", State::U64(3))
+            .with("s", State::Str("x".into()));
         assert_eq!(m.field_u64("n").unwrap(), 3);
         assert_eq!(m.field_str("s").unwrap(), "x");
-        assert!(matches!(m.field_u64("missing"), Err(PersistError::Schema(_))));
+        assert!(matches!(
+            m.field_u64("missing"),
+            Err(PersistError::Schema(_))
+        ));
         assert!(matches!(m.field_f64("n"), Err(PersistError::Schema(_))));
     }
 

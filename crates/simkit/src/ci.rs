@@ -10,9 +10,9 @@ use crate::stats::Welford;
 /// 95% confidence (table for small df, normal approximation beyond).
 pub fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -160,9 +160,21 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = ConfidenceInterval { mean: 10.0, half_width: 2.0, samples: 5 };
-        let b = ConfidenceInterval { mean: 13.0, half_width: 2.0, samples: 5 };
-        let c = ConfidenceInterval { mean: 20.0, half_width: 1.0, samples: 5 };
+        let a = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            samples: 5,
+        };
+        let b = ConfidenceInterval {
+            mean: 13.0,
+            half_width: 2.0,
+            samples: 5,
+        };
+        let c = ConfidenceInterval {
+            mean: 20.0,
+            half_width: 1.0,
+            samples: 5,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -176,7 +188,9 @@ mod tests {
         assert!((ci.mean - 5.0).abs() < 1e-12);
         assert!(ci.half_width < 1e-9);
         // An alternating series has wide batch variance at odd batch sizes.
-        let noisy: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let noisy: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         let ci2 = batch_means_ci(&noisy, 10);
         assert!((ci2.mean - 5.0).abs() < 1e-9);
     }
@@ -189,7 +203,11 @@ mod tests {
 
     #[test]
     fn display_and_precision() {
-        let ci = ConfidenceInterval { mean: 100.0, half_width: 5.0, samples: 10 };
+        let ci = ConfidenceInterval {
+            mean: 100.0,
+            half_width: 5.0,
+            samples: 10,
+        };
         assert_eq!(format!("{ci}"), "100.00 ± 5.00");
         assert!((ci.relative_precision() - 0.05).abs() < 1e-12);
     }
@@ -210,9 +228,17 @@ mod tests {
         assert!(mixed.mean.abs() < 1e-12);
         assert!(mixed.relative_precision().is_infinite());
         // NaN anywhere never reports precise.
-        let nan = ConfidenceInterval { mean: f64::NAN, half_width: 1.0, samples: 3 };
+        let nan = ConfidenceInterval {
+            mean: f64::NAN,
+            half_width: 1.0,
+            samples: 3,
+        };
         assert!(nan.relative_precision().is_infinite());
-        let nan_hw = ConfidenceInterval { mean: 4.0, half_width: f64::NAN, samples: 3 };
+        let nan_hw = ConfidenceInterval {
+            mean: 4.0,
+            half_width: f64::NAN,
+            samples: 3,
+        };
         assert!(nan_hw.relative_precision().is_infinite());
     }
 }

@@ -6,7 +6,7 @@
 //! event-scheduling architecture (rather than coroutine processes) keeps the
 //! hot loop a plain indexed dispatch with zero allocation per event.
 
-use crate::calendar::EventCalendar;
+use crate::calqueue::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event model: all world state plus an event handler.
@@ -20,10 +20,15 @@ pub trait Model {
 }
 
 /// Scheduling handle passed to the model: current time plus the calendar.
+///
+/// The calendar is a [`CalendarQueue`] — amortised O(1) schedule/pop on the
+/// steady-state workload — with ordering identical to the reference heap
+/// (`crate::calendar::EventCalendar`), so seeded runs are bit-for-bit
+/// reproducible across either backing store.
 #[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
-    calendar: EventCalendar<E>,
+    calendar: CalendarQueue<E>,
     events_executed: u64,
     max_pending: usize,
 }
@@ -32,7 +37,7 @@ impl<E> Scheduler<E> {
     fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            calendar: EventCalendar::new(),
+            calendar: CalendarQueue::new(),
             events_executed: 0,
             max_pending: 0,
         }

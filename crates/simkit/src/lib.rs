@@ -72,6 +72,7 @@ pub mod calendar;
 pub mod calqueue;
 pub mod ci;
 pub mod engine;
+pub mod hash;
 pub mod output;
 pub mod queue;
 pub mod resource;
@@ -83,11 +84,11 @@ pub mod time;
 /// One-stop imports for model authors.
 pub mod prelude {
     pub use crate::calendar::EventCalendar;
+    pub use crate::ci::{batch_means_ci, replication_ci, ConfidenceInterval};
     pub use crate::engine::{Model, Scheduler, Simulation, StopReason};
     pub use crate::queue::{BoundedQueue, Offer};
     pub use crate::resource::{Admission, Dispatched, MultiServer};
     pub use crate::rng::SimRng;
-    pub use crate::ci::{batch_means_ci, replication_ci, ConfidenceInterval};
     pub use crate::stats::{
         DurationHistogram, ThroughputCounter, TimeWeighted, UtilizationTracker, Welford,
     };

@@ -23,6 +23,36 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Precomputed lognormal shape parameters for a fixed coefficient of
+/// variation.
+///
+/// [`SimRng::lognormal_mean_cv`] re-derives `ln(1 + cv^2)` and its square
+/// root on every draw even though every hot call site passes a constant
+/// `cv`. Hoisting the derivation preserves bit-equality: the stored values
+/// are exactly the ones the per-draw path would compute, and
+/// [`SimRng::lognormal_shaped`] performs the identical arithmetic on them
+/// in the identical order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LognormalShape {
+    sigma2: f64,
+    sigma: f64,
+}
+
+impl LognormalShape {
+    /// Derive the shape for a coefficient of variation. `cv` must be
+    /// positive: the `cv == 0` degenerate case of `lognormal_mean_cv`
+    /// returns the mean *without consuming a draw*, which a shaped sample
+    /// cannot reproduce.
+    pub fn from_cv(cv: f64) -> Self {
+        debug_assert!(cv > 0.0, "use the mean directly when cv == 0");
+        let sigma2 = (1.0 + cv * cv).ln();
+        LognormalShape {
+            sigma2,
+            sigma: sigma2.sqrt(),
+        }
+    }
+}
+
 /// A deterministic xoshiro256** pseudo-random generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
@@ -177,6 +207,16 @@ impl SimRng {
         (mu + sigma2.sqrt() * self.standard_normal()).exp()
     }
 
+    /// Sample from a precomputed [`LognormalShape`] — bit-identical to
+    /// [`SimRng::lognormal_mean_cv`] with the shape's `cv`, minus the
+    /// per-draw `ln`/`sqrt` parameter derivation.
+    #[inline]
+    pub fn lognormal_shaped(&mut self, shape: LognormalShape, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let mu = mean.ln() - shape.sigma2 / 2.0;
+        (mu + shape.sigma * self.standard_normal()).exp()
+    }
+
     /// Sample an index from non-negative weights (at least one positive).
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
@@ -314,6 +354,21 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / n as f64;
         assert!((4.9..5.1).contains(&mean), "mean {mean}");
         assert_eq!(r.lognormal_mean_cv(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn lognormal_shaped_is_bit_identical_to_mean_cv() {
+        for cv in [0.3, 0.6, 0.7, 1.2] {
+            let shape = LognormalShape::from_cv(cv);
+            let mut a = SimRng::new(77);
+            let mut b = SimRng::new(77);
+            for i in 0..10_000 {
+                let mean = 0.05 + (i % 50) as f64 * 3.17;
+                let x = a.lognormal_mean_cv(mean, cv);
+                let y = b.lognormal_shaped(shape, mean);
+                assert_eq!(x.to_bits(), y.to_bits(), "cv={cv} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -387,7 +387,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(10), 4.0); // 0 for 10s
         tw.set(SimTime::from_secs(20), 2.0); // 4 for 10s
-        // 2 for 10s -> query at t=30
+                                             // 2 for 10s -> query at t=30
         let avg = tw.average(SimTime::from_secs(30));
         assert!((avg - (0.0 * 10.0 + 4.0 * 10.0 + 2.0 * 10.0) / 30.0).abs() < 1e-9);
         assert_eq!(tw.peak(), 4.0);

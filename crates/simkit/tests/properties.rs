@@ -74,9 +74,7 @@ fn welford_matches_naive() {
     let mut rng = SimRng::new(0x3E1F);
     for case in 0..50 {
         let n = rng.uniform_i64(2, 300) as usize;
-        let xs: Vec<f64> = (0..n)
-            .map(|_| (rng.next_f64() - 0.5) * 2e6)
-            .collect();
+        let xs: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.record(x);
@@ -106,9 +104,7 @@ fn welford_merge_associative() {
     let mut rng = SimRng::new(0x3E20);
     for case in 0..50 {
         let n = rng.uniform_i64(2, 100) as usize;
-        let xs: Vec<f64> = (0..n)
-            .map(|_| (rng.next_f64() - 0.5) * 2e3)
-            .collect();
+        let xs: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e3).collect();
         let split = rng.uniform_i64(0, n as i64 - 1) as usize;
         let mut whole = Welford::new();
         xs.iter().for_each(|&x| whole.record(x));

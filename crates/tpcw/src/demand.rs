@@ -260,11 +260,17 @@ mod tests {
     fn ordering_is_more_db_and_write_heavy() {
         let q_b = weighted_mean(Workload::Browsing.mix(), |p| p.db_queries as f64);
         let q_o = weighted_mean(Workload::Ordering.mix(), |p| p.db_queries as f64);
-        assert!(q_o > q_b, "ordering does more DB work: {q_o:.2} vs {q_b:.2}");
+        assert!(
+            q_o > q_b,
+            "ordering does more DB work: {q_o:.2} vs {q_b:.2}"
+        );
 
         let w_b = weighted_mean(Workload::Browsing.mix(), |p| p.db_write as u8 as f64);
         let w_o = weighted_mean(Workload::Ordering.mix(), |p| p.db_write as u8 as f64);
-        assert!(w_o > 5.0 * w_b, "ordering writes far more: {w_o:.2} vs {w_b:.2}");
+        assert!(
+            w_o > 5.0 * w_b,
+            "ordering writes far more: {w_o:.2} vs {w_b:.2}"
+        );
     }
 
     #[test]

@@ -305,16 +305,16 @@ mod tests {
         let inside = SimTime::from_secs(115);
         m.record_completion(inside, Interaction::Home, SimDuration::from_millis(50));
         m.record_completion(inside, Interaction::Home, SimDuration::from_millis(150));
-        m.record_completion(inside, Interaction::BuyConfirm, SimDuration::from_millis(400));
+        m.record_completion(
+            inside,
+            Interaction::BuyConfirm,
+            SimDuration::from_millis(400),
+        );
         assert!((m.mean_response_of(Interaction::Home) - 0.1).abs() < 1e-9);
         assert!((m.mean_response_of(Interaction::BuyConfirm) - 0.4).abs() < 1e-9);
         assert_eq!(m.mean_response_of(Interaction::SearchRequest), 0.0);
-        assert!(
-            (m.mean_response_of_class(InteractionClass::Browse) - 0.1).abs() < 1e-9
-        );
-        assert!(
-            (m.mean_response_of_class(InteractionClass::Order) - 0.4).abs() < 1e-9
-        );
+        assert!((m.mean_response_of_class(InteractionClass::Browse) - 0.1).abs() < 1e-9);
+        assert!((m.mean_response_of_class(InteractionClass::Order) - 0.4).abs() < 1e-9);
     }
 
     #[test]

@@ -212,10 +212,7 @@ mod tests {
     fn table1_totals_are_100_percent() {
         for w in Workload::ALL {
             let total: f64 = w.mix().weights().iter().sum();
-            assert!(
-                (total - 100.0).abs() < 1e-9,
-                "{w} mix sums to {total}"
-            );
+            assert!((total - 100.0).abs() < 1e-9, "{w} mix sums to {total}");
         }
     }
 

@@ -199,11 +199,7 @@ fn stationary_of(p: &[[f64; N]], warm: &[f64; N]) -> [f64; N] {
         for v in next.iter_mut() {
             *v /= total.max(1e-12);
         }
-        let delta: f64 = pi
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         pi = next;
         if delta < 1e-12 {
             break;

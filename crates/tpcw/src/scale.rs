@@ -6,7 +6,6 @@
 //! needed for a given hit ratio, and how many database tables/segments the
 //! table cache must cover.
 
-
 /// Catalogue scale parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogScale {

@@ -80,7 +80,11 @@ fn wips_counts_only_measure_window() {
         assert_eq!(m.total_completed(), counted, "case {case}");
         let expected_wips = counted as f64 / 200.0;
         assert!((m.wips() - expected_wips).abs() < 1e-12, "case {case}");
-        assert_eq!(m.outside_window(), arrivals.len() as u64 - counted, "case {case}");
+        assert_eq!(
+            m.outside_window(),
+            arrivals.len() as u64 - counted,
+            "case {case}"
+        );
     }
 }
 
@@ -99,7 +103,11 @@ fn class_counts_sum() {
             m.record_completion(inside, ix, SimDuration::from_millis(10));
         }
         let s = m.summarise();
-        assert_eq!(s.browse_completed + s.order_completed, s.completed, "case {case}");
+        assert_eq!(
+            s.browse_completed + s.order_completed,
+            s.completed,
+            "case {case}"
+        );
         assert_eq!(s.completed, n as u64, "case {case}");
     }
 }

@@ -18,13 +18,15 @@ use ah_webtune::tpcw::mix::Workload;
 fn main() {
     // Proxy-heavy initial layout: fine for browsing, wrong for ordering.
     let topology = Topology::tiers(4, 2, 3).expect("valid layout");
-    let base =
-        SessionConfig::new(topology, Workload::Browsing, 4_200).plan(IntervalPlan::fast());
+    let base = SessionConfig::new(topology, Workload::Browsing, 4_200).plan(IntervalPlan::fast());
 
     let settings = ReconfigSettings {
         check_every: Some(20), // autonomous periodic checks
         force_check_at: None,
-        thresholds: Thresholds { high: 0.80, low: 0.45 },
+        thresholds: Thresholds {
+            high: 0.80,
+            low: 0.45,
+        },
         ..Default::default()
     };
 
@@ -50,7 +52,11 @@ fn main() {
             event.node,
             event.from_tier,
             event.to_tier,
-            if event.immediate { "immediately" } else { "after draining" },
+            if event.immediate {
+                "immediately"
+            } else {
+                "after draining"
+            },
             event.cost_value,
         );
     }

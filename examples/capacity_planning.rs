@@ -29,7 +29,9 @@ fn main() {
     let single = Topology::single();
     let populations = [400u32, 800, 1200, 1600, 2000];
     println!("Load sweep, 1 proxy / 1 app / 1 db, shopping mix:");
-    let sweep = parallel_map(&populations, 0, |&p| measure(&single, Workload::Shopping, p));
+    let sweep = parallel_map(&populations, 0, |&p| {
+        measure(&single, Workload::Shopping, p)
+    });
     let mut table = TextTable::new(["Browsers", "WIPS", "WIPS per browser"]);
     for (&p, &w) in populations.iter().zip(&sweep) {
         table.row([
@@ -58,7 +60,12 @@ fn main() {
         let row: Vec<String> = (0..3)
             .map(|w| format!("{:.1}", results[c * 3 + w]))
             .collect();
-        table.row([candidate.0.to_string(), row[0].clone(), row[1].clone(), row[2].clone()]);
+        table.row([
+            candidate.0.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
     }
     println!("{}", table.render());
     println!("Browse-heavy traffic wants proxies; order-heavy traffic wants app/db");

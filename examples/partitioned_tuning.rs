@@ -36,7 +36,9 @@ fn main() {
     let cfg = SessionConfig::new(topology, Workload::Shopping, 3_400).plan(IntervalPlan::fast());
     let iterations = 40;
     let (baseline, _) = cfg.measure_default(2);
-    println!("untuned baseline: {baseline:.1} WIPS; tuning {iterations} iterations per method...\n");
+    println!(
+        "untuned baseline: {baseline:.1} WIPS; tuning {iterations} iterations per method...\n"
+    );
 
     let mut table = TextTable::new(["Method", "Best WIPS", "Gain", "Trace"]);
     for method in [

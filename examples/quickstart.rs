@@ -16,9 +16,9 @@ fn main() {
     // A session fixes the environment: topology, workload, load level and
     // the per-iteration measurement plan.
     let session = SessionConfig::new(
-        Topology::single(),       // 1 proxy / 1 app / 1 db
-        Workload::Shopping,       // the primary TPC-W mix (WIPS)
-        1_700,                    // emulated browsers (saturating load)
+        Topology::single(), // 1 proxy / 1 app / 1 db
+        Workload::Shopping, // the primary TPC-W mix (WIPS)
+        1_700,              // emulated browsers (saturating load)
     )
     .plan(IntervalPlan::fast()); // 20 s warm-up, 200 s measure
 

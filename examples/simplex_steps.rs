@@ -43,9 +43,7 @@ fn main() {
             3 => "  <- first reflection: the search begins",
             _ => "",
         };
-        println!(
-            "{i:4}  {x:7}  {y:8}  {perf:8.2}   {best} = {best_perf:.2}{marker}"
-        );
+        println!("{i:4}  {x:7}  {y:8}  {perf:8.2}   {best} = {best_perf:.2}{marker}");
     }
     let (best, perf) = tuner.best().unwrap();
     println!(

@@ -383,7 +383,15 @@ mod tests {
 
     #[test]
     fn tune_method_and_iterations() {
-        match parse(argv(&["tune", "--method", "duplication", "--iterations", "25"])).unwrap() {
+        match parse(argv(&[
+            "tune",
+            "--method",
+            "duplication",
+            "--iterations",
+            "25",
+        ]))
+        .unwrap()
+        {
             Command::Tune(t) => {
                 assert_eq!(t.method, TuningMethod::Duplication);
                 assert_eq!(t.iterations, 25);
@@ -396,7 +404,11 @@ mod tests {
     fn sweep_bounds_validated() {
         assert!(parse(argv(&["sweep", "--from", "100", "--to", "50"])).is_err());
         assert!(parse(argv(&["sweep", "--step", "0"])).is_err());
-        match parse(argv(&["sweep", "--from", "100", "--to", "300", "--step", "100"])).unwrap() {
+        match parse(argv(&[
+            "sweep", "--from", "100", "--to", "300", "--step", "100",
+        ]))
+        .unwrap()
+        {
             Command::Sweep(s) => {
                 assert_eq!((s.from, s.to, s.step), (100, 300, 100));
             }
@@ -425,7 +437,15 @@ mod tests {
 
     #[test]
     fn fault_flags() {
-        match parse(argv(&["tune", "--faults", "plan.json", "--fault-seed", "9"])).unwrap() {
+        match parse(argv(&[
+            "tune",
+            "--faults",
+            "plan.json",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap()
+        {
             Command::Tune(t) => {
                 assert_eq!(t.sim.faults.as_deref(), Some("plan.json"));
                 assert_eq!(t.sim.fault_seed, Some(9));

@@ -36,15 +36,13 @@ pub use tpcw;
 pub mod prelude {
     pub use cluster::config::{ClusterConfig, Role, Topology};
     pub use cluster::spec::NodeSpec;
+    pub use faults::{FaultPlan, Health};
     pub use harmony::server::HarmonyServer;
     pub use harmony::simplex::SimplexTuner;
     pub use harmony::space::{Configuration, ParamSpace};
     pub use harmony::strategy::TuningMethod;
     pub use harmony::tuner::Tuner;
-    pub use obs::{
-        CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink,
-    };
-    pub use faults::{FaultPlan, Health};
+    pub use obs::{CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink};
     pub use orchestrator::checkpoint::CheckpointPolicy;
     pub use orchestrator::eval::{EvalEngine, EvalSettings};
     pub use orchestrator::resilient::{

@@ -226,7 +226,10 @@ fn reconfig(sim: &SimArgs) {
     };
     println!("WIPS: {}", sparkline(&run.wips_series()));
     if run.events.is_empty() {
-        println!("no reconfiguration needed; final layout {}", run.final_topology);
+        println!(
+            "no reconfiguration needed; final layout {}",
+            run.final_topology
+        );
     }
     for e in &run.events {
         println!(

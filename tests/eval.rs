@@ -48,9 +48,21 @@ fn traced(cfg: &SessionConfig, method: TuningMethod, iterations: u32) -> (Vec<St
 fn cached_engine_is_byte_identical_for_every_method() {
     let sessions = [
         (TuningMethod::Default, Topology::single(), 200),
-        (TuningMethod::Duplication, Topology::tiers(2, 2, 2).expect("topology"), 300),
-        (TuningMethod::Partitioning, Topology::tiers(2, 2, 2).expect("topology"), 300),
-        (TuningMethod::Hybrid, Topology::tiers(2, 2, 2).expect("topology"), 300),
+        (
+            TuningMethod::Duplication,
+            Topology::tiers(2, 2, 2).expect("topology"),
+            300,
+        ),
+        (
+            TuningMethod::Partitioning,
+            Topology::tiers(2, 2, 2).expect("topology"),
+            300,
+        ),
+        (
+            TuningMethod::Hybrid,
+            Topology::tiers(2, 2, 2).expect("topology"),
+            300,
+        ),
     ];
     for (method, topology, population) in sessions {
         let plain = pinned(topology, population);
@@ -59,7 +71,10 @@ fn cached_engine_is_byte_identical_for_every_method() {
             .eval_settings(EvalSettings::default().cache(true));
         let (lines_a, run_a) = traced(&plain, method, 6);
         let (lines_b, run_b) = traced(&cached, method, 6);
-        assert_eq!(lines_a, lines_b, "{method:?}: cache changed the trace bytes");
+        assert_eq!(
+            lines_a, lines_b,
+            "{method:?}: cache changed the trace bytes"
+        );
         assert_eq!(
             run_a.best_wips.to_bits(),
             run_b.best_wips.to_bits(),
@@ -76,7 +91,10 @@ fn cached_engine_is_byte_identical_for_every_method() {
 fn speculative_parallel_engine_is_byte_identical() {
     for (method, topology) in [
         (TuningMethod::Default, Topology::single()),
-        (TuningMethod::Partitioning, Topology::tiers(2, 2, 2).expect("topology")),
+        (
+            TuningMethod::Partitioning,
+            Topology::tiers(2, 2, 2).expect("topology"),
+        ),
     ] {
         let plain = pinned(topology, 250);
         let speculative = plain
@@ -116,8 +134,9 @@ fn faulted_resilient_session_is_byte_identical_with_engine() {
     let run_once = |cfg: &SessionConfig| {
         let mut sink = MemorySink::new();
         let mut observer = SessionObserver::with_sink(&mut sink);
-        let run = run_resilient_session_observed(cfg, &ResilienceSettings::default(), 4, &mut observer)
-            .expect("resilient session");
+        let run =
+            run_resilient_session_observed(cfg, &ResilienceSettings::default(), 4, &mut observer)
+                .expect("resilient session");
         (comparable_lines(&sink), run)
     };
     let (lines_a, run_a) = run_once(&plain);
@@ -198,7 +217,10 @@ fn kill_and_resume_restores_the_warm_cache() {
     let k = 5u64;
     let dir = temp_dir("warm");
     let policy = CheckpointPolicy::new(&dir).every(2);
-    let killed = base.clone().eval_settings(engine()).checkpoint(policy.clone());
+    let killed = base
+        .clone()
+        .eval_settings(engine())
+        .checkpoint(policy.clone());
     let mut sink = KillSink {
         inner: MemorySink::new(),
         kill_at: k,
@@ -215,7 +237,11 @@ fn kill_and_resume_restores_the_warm_cache() {
         .expect("resumed session");
     let resumed = comparable_lines(&resumed_sink);
 
-    assert!(resumed[0].starts_with("{\"kind\":\"resume\""), "{}", resumed[0]);
+    assert!(
+        resumed[0].starts_with("{\"kind\":\"resume\""),
+        "{}",
+        resumed[0]
+    );
     assert_eq!(
         &resumed[1..],
         &full_lines[k as usize..],

@@ -47,8 +47,9 @@ fn empty_fault_plan_leaves_pinned_traces_byte_identical() {
 
 fn crash_plan(plan: &IntervalPlan, iteration: u32, node: usize) -> FaultPlan {
     let window = plan.total().as_secs_f64();
-    let crash_at =
-        f64::from(iteration) * window + plan.warmup.as_secs_f64() + plan.measure.as_secs_f64() / 2.0;
+    let crash_at = f64::from(iteration) * window
+        + plan.warmup.as_secs_f64()
+        + plan.measure.as_secs_f64() / 2.0;
     FaultPlan::new()
         .noise_spike(plan.warmup.as_secs_f64() + 1.0, 3.0)
         .crash(crash_at, node)
@@ -102,7 +103,11 @@ fn app_tier_crash_retries_reconfigures_and_recovers() {
     );
     assert_eq!(run.reconfigs.len(), 1, "exactly one failure-driven move");
     let mv = &run.reconfigs[0];
-    assert_eq!(mv.to_tier, Role::App, "the donor must join the wounded tier");
+    assert_eq!(
+        mv.to_tier,
+        Role::App,
+        "the donor must join the wounded tier"
+    );
     assert_ne!(mv.node, 3, "the dead node cannot be its own donor");
     let recovered_in = run
         .recovery_iterations(0.9)

@@ -4,11 +4,11 @@
 //! ones run in the normal suite; the heavier ones are `#[ignore]`d and
 //! meant for `cargo test --release -- --ignored` (a few minutes).
 
+use ah_webtune::harmony::strategy::TuningMethod;
 use ah_webtune::orchestrator::experiments::{
     fig7::{self, Fig7Variant},
     table4, tuning_process, Effort,
 };
-use ah_webtune::harmony::strategy::TuningMethod;
 use ah_webtune::tpcw::mix::Workload;
 
 #[test]
@@ -68,7 +68,12 @@ fn cluster_tuning_methods_rank_as_in_table4() {
     }
     // Everyone improves over the baseline.
     for row in &r.rows {
-        assert!(row.improvement > 0.05, "{:?}: {:.3}", row.method, row.improvement);
+        assert!(
+            row.improvement > 0.05,
+            "{:?}: {:.3}",
+            row.method,
+            row.improvement
+        );
     }
     // Duplication reaches near-best soonest.
     assert!(dup.iterations_to_converge <= default.iterations_to_converge);

@@ -152,7 +152,11 @@ fn kill_and_resume_matches_uninterrupted_plain() {
             "resume record at k={k}: {}",
             resumed[0]
         );
-        assert_eq!(&resumed[1..], &full_lines[k as usize..], "post-resume trace at k={k}");
+        assert_eq!(
+            &resumed[1..],
+            &full_lines[k as usize..],
+            "post-resume trace at k={k}"
+        );
         assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
         assert_eq!(run.best_config, full_run.best_config);
         assert_eq!(run.convergence_iteration, full_run.convergence_iteration);
@@ -219,7 +223,11 @@ fn kill_and_resume_matches_under_fault_plan() {
                 .expect("resumed resilient run");
         let resumed = lines_of(&resumed_sink);
         assert!(resumed[0].contains("\"kind\":\"resume\""), "{}", resumed[0]);
-        assert!(resumed[0].contains("\"method\":\"resilient\""), "{}", resumed[0]);
+        assert!(
+            resumed[0].contains("\"method\":\"resilient\""),
+            "{}",
+            resumed[0]
+        );
         assert_eq!(
             &resumed[1..],
             &full_lines[pre.len()..],

@@ -19,7 +19,10 @@ fn move_relieves_saturated_proxy_tier_and_helps_throughput() {
     let settings = ReconfigSettings {
         check_every: None,
         force_check_at: Some(3),
-        thresholds: Thresholds { high: 0.8, low: 0.35 },
+        thresholds: Thresholds {
+            high: 0.8,
+            low: 0.35,
+        },
         tune_during: false,
         ..Default::default()
     };
@@ -45,7 +48,10 @@ fn tier_size_guard_prevents_emptying_a_tier() {
     let cfg = base(Topology::tiers(1, 1, 2).unwrap(), 1600);
     let settings = ReconfigSettings {
         check_every: Some(2),
-        thresholds: Thresholds { high: 0.5, low: 0.6 }, // permissive
+        thresholds: Thresholds {
+            high: 0.5,
+            low: 0.6,
+        }, // permissive
         tune_during: false,
         ..Default::default()
     };
@@ -75,7 +81,10 @@ fn service_continues_across_every_iteration_of_a_move() {
     let settings = ReconfigSettings {
         check_every: None,
         force_check_at: Some(2),
-        thresholds: Thresholds { high: 0.8, low: 0.35 },
+        thresholds: Thresholds {
+            high: 0.8,
+            low: 0.35,
+        },
         tune_during: false,
         ..Default::default()
     };
@@ -97,12 +106,20 @@ fn degraded_node_attracts_tier_reinforcement() {
     let settings = ReconfigSettings {
         check_every: None,
         force_check_at: Some(4),
-        thresholds: Thresholds { high: 0.8, low: 0.45 },
+        thresholds: Thresholds {
+            high: 0.8,
+            low: 0.45,
+        },
         tune_during: false,
         ..Default::default()
     };
     let run = run_reconfig_session(&cfg, &settings, 8, |_| Workload::Ordering).expect("session");
-    assert_eq!(run.events.len(), 1, "expected reinforcement: {:?}", run.events);
+    assert_eq!(
+        run.events.len(),
+        1,
+        "expected reinforcement: {:?}",
+        run.events
+    );
     assert_eq!(run.events[0].to_tier, Role::App);
     assert_eq!(run.final_topology.count(Role::App), 3);
 }

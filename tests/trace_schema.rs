@@ -216,9 +216,7 @@ fn resume_record_matches_golden_schema() {
     // A completed checkpointed run's directory is indistinguishable from
     // one killed at the final iteration boundary, so resuming it yields
     // a pure-replay session whose first record is the `resume` splice.
-    let ck = cfg
-        .clone()
-        .checkpoint(CheckpointPolicy::new(&dir).every(2));
+    let ck = cfg.clone().checkpoint(CheckpointPolicy::new(&dir).every(2));
     tune_observed(&ck, TuningMethod::Default, 4, &mut SessionObserver::none()).expect("run");
     let resumed = ck.checkpoint(CheckpointPolicy::new(&dir).every(2).resume(true));
     let mut sink = MemorySink::new();
