@@ -6,7 +6,10 @@
 //! geometric cooling schedule and span-proportional neighbourhood moves.
 
 use crate::space::{Configuration, ParamSpace};
-use crate::tuner::{BestTracker, Tuner};
+use crate::tuner::{
+    opt_config_from_state, opt_config_state, rng_from_state, rng_state, BestTracker, Tuner,
+};
+use persist::{Checkpointable, PersistError, State};
 use simkit::rng::SimRng;
 
 /// Simulated annealing over a bounded integer space (ask–tell).
@@ -14,6 +17,7 @@ use simkit::rng::SimRng;
 pub struct SimulatedAnnealing {
     space: ParamSpace,
     rng: SimRng,
+    seed: u64,
     /// Current accepted point and its performance.
     current: Configuration,
     current_perf: Option<f64>,
@@ -35,6 +39,7 @@ impl SimulatedAnnealing {
         SimulatedAnnealing {
             space,
             rng: SimRng::new(seed),
+            seed,
             current,
             current_perf: None,
             temperature: None,
@@ -131,6 +136,87 @@ impl Tuner for SimulatedAnnealing {
 
     fn name(&self) -> &'static str {
         "annealing"
+    }
+
+    fn reset(&mut self) {
+        *self = SimulatedAnnealing::new(self.space.clone(), self.seed).with_cooling(self.cooling);
+    }
+
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("accepted", self.accepted as f64),
+            ("temperature", self.temperature.unwrap_or(0.0)),
+        ]
+    }
+
+    fn save_state(&self) -> State {
+        Checkpointable::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        Checkpointable::restore_state(self, state)
+    }
+}
+
+impl Checkpointable for SimulatedAnnealing {
+    fn save_state(&self) -> State {
+        State::map()
+            .with("algorithm", State::Str(self.name().to_string()))
+            .with("seed", State::U64(self.seed))
+            .with("current", State::i64_list(self.current.values()))
+            .with(
+                "current_perf",
+                match self.current_perf {
+                    Some(p) => State::F64(p),
+                    None => State::Null,
+                },
+            )
+            .with(
+                "temperature",
+                match self.temperature {
+                    Some(t) => State::F64(t),
+                    None => State::Null,
+                },
+            )
+            .with("cooling", State::F64(self.cooling))
+            .with("reach", State::F64(self.reach))
+            .with("pending", opt_config_state(&self.pending))
+            .with("accepted", State::U64(self.accepted))
+            .with("rng", rng_state(&self.rng))
+            .with("tracker", self.tracker.save_state())
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let current = Configuration::from_values(state.require("current")?.to_i64_vec()?);
+        if current.values().len() != self.space.dims() {
+            return Err(PersistError::Schema(format!(
+                "annealing current has {} dims, space has {}",
+                current.values().len(),
+                self.space.dims()
+            )));
+        }
+        self.current = current;
+        self.seed = state.field_u64("seed")?;
+        self.current_perf = match state.require("current_perf")? {
+            State::Null => None,
+            s => Some(s.as_f64().ok_or_else(|| {
+                PersistError::Schema("field 'current_perf' is not an f64".into())
+            })?),
+        };
+        self.temperature =
+            match state.require("temperature")? {
+                State::Null => None,
+                s => Some(s.as_f64().ok_or_else(|| {
+                    PersistError::Schema("field 'temperature' is not an f64".into())
+                })?),
+            };
+        self.cooling = state.field_f64("cooling")?;
+        self.reach = state.field_f64("reach")?;
+        self.pending = opt_config_from_state(state.require("pending")?)?;
+        self.accepted = state.field_u64("accepted")?;
+        self.rng = rng_from_state(state.require("rng")?)?;
+        self.tracker.restore_state(state.require("tracker")?)?;
+        Ok(())
     }
 }
 

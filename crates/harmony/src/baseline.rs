@@ -6,7 +6,10 @@
 //! careful administrator might follow.
 
 use crate::space::{Configuration, ParamSpace};
-use crate::tuner::{BestTracker, Tuner};
+use crate::tuner::{
+    opt_config_from_state, opt_config_state, rng_from_state, rng_state, BestTracker, Tuner,
+};
+use persist::{Checkpointable, PersistError, State};
 use simkit::rng::SimRng;
 
 /// Uniform random sampling of the space, remembering the best.
@@ -14,6 +17,7 @@ use simkit::rng::SimRng;
 pub struct RandomSearch {
     space: ParamSpace,
     rng: SimRng,
+    seed: u64,
     pending: Option<Configuration>,
     tracker: BestTracker,
     first: bool,
@@ -24,6 +28,7 @@ impl RandomSearch {
         RandomSearch {
             space,
             rng: SimRng::new(seed),
+            seed,
             pending: None,
             tracker: BestTracker::default(),
             first: true,
@@ -72,6 +77,49 @@ impl Tuner for RandomSearch {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn reset(&mut self) {
+        *self = RandomSearch::new(self.space.clone(), self.seed);
+    }
+
+    fn save_state(&self) -> State {
+        Checkpointable::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        Checkpointable::restore_state(self, state)
+    }
+}
+
+impl Checkpointable for RandomSearch {
+    fn save_state(&self) -> State {
+        State::map()
+            .with("algorithm", State::Str(self.name().to_string()))
+            .with("seed", State::U64(self.seed))
+            .with("first", State::Bool(self.first))
+            .with("pending", opt_config_state(&self.pending))
+            .with("rng", rng_state(&self.rng))
+            .with("tracker", self.tracker.save_state())
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let pending = opt_config_from_state(state.require("pending")?)?;
+        if let Some(p) = &pending {
+            if p.values().len() != self.space.dims() {
+                return Err(PersistError::Schema(format!(
+                    "random pending has {} dims, space has {}",
+                    p.values().len(),
+                    self.space.dims()
+                )));
+            }
+        }
+        self.seed = state.field_u64("seed")?;
+        self.first = state.field_bool("first")?;
+        self.pending = pending;
+        self.rng = rng_from_state(state.require("rng")?)?;
+        self.tracker.restore_state(state.require("tracker")?)?;
+        Ok(())
     }
 }
 
@@ -203,6 +251,77 @@ impl Tuner for CoordinateDescent {
 
     fn name(&self) -> &'static str {
         "coordinate"
+    }
+
+    fn reset(&mut self) {
+        *self = CoordinateDescent::new(self.space.clone());
+    }
+
+    fn save_state(&self) -> State {
+        Checkpointable::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        Checkpointable::restore_state(self, state)
+    }
+}
+
+impl Checkpointable for CoordinateDescent {
+    fn save_state(&self) -> State {
+        State::map()
+            .with("algorithm", State::Str(self.name().to_string()))
+            .with("current", State::i64_list(self.current.values()))
+            .with(
+                "current_perf",
+                match self.current_perf {
+                    Some(p) => State::F64(p),
+                    None => State::Null,
+                },
+            )
+            .with("dim", State::U64(self.dim as u64))
+            .with("direction", State::I64(self.direction))
+            .with("steps", State::i64_list(&self.steps))
+            .with("improved", State::Bool(self.improved_this_sweep))
+            .with("pending", opt_config_state(&self.pending))
+            .with(
+                "probe",
+                match self.pending_probe {
+                    Some((dim, dir)) => State::map()
+                        .with("dim", State::U64(dim as u64))
+                        .with("direction", State::I64(dir)),
+                    None => State::Null,
+                },
+            )
+            .with("tracker", self.tracker.save_state())
+    }
+
+    fn restore_state(&mut self, state: &State) -> Result<(), PersistError> {
+        let current = Configuration::from_values(state.require("current")?.to_i64_vec()?);
+        if current.values().len() != self.space.dims() {
+            return Err(PersistError::Schema(format!(
+                "coordinate current has {} dims, space has {}",
+                current.values().len(),
+                self.space.dims()
+            )));
+        }
+        self.current = current;
+        self.current_perf = match state.require("current_perf")? {
+            State::Null => None,
+            s => Some(s.as_f64().ok_or_else(|| {
+                PersistError::Schema("field 'current_perf' is not an f64".into())
+            })?),
+        };
+        self.dim = state.field_u64("dim")? as usize;
+        self.direction = state.field_i64("direction")?;
+        self.steps = state.require("steps")?.to_i64_vec()?;
+        self.improved_this_sweep = state.field_bool("improved")?;
+        self.pending = opt_config_from_state(state.require("pending")?)?;
+        self.pending_probe = match state.require("probe")? {
+            State::Null => None,
+            s => Some((s.field_u64("dim")? as usize, s.field_i64("direction")?)),
+        };
+        self.tracker.restore_state(state.require("tracker")?)?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,10 @@
 //!   spaces (nearest-integer projection, restarts, optional conservative
 //!   stepping);
 //! * [`baseline`] — random-search and coordinate-descent comparators;
+//! * [`bestconfig`]/[`classytune`]/[`tuna`] — the tuner zoo: BestConfig's
+//!   divide-and-diverge sampling, ClassyTune's comparison-based
+//!   classification, and TUNA's noise-robust replicated confirmation;
+//! * [`registry`] — constructor-by-name lookup backing the `--tuner` flag;
 //! * [`tuner`]/[`server`]/[`history`] — the ask–tell protocol, the tuning
 //!   server, and trace recording;
 //! * [`strategy`]/[`workline`] — the §III.B cluster-scaling methods
@@ -56,30 +60,38 @@
 
 pub mod annealing;
 pub mod baseline;
+pub mod bestconfig;
+pub mod classytune;
 pub mod history;
 pub mod monitor;
 pub mod param;
 pub mod reconfig;
+pub mod registry;
 pub mod resilience;
 pub mod revalidate;
 pub mod server;
 pub mod simplex;
 pub mod space;
 pub mod strategy;
+pub mod tuna;
 pub mod tuner;
 pub mod workline;
 
 pub use annealing::SimulatedAnnealing;
 pub use baseline::{CoordinateDescent, RandomSearch};
+pub use bestconfig::BestConfigTuner;
+pub use classytune::ClassyTuneTuner;
 pub use history::{HistoryEntry, TuningHistory};
 pub use monitor::{Resource, UtilizationMonitor, UtilizationSnapshot};
 pub use param::ParamDef;
 pub use reconfig::{CostModel, NodeCostInputs, NodeReport, ReconfigDecision, Thresholds};
+pub use registry::{make_tuner, make_tuner_seeded, tuner_names, UnknownTuner};
 pub use resilience::{Backoff, CircuitBreaker, Jitter, OutlierGate, RetryPolicy};
 pub use revalidate::Revalidating;
 pub use server::HarmonyServer;
 pub use simplex::SimplexTuner;
 pub use space::{Configuration, ParamSpace};
 pub use strategy::TuningMethod;
-pub use tuner::Tuner;
+pub use tuna::TunaTuner;
+pub use tuner::{Measurement, Trial, Tuner};
 pub use workline::{build_work_lines, WorkLine};

@@ -7,7 +7,7 @@
 
 use crate::history::TuningHistory;
 use crate::space::{Configuration, ParamSpace};
-use crate::tuner::Tuner;
+use crate::tuner::{Measurement, Tuner};
 use persist::{Checkpointable, PersistError, State};
 
 /// A named tuning server.
@@ -47,13 +47,26 @@ impl HarmonyServer {
         c
     }
 
-    /// Report the measured performance of the last proposed configuration.
+    /// Report the measured performance of the last proposed configuration
+    /// as a bare point value (no CI, one replication).
     pub fn report(&mut self, performance: f64) {
+        self.report_measurement(Measurement::point(performance));
+    }
+
+    /// Report a typed measurement: noise-aware tuners (TUNA) weight the
+    /// observation by its confidence interval and replication count.
+    pub fn report_measurement(&mut self, m: Measurement) {
         let Some(config) = self.pending.take() else {
             panic!("report() without next_config()");
         };
-        self.history.record(config, performance);
-        self.tuner.observe(performance);
+        self.history.record(config, m.mean);
+        self.tuner.observe_measurement(m);
+    }
+
+    /// The underlying tuner's natural batch width (see
+    /// [`Tuner::batch_size`]).
+    pub fn batch_size(&self) -> usize {
+        self.tuner.batch_size()
     }
 
     /// Best configuration observed so far.

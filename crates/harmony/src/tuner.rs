@@ -9,7 +9,77 @@
 use crate::space::{Configuration, ParamSpace};
 use persist::{PersistError, State};
 
+/// One proposed evaluation in a batch: a configuration tagged with an
+/// identifier unique among the batch's outstanding trials, so results
+/// can be reported back in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trial {
+    pub id: u64,
+    pub config: Configuration,
+}
+
+impl Trial {
+    pub fn new(id: u64, config: Configuration) -> Self {
+        Trial { id, config }
+    }
+}
+
+/// A typed performance observation: the measured mean plus how much the
+/// measurement itself can be trusted. The bare-`f64` protocol collapses
+/// this to `mean` alone; noise-aware tuners (TUNA) weight observations
+/// by the interval width and replication count instead of taking every
+/// sample at face value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Measured performance (higher = better; WIPS in this paper).
+    pub mean: f64,
+    /// 95% confidence half-width of the measurement (0 = exact).
+    pub ci_half_width: f64,
+    /// Independent replications folded into `mean` (>= 1).
+    pub replications: u32,
+}
+
+impl Measurement {
+    /// An exact observation: a single sample taken at face value.
+    pub fn point(mean: f64) -> Self {
+        Measurement {
+            mean,
+            ci_half_width: 0.0,
+            replications: 1,
+        }
+    }
+
+    /// Builder: attach a 95% confidence half-width.
+    pub fn with_ci(mut self, ci_half_width: f64) -> Self {
+        self.ci_half_width = ci_half_width;
+        self
+    }
+
+    /// Builder: set the replication count (clamped to >= 1).
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Half-width relative to the mean's magnitude (0 when the mean is 0).
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.ci_half_width / self.mean).abs()
+        }
+    }
+}
+
 /// A tuning algorithm driven in strict propose → observe alternation.
+///
+/// The v2 protocol extends the original one-`f64`-per-`propose` loop in
+/// two backward-compatible directions: [`Tuner::propose_batch`] lets an
+/// algorithm hand out a whole round of trial-tagged configurations at
+/// once, and [`Tuner::observe_measurement`] carries a typed
+/// [`Measurement`] instead of a bare mean. Implementors only provide
+/// `propose`/`observe`; every v2 entry point has a default that reduces
+/// to the strict alternating protocol.
 pub trait Tuner {
     /// The space this tuner explores.
     fn space(&self) -> &ParamSpace;
@@ -33,16 +103,56 @@ pub trait Tuner {
     /// Short algorithm name (reports).
     fn name(&self) -> &'static str;
 
+    /// Propose a whole round of trials at once. Batch-native algorithms
+    /// (BestConfig's divide-and-diverge rounds, ClassyTune's candidate
+    /// sets) override this to hand out every planned evaluation of the
+    /// round; each trial must then receive exactly one
+    /// [`Tuner::observe_trial`] call (any order) before the next batch.
+    /// The default is a one-element batch wrapping [`Tuner::propose`].
+    fn propose_batch(&mut self) -> Vec<Trial> {
+        let id = self.evaluations();
+        vec![Trial::new(id, self.propose())]
+    }
+
+    /// Report the measurement of one trial from the current batch. The
+    /// default ignores the id (a one-element default batch is implicitly
+    /// ordered) and forwards to [`Tuner::observe_measurement`].
+    fn observe_trial(&mut self, trial_id: u64, m: Measurement) {
+        let _ = trial_id;
+        self.observe_measurement(m);
+    }
+
+    /// Report a typed [`Measurement`] for the pending proposal. The
+    /// default collapses it to the mean — algorithms that never look at
+    /// measurement uncertainty behave identically under both protocols.
+    fn observe_measurement(&mut self, m: Measurement) {
+        self.observe(m.mean);
+    }
+
+    /// Number of trials in the tuner's current planning round — what
+    /// [`Tuner::propose_batch`] would hand out next. Strictly
+    /// alternating tuners report 1.
+    fn batch_size(&self) -> usize {
+        1
+    }
+
     /// Ask for the next configuration — alias for [`Tuner::propose`] in
     /// the ask/tell vocabulary used by the optimisation literature.
     fn ask(&mut self) -> Configuration {
         self.propose()
     }
 
-    /// Tell the tuner the observed performance — alias for
-    /// [`Tuner::observe`].
+    /// Tell the tuner a typed observation — alias for
+    /// [`Tuner::observe_measurement`] in the ask/tell vocabulary.
+    fn tell_measurement(&mut self, m: Measurement) {
+        self.observe_measurement(m);
+    }
+
+    /// Tell the tuner the observed performance — kept as a shim over the
+    /// typed [`Tuner::tell_measurement`] for pre-v2 callers.
+    #[deprecated(note = "use `tell_measurement` (typed) or `observe`")]
     fn tell(&mut self, performance: f64) {
-        self.observe(performance)
+        self.tell_measurement(Measurement::point(performance));
     }
 
     /// Forget search state (simplex geometry, step sizes, cursor
@@ -140,6 +250,48 @@ impl BestTracker {
     }
 }
 
+/// Serialise an RNG's full state (shared by the seeded tuners'
+/// checkpoint paths — resume must continue the exact random sequence).
+pub(crate) fn rng_state(rng: &simkit::rng::SimRng) -> State {
+    State::List(rng.state().iter().map(|&w| State::U64(w)).collect())
+}
+
+/// Rebuild an RNG from [`rng_state`] output.
+pub(crate) fn rng_from_state(state: &State) -> Result<simkit::rng::SimRng, PersistError> {
+    let words = state
+        .as_list()
+        .ok_or_else(|| PersistError::Schema("rng state is not a list".into()))?;
+    if words.len() != 4 {
+        return Err(PersistError::Schema(format!(
+            "rng state has {} words, expected 4",
+            words.len()
+        )));
+    }
+    let mut s = [0u64; 4];
+    for (slot, w) in s.iter_mut().zip(words) {
+        *slot = w
+            .as_u64()
+            .ok_or_else(|| PersistError::Schema("rng word is not a u64".into()))?;
+    }
+    Ok(simkit::rng::SimRng::from_state(s))
+}
+
+/// `Option<Configuration>` as state (Null = None).
+pub(crate) fn opt_config_state(config: &Option<Configuration>) -> State {
+    match config {
+        Some(c) => State::i64_list(c.values()),
+        None => State::Null,
+    }
+}
+
+/// Restore [`opt_config_state`] output.
+pub(crate) fn opt_config_from_state(state: &State) -> Result<Option<Configuration>, PersistError> {
+    match state {
+        State::Null => Ok(None),
+        values => Ok(Some(Configuration::from_values(values.to_i64_vec()?))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +320,89 @@ mod tests {
         t.record(&a, 10.0);
         t.record(&b, 10.0);
         assert_eq!(t.best().unwrap().0.values(), &[1]);
+    }
+
+    #[test]
+    fn measurement_builders_and_relative_ci() {
+        let m = Measurement::point(200.0);
+        assert_eq!(m.ci_half_width, 0.0);
+        assert_eq!(m.replications, 1);
+        let m = m.with_ci(10.0).with_replications(3);
+        assert_eq!(m.relative_ci(), 0.05);
+        assert_eq!(m.replications, 3);
+        assert_eq!(Measurement::point(0.0).with_ci(5.0).relative_ci(), 0.0);
+        assert_eq!(Measurement::point(1.0).with_replications(0).replications, 1);
+    }
+
+    /// Minimal strict-alternation tuner to exercise the v2 defaults.
+    struct Probe {
+        space: ParamSpace,
+        pending: bool,
+        tracker: BestTracker,
+        last_observed: Option<f64>,
+    }
+
+    impl Tuner for Probe {
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn propose(&mut self) -> Configuration {
+            assert!(!self.pending, "propose() twice without observe()");
+            self.pending = true;
+            self.space.default_config()
+        }
+        fn observe(&mut self, performance: f64) {
+            assert!(self.pending, "observe() without propose()");
+            self.pending = false;
+            self.last_observed = Some(performance);
+            self.tracker
+                .record(&self.space.default_config(), performance);
+        }
+        fn best(&self) -> Option<(&Configuration, f64)> {
+            self.tracker.best()
+        }
+        fn evaluations(&self) -> u64 {
+            self.tracker.evaluations()
+        }
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+    }
+
+    fn probe() -> Probe {
+        use crate::param::ParamDef;
+        Probe {
+            space: ParamSpace::new(vec![ParamDef::new("x", 0, 10, 5)]),
+            pending: false,
+            tracker: BestTracker::default(),
+            last_observed: None,
+        }
+    }
+
+    #[test]
+    fn default_batch_wraps_propose() {
+        let mut t = probe();
+        assert_eq!(t.batch_size(), 1);
+        let batch = t.propose_batch();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 0);
+        assert_eq!(batch[0].config, t.space().default_config());
+        t.observe_trial(batch[0].id, Measurement::point(7.0).with_ci(1.0));
+        assert_eq!(t.last_observed, Some(7.0));
+        assert_eq!(t.evaluations(), 1);
+        // The next default batch carries a fresh id.
+        assert_eq!(t.propose_batch()[0].id, 1);
+    }
+
+    #[test]
+    fn deprecated_tell_routes_through_the_typed_path() {
+        let mut t = probe();
+        let _ = t.ask();
+        #[allow(deprecated)]
+        t.tell(3.5);
+        assert_eq!(t.last_observed, Some(3.5));
+        let _ = t.ask();
+        t.tell_measurement(Measurement::point(4.5).with_replications(2));
+        assert_eq!(t.last_observed, Some(4.5));
     }
 }

@@ -93,7 +93,9 @@ pub fn session_fingerprint(
         Some(plan) => canon.push_str(&plan.to_json()),
         None => canon.push('-'),
     }
-    let _ = write!(canon, "|{kind}|{iterations}|{switch_at}");
+    // The tuning algorithm is part of the environment: resuming a
+    // simplex checkpoint under `--tuner tuna` must be refused.
+    let _ = write!(canon, "|{}|{kind}|{iterations}|{switch_at}", cfg.tuner);
     fnv1a(canon.as_bytes())
 }
 

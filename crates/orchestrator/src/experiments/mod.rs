@@ -17,6 +17,7 @@ pub mod resume;
 pub mod sensitivity;
 pub mod table3;
 pub mod table4;
+pub mod tuners;
 pub mod tuning_process;
 
 use tpcw::metrics::IntervalPlan;

@@ -169,6 +169,16 @@ pub fn run_in(effort: &Effort, seed: u64, scratch: &Path) -> Result<ResumeResult
     let mut observer = SessionObserver::with_sink(&mut full_sink);
     let full_run = tune_observed(&cfg, TuningMethod::Default, iterations, &mut observer)?;
     let full_lines = lines_of(&full_sink);
+    // An iteration spans several trace records (iteration + tuner); the
+    // kill fires on the first record of iteration `k`, so the expected
+    // prefix is every reference record from before that point.
+    let boundary = |k: u64| {
+        full_sink
+            .records
+            .iter()
+            .position(|r| uint_field(r, "iteration") >= k)
+            .unwrap_or(full_sink.records.len())
+    };
 
     let mut outcomes = Vec::new();
     for k in interrupt_points(iterations, seed ^ 0xD1E_0FF) {
@@ -186,7 +196,7 @@ pub fn run_in(effort: &Effort, seed: u64, scratch: &Path) -> Result<ResumeResult
             let _ = tune_observed(&ck_cfg, TuningMethod::Default, iterations, &mut observer);
         })?;
         let pre = lines_of(&sink.inner);
-        let prefix_identical = pre.len() == k as usize && full_lines[..pre.len()] == pre[..];
+        let prefix_identical = pre.len() == boundary(k) && full_lines[..pre.len()] == pre[..];
 
         let resume_cfg = cfg.clone().checkpoint(policy.resume(true));
         let mut resumed_sink = MemorySink::new();

@@ -31,7 +31,8 @@ use crate::binding;
 use crate::checkpoint::{self, Checkpointer};
 use crate::reconfigure::ReconfigEvent;
 use crate::session::{
-    ckerr, config_summary, IterationRecord, SessionConfig, SessionError, SessionObserver,
+    ckerr, config_summary, tuner_seed, IterationRecord, SessionConfig, SessionError,
+    SessionObserver,
 };
 use cluster::config::{ClusterConfig, Role, Topology};
 use cluster::runner::IterationOutcome;
@@ -40,7 +41,6 @@ use harmony::monitor::UtilizationSnapshot;
 use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
 use harmony::resilience::{CircuitBreaker, OutlierGate, RetryPolicy};
 use harmony::server::HarmonyServer;
-use harmony::simplex::SimplexTuner;
 use persist::{Checkpointable, State};
 use simkit::rng::SimRng;
 use simkit::time::SimDuration;
@@ -159,19 +159,19 @@ pub fn run_resilient_session_observed(
 ) -> Result<ResilientRun, SessionError> {
     base.validate_faults()?;
     let mut topology = base.topology.clone();
+    // Tier servers run the session's configured tuning algorithm,
+    // resolved through the harmony registry exactly like plain tuning.
+    let tier_tuner = |space, index| {
+        harmony::registry::make_tuner_seeded(&base.tuner, space, None, tuner_seed(base, index))
+            .map_err(|e| SessionError::UnknownTuner(e.to_string()))
+    };
     let mut servers = [
         HarmonyServer::new(
             "proxy-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
+            tier_tuner(binding::role_space(Role::Proxy), 0)?,
         ),
-        HarmonyServer::new(
-            "web-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::App))),
-        ),
-        HarmonyServer::new(
-            "db-tier",
-            Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
-        ),
+        HarmonyServer::new("web-tier", tier_tuner(binding::role_space(Role::App), 1)?),
+        HarmonyServer::new("db-tier", tier_tuner(binding::role_space(Role::Db), 2)?),
     ];
     let mut breaker = CircuitBreaker::new(settings.breaker_threshold);
     let mut jitter_rng = SimRng::new(base.fault_seed ^ 0xBACC_0FF5);

@@ -17,9 +17,9 @@ use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
 use faults::{FaultClock, FaultInjector, FaultPlan, WindowFaults};
 use harmony::server::HarmonyServer;
-use harmony::simplex::SimplexTuner;
 use harmony::space::Configuration;
 use harmony::strategy::TuningMethod;
+use harmony::tuner::Measurement;
 use harmony::workline::build_work_lines;
 use obs::{Registry, TraceRecord, TraceSink};
 use persist::{Checkpointable, PersistError, State};
@@ -49,6 +49,8 @@ pub enum SessionError {
     /// directory, a corrupt artifact recovery could not route around, or
     /// a fingerprint mismatch (resuming under a different environment).
     Checkpoint(String),
+    /// The configured tuner name is not in the harmony registry.
+    UnknownTuner(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -71,6 +73,7 @@ impl std::fmt::Display for SessionError {
             }
             SessionError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             SessionError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            SessionError::UnknownTuner(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -105,6 +108,10 @@ pub struct SessionConfig {
     /// Seed for fault-related randomness (measurement-noise spikes,
     /// retry jitter), independent of `base_seed`.
     pub fault_seed: u64,
+    /// Tuning algorithm, by harmony registry name (`harmony::tuner_names`
+    /// lists them). Every server the session builds — one per tier, per
+    /// work line, or over the full space — runs this algorithm.
+    pub tuner: String,
     /// Crash-safe persistence: journal every iteration and snapshot
     /// periodically into a directory, optionally resuming from it.
     /// `None` (the default) writes nothing.
@@ -131,6 +138,7 @@ impl SessionConfig {
             node_specs: Vec::new(),
             fault_plan: None,
             fault_seed: 0xFA17,
+            tuner: "simplex".to_string(),
             checkpoint: None,
             eval: Arc::new(EvalEngine::new(EvalSettings::default())),
         }
@@ -213,6 +221,14 @@ impl SessionConfig {
         self
     }
 
+    /// Builder: select the tuning algorithm by registry name (see
+    /// `harmony::tuner_names()`). Unknown names surface as
+    /// [`SessionError::UnknownTuner`] when the session starts.
+    pub fn tuner(mut self, name: impl Into<String>) -> Self {
+        self.tuner = name.into();
+        self
+    }
+
     /// Builder: checkpoint (and optionally resume) the session.
     pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = Some(policy);
@@ -281,6 +297,15 @@ impl SessionConfig {
         for lw in &mut out.line_wips {
             *lw *= factor;
         }
+    }
+
+    /// Typed measurement of one iteration's WIPS: the mean is the
+    /// measured (possibly noise-spiked) throughput; the confidence
+    /// half-width comes from the Poisson completion model, so noise-aware
+    /// tuners can weight windows by their statistical trust.
+    pub(crate) fn measurement_from(&self, wips: f64, completed: u64) -> Measurement {
+        Measurement::point(wips)
+            .with_ci(poisson_ci_half(completed, self.plan.measure.as_secs_f64()))
     }
 
     fn seed_for(&self, iteration: u32) -> u64 {
@@ -532,15 +557,7 @@ impl<'a> SessionObserver<'a> {
         let Some(sink) = self.sink.as_deref_mut() else {
             return;
         };
-        // 95% half-width under the Poisson completion model: WIPS is a
-        // count over the measurement window, so its sampling std-dev is
-        // ~sqrt(count)/window.
-        let measure_secs = cfg.plan.measure.as_secs_f64();
-        let ci_half = if measure_secs > 0.0 {
-            1.96 * (out.metrics.completed as f64).sqrt() / measure_secs
-        } else {
-            0.0
-        };
+        let ci_half = poisson_ci_half(out.metrics.completed, cfg.plan.measure.as_secs_f64());
         let mut rec = TraceRecord::new("iteration")
             .field("method", method_label)
             .field("iteration", iteration)
@@ -559,6 +576,30 @@ impl<'a> SessionObserver<'a> {
             rec.push(format!("tuner_{k}"), *v);
         }
         rec.push("wall_ms", wall_ms);
+        sink.emit(&rec);
+    }
+
+    /// Emit one `tuner` trace record: which algorithm consumed this
+    /// iteration's measurement, its natural batch width, and the typed
+    /// measurement it was fed. Field order is part of the trace schema
+    /// (tests/golden/tuner_schema.txt).
+    pub(crate) fn record_tuner(
+        &mut self,
+        iteration: u32,
+        name: &str,
+        batch: usize,
+        m: &Measurement,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("tuner")
+            .field("name", name)
+            .field("iteration", iteration)
+            .field("batch", batch as u64)
+            .field("mean", m.mean)
+            .field("ci_half", m.ci_half_width)
+            .field("replications", m.replications as u64);
         sink.emit(&rec);
     }
 
@@ -681,6 +722,17 @@ impl<'a> SessionObserver<'a> {
             .field("speculated", counters.speculated)
             .field("hit_rate", counters.hit_rate());
         sink.emit(&rec);
+    }
+}
+
+/// 95% half-width under the Poisson completion model: WIPS is a count
+/// over the measurement window, so its sampling std-dev is
+/// ~sqrt(count)/window.
+pub(crate) fn poisson_ci_half(completed: u64, measure_secs: f64) -> f64 {
+    if measure_secs > 0.0 {
+        1.96 * (completed as f64).sqrt() / measure_secs
+    } else {
+        0.0
     }
 }
 
@@ -809,34 +861,44 @@ enum TuneEngine {
 }
 
 impl TuneEngine {
-    fn tier_servers() -> [HarmonyServer; 3] {
-        [
+    /// Build one tuner of the session's configured algorithm over
+    /// `space`, optionally seeded from a starting configuration.
+    fn build_tuner(
+        cfg: &SessionConfig,
+        space: harmony::space::ParamSpace,
+        start: Option<&harmony::space::Configuration>,
+        index: u64,
+    ) -> Result<Box<dyn harmony::tuner::Tuner + Send>, SessionError> {
+        harmony::registry::make_tuner_seeded(&cfg.tuner, space, start, tuner_seed(cfg, index))
+            .map_err(|e| SessionError::UnknownTuner(e.to_string()))
+    }
+
+    fn tier_servers(cfg: &SessionConfig) -> Result<[HarmonyServer; 3], SessionError> {
+        Ok([
             HarmonyServer::new(
                 "proxy-tier",
-                Box::new(SimplexTuner::new(binding::role_space(Role::Proxy))),
+                Self::build_tuner(cfg, binding::role_space(Role::Proxy), None, 0)?,
             ),
             HarmonyServer::new(
                 "web-tier",
-                Box::new(SimplexTuner::new(binding::role_space(Role::App))),
+                Self::build_tuner(cfg, binding::role_space(Role::App), None, 1)?,
             ),
             HarmonyServer::new(
                 "db-tier",
-                Box::new(SimplexTuner::new(binding::role_space(Role::Db))),
+                Self::build_tuner(cfg, binding::role_space(Role::Db), None, 2)?,
             ),
-        ]
+        ])
     }
 
     fn line_servers(
+        cfg: &SessionConfig,
         count: usize,
         seed: Option<&harmony::space::Configuration>,
-    ) -> Vec<HarmonyServer> {
+    ) -> Result<Vec<HarmonyServer>, SessionError> {
         (0..count)
             .map(|i| {
-                let tuner = match seed {
-                    Some(seed) => SimplexTuner::with_seed(binding::tier_space(), seed.clone()),
-                    None => SimplexTuner::new(binding::tier_space()),
-                };
-                HarmonyServer::new(format!("line-{i}"), Box::new(tuner))
+                let tuner = Self::build_tuner(cfg, binding::tier_space(), seed, i as u64)?;
+                Ok(HarmonyServer::new(format!("line-{i}"), tuner))
             })
             .collect()
     }
@@ -848,13 +910,13 @@ impl TuneEngine {
             TuningMethod::None => TuneEngine::Baseline,
             TuningMethod::Default => TuneEngine::Single(HarmonyServer::new(
                 "all-nodes",
-                Box::new(SimplexTuner::new(binding::full_space(&cfg.topology))),
+                Self::build_tuner(cfg, binding::full_space(&cfg.topology), None, 0)?,
             )),
             TuningMethod::Duplication | TuningMethod::Hybrid => {
-                TuneEngine::Tiers(Box::new(Self::tier_servers()))
+                TuneEngine::Tiers(Box::new(Self::tier_servers(cfg)?))
             }
             TuningMethod::Partitioning => TuneEngine::Lines {
-                servers: Self::line_servers(work_lines(&cfg.topology)?.len(), None),
+                servers: Self::line_servers(cfg, work_lines(&cfg.topology)?.len(), None)?,
                 lines: work_lines(&cfg.topology)?,
                 base: ClusterConfig::defaults(&cfg.topology),
             },
@@ -871,7 +933,7 @@ impl TuneEngine {
             .ok_or(SessionError::ConfigExtract)?;
         let lines = work_lines(&cfg.topology)?;
         Ok(TuneEngine::Lines {
-            servers: Self::line_servers(lines.len(), Some(&seed_tier)),
+            servers: Self::line_servers(cfg, lines.len(), Some(&seed_tier))?,
             lines,
             base: seed_config.clone(),
         })
@@ -1013,21 +1075,64 @@ impl TuneEngine {
         out
     }
 
-    /// Feed the measured throughput back to the server(s).
-    fn report(&mut self, wips: f64, line_wips: &[f64]) {
+    /// Feed the measured throughput back to the server(s) as a typed
+    /// measurement. Line servers see their own line's share: the mean is
+    /// the line's WIPS and the confidence half-width is scaled by the
+    /// line's share of the cluster total, so per-line trust tracks
+    /// per-line volume.
+    fn report(&mut self, m: &Measurement, line_wips: &[f64]) {
         match self {
             TuneEngine::Baseline => {}
-            TuneEngine::Single(server) => server.report(wips),
+            TuneEngine::Single(server) => server.report_measurement(*m),
             TuneEngine::Tiers(servers) => {
                 for s in servers.iter_mut() {
-                    s.report(wips);
+                    s.report_measurement(*m);
                 }
             }
             TuneEngine::Lines { servers, .. } => {
                 for (s, lw) in servers.iter_mut().zip(line_wips) {
-                    s.report(*lw);
+                    let share = if m.mean > 0.0 { lw / m.mean } else { 0.0 };
+                    let line_m = Measurement::point(*lw)
+                        .with_ci(m.ci_half_width * share)
+                        .with_replications(m.replications);
+                    s.report_measurement(line_m);
                 }
             }
+        }
+    }
+
+    /// Registry name of the algorithm driving this engine (`none` for
+    /// the untuned baseline).
+    fn tuner_name(&self) -> &'static str {
+        match self {
+            TuneEngine::Baseline => "none",
+            TuneEngine::Single(server) => server.algorithm(),
+            TuneEngine::Tiers(servers) => servers[0].algorithm(),
+            TuneEngine::Lines { servers, .. } => {
+                servers.first().map(|s| s.algorithm()).unwrap_or("none")
+            }
+        }
+    }
+
+    /// The first server's natural batch width (1 for point tuners).
+    fn batch_width(&self) -> usize {
+        match self {
+            TuneEngine::Baseline => 1,
+            TuneEngine::Single(server) => server.batch_size(),
+            TuneEngine::Tiers(servers) => servers[0].batch_size(),
+            TuneEngine::Lines { servers, .. } => {
+                servers.first().map(|s| s.batch_size()).unwrap_or(1)
+            }
+        }
+    }
+
+    /// Number of tuning servers this engine drives per iteration.
+    fn server_count(&self) -> usize {
+        match self {
+            TuneEngine::Baseline => 0,
+            TuneEngine::Single(_) => 1,
+            TuneEngine::Tiers(_) => 3,
+            TuneEngine::Lines { servers, .. } => servers.len(),
         }
     }
 
@@ -1088,6 +1193,7 @@ impl TuneEngine {
         let restore_into = |server: &mut HarmonyServer, saved: &State| {
             Checkpointable::restore_state(server, saved)
         };
+        let skeleton_err = |e: SessionError| PersistError::Schema(e.to_string());
         match state.field_str("kind")? {
             "baseline" => Ok(TuneEngine::Baseline),
             "single" => {
@@ -1097,7 +1203,8 @@ impl TuneEngine {
                 })?;
                 let mut server = HarmonyServer::new(
                     "all-nodes",
-                    Box::new(SimplexTuner::new(binding::full_space(&cfg.topology))),
+                    Self::build_tuner(cfg, binding::full_space(&cfg.topology), None, 0)
+                        .map_err(skeleton_err)?,
                 );
                 restore_into(&mut server, first)?;
                 Ok(TuneEngine::Single(server))
@@ -1110,7 +1217,7 @@ impl TuneEngine {
                         saved.len()
                     )));
                 }
-                let mut servers = Box::new(Self::tier_servers());
+                let mut servers = Box::new(Self::tier_servers(cfg).map_err(skeleton_err)?);
                 for (server, st) in servers.iter_mut().zip(saved) {
                     restore_into(server, st)?;
                 }
@@ -1141,7 +1248,8 @@ impl TuneEngine {
                         saved.len()
                     )));
                 }
-                let mut servers = Self::line_servers(lines.len(), None);
+                let mut servers =
+                    Self::line_servers(cfg, lines.len(), None).map_err(skeleton_err)?;
                 for (server, st) in servers.iter_mut().zip(saved) {
                     restore_into(server, st)?;
                 }
@@ -1160,6 +1268,15 @@ impl TuneEngine {
 
 pub(crate) fn ckerr(e: PersistError) -> SessionError {
     SessionError::Checkpoint(e.to_string())
+}
+
+/// Deterministic per-server RNG seed for the stochastic tuners, derived
+/// from the session's base seed and the server's position. The domain
+/// constant keeps tuner streams disjoint from iteration seeds
+/// (`seed_for`) and replication seeds.
+pub(crate) fn tuner_seed(cfg: &SessionConfig, index: u64) -> u64 {
+    const TUNER_SEED_DOMAIN: u64 = 0x7E57_A15E_ED00_0001;
+    (cfg.base_seed ^ TUNER_SEED_DOMAIN).wrapping_add(index)
 }
 
 /// Full tuner state of a plain tuning session, snapshot-ready.
@@ -1259,7 +1376,11 @@ fn drive_tuning(
                         .and_then(State::to_f64_vec)
                         .map_err(ckerr)?;
                     let failed = delta.field_u64("failed").map_err(ckerr)?;
-                    engine.report(wips, &line_wips);
+                    // Rebuild the typed measurement from the journaled
+                    // completion count so CI-weighting tuners (TUNA)
+                    // replay bit-identically.
+                    let completed = delta.get("completed").and_then(State::as_u64).unwrap_or(0);
+                    engine.report(&cfg.measurement_from(wips, completed), &line_wips);
                     best.consider(&config, wips, i);
                     records.push(IterationRecord {
                         iteration: i,
@@ -1313,7 +1434,8 @@ fn drive_tuning(
         let mut out = cfg.eval.run(&scenario, observer.registry());
         cfg.apply_fault_noise(i, &mut out);
         let wips = out.metrics.wips;
-        engine.report(wips, &out.line_wips);
+        let measurement = cfg.measurement_from(wips, out.metrics.completed);
+        engine.report(&measurement, &out.line_wips);
         best.consider(&config, wips, i);
         observer.record_iteration(
             cfg,
@@ -1326,6 +1448,15 @@ fn drive_tuning(
             &engine.diagnostics(),
             t0.elapsed().as_secs_f64() * 1e3,
         );
+        if method != TuningMethod::None {
+            observer.record_tuner(i, engine.tuner_name(), engine.batch_width(), &measurement);
+            if let Some(registry) = observer.registry() {
+                registry
+                    .counter("tuner.proposals")
+                    .add(engine.server_count() as u64);
+                registry.counter("tuner.batches").add(1);
+            }
+        }
         records.push(IterationRecord {
             iteration: i,
             wips,
@@ -1339,7 +1470,8 @@ fn drive_tuning(
                     .with("iteration", State::U64(i as u64))
                     .with("wips", State::F64(wips))
                     .with("line_wips", State::f64_list(&out.line_wips))
-                    .with("failed", State::U64(out.total_failed)),
+                    .with("failed", State::U64(out.total_failed))
+                    .with("completed", State::U64(out.metrics.completed)),
             )?;
             ck.maybe_snapshot(i + 1, iterations, || {
                 let mut snap = tune_snapshot(&engine, &best, &records);
@@ -1622,11 +1754,15 @@ mod tests {
         assert_eq!(plain.wips_series(), observed.wips_series());
         assert_eq!(plain.best_wips, observed.best_wips);
 
-        // One trace record per iteration, with the schema fields in order.
-        let records = sink.records();
+        // One iteration record plus one tuner record per iteration,
+        // with the schema fields in order.
+        let all = sink.records();
+        assert_eq!(all.len(), 10);
+        let records: Vec<_> = all.iter().filter(|r| r.kind() == "iteration").collect();
+        let tuner_records: Vec<_> = all.iter().filter(|r| r.kind() == "tuner").collect();
         assert_eq!(records.len(), 5);
+        assert_eq!(tuner_records.len(), 5);
         for (i, r) in records.iter().enumerate() {
-            assert_eq!(r.kind(), "iteration");
             let keys: Vec<&str> = r.fields().iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(
                 &keys[..13],
@@ -1658,6 +1794,27 @@ mod tests {
             .unwrap();
         assert_eq!(last_best, observed.best_wips);
 
+        // Tuner records interleave after each iteration and carry the
+        // ask/tell v2 measurement fields in order.
+        for (i, r) in tuner_records.iter().enumerate() {
+            let keys: Vec<&str> = r.fields().iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                &keys[..],
+                &[
+                    "name",
+                    "iteration",
+                    "batch",
+                    "mean",
+                    "ci_half",
+                    "replications"
+                ]
+            );
+            assert_eq!(r.get("iteration").and_then(|v| v.as_f64()), Some(i as f64));
+            assert!(matches!(r.get("name"), Some(obs::Value::Str(s)) if s == "simplex"));
+            assert_eq!(r.get("batch").and_then(|v| v.as_f64()), Some(1.0));
+            assert!(r.get("ci_half").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+
         // The registry accumulated engine metrics across all runs.
         let snap = registry.snapshot();
         let events = snap
@@ -1667,6 +1824,15 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert!(events > 0);
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("tuner.proposals"), 5);
+        assert_eq!(counter("tuner.batches"), 5);
     }
 
     #[test]
@@ -1742,7 +1908,11 @@ mod tests {
         let mut observer = SessionObserver::with_sink(&mut sink);
         tune_observed(&cfg, TuningMethod::Default, 3, &mut observer).expect("tuning");
         let records = sink.records();
-        assert_eq!(records.len(), 4, "3 iteration records + 1 eval summary");
+        assert_eq!(
+            records.len(),
+            7,
+            "3 iteration + 3 tuner records + 1 eval summary"
+        );
         let eval = records.last().unwrap();
         assert_eq!(eval.kind(), "eval");
         let keys: Vec<&str> = eval.fields().iter().map(|(k, _)| k.as_str()).collect();

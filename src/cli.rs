@@ -82,6 +82,8 @@ pub struct TuneArgs {
     pub sim: SimArgs,
     pub method: TuningMethod,
     pub iterations: u32,
+    /// Registered tuning algorithm (`--tuner`); `None` = simplex.
+    pub tuner: Option<String>,
 }
 
 /// Sweep options.
@@ -124,6 +126,12 @@ OPTIONS (all subcommands):
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
   --iterations N                                    (default 50)
+  --tuner NAME       tuning algorithm: simplex, simplex-conservative,
+                     bestconfig, classytune, tuna, annealing, random,
+                     coordinate (default simplex). --method keeps its
+                     old meaning — the §III duplication/partitioning
+                     strategy — but relying on it to imply the simplex
+                     algorithm is deprecated: say --tuner simplex.
 
 SWEEP:
   --from N --to N --step N                (default 400..2000 step 400)
@@ -145,9 +153,18 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String>
             let (sim, leftover) = parse_sim(&rest)?;
             let mut method = TuningMethod::Default;
             let mut iterations = 50;
+            let mut tuner = None;
             let mut i = 0;
             while i < leftover.len() {
                 match leftover[i].as_str() {
+                    "--tuner" => {
+                        let v = leftover.get(i + 1).ok_or("--tuner needs a value")?;
+                        if !harmony::registry::tuner_names().contains(&v.as_str()) {
+                            return Err(harmony::registry::UnknownTuner(v.clone()).to_string());
+                        }
+                        tuner = Some(v.clone());
+                        i += 2;
+                    }
                     "--method" => {
                         let v = leftover.get(i + 1).ok_or("--method needs a value")?;
                         method = match v.as_str() {
@@ -170,6 +187,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String>
                 sim,
                 method,
                 iterations,
+                tuner,
             }))
         }
         "sweep" => {
@@ -395,6 +413,37 @@ mod tests {
             Command::Tune(t) => {
                 assert_eq!(t.method, TuningMethod::Duplication);
                 assert_eq!(t.iterations, 25);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_tuner_flag() {
+        // Default: no explicit tuner (sessions fall back to simplex).
+        match parse(argv(&["tune"])).unwrap() {
+            Command::Tune(t) => assert_eq!(t.tuner, None),
+            other => panic!("{other:?}"),
+        }
+        // Every registered name parses.
+        for name in harmony::registry::tuner_names() {
+            match parse(argv(&["tune", "--tuner", name])).unwrap() {
+                Command::Tune(t) => assert_eq!(t.tuner.as_deref(), Some(*name)),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Unknown names error and list what is available.
+        let err = parse(argv(&["tune", "--tuner", "magic"])).unwrap_err();
+        assert!(err.contains("unknown tuner 'magic'"), "{err}");
+        for name in harmony::registry::tuner_names() {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        assert!(parse(argv(&["tune", "--tuner"])).is_err());
+        // --tuner composes with the strategy flag.
+        match parse(argv(&["tune", "--tuner", "tuna", "--method", "hybrid"])).unwrap() {
+            Command::Tune(t) => {
+                assert_eq!(t.tuner.as_deref(), Some("tuna"));
+                assert_eq!(t.method, TuningMethod::Hybrid);
             }
             other => panic!("{other:?}"),
         }

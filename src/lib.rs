@@ -37,11 +37,16 @@ pub mod prelude {
     pub use cluster::config::{ClusterConfig, Role, Topology};
     pub use cluster::spec::NodeSpec;
     pub use faults::{FaultPlan, Health};
+    pub use harmony::annealing::SimulatedAnnealing;
+    pub use harmony::bestconfig::BestConfigTuner;
+    pub use harmony::classytune::ClassyTuneTuner;
+    pub use harmony::registry::{make_tuner, make_tuner_seeded, tuner_names, UnknownTuner};
     pub use harmony::server::HarmonyServer;
     pub use harmony::simplex::SimplexTuner;
     pub use harmony::space::{Configuration, ParamSpace};
     pub use harmony::strategy::TuningMethod;
-    pub use harmony::tuner::Tuner;
+    pub use harmony::tuna::TunaTuner;
+    pub use harmony::tuner::{Measurement, Trial, Tuner};
     pub use obs::{CsvWriter, JsonlWriter, MemorySink, NullSink, Registry, TraceRecord, TraceSink};
     pub use orchestrator::checkpoint::CheckpointPolicy;
     pub use orchestrator::eval::{EvalEngine, EvalSettings};

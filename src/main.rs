@@ -153,13 +153,17 @@ fn simulate(sim: &SimArgs) {
 }
 
 fn run_tune(t: &TuneArgs) {
-    let cfg = session_of(&t.sim);
+    let mut cfg = session_of(&t.sim);
+    if let Some(name) = t.tuner.as_deref() {
+        cfg = cfg.tuner(name);
+    }
     let (default_wips, _) = cfg.measure_default(2);
     println!(
-        "tuning {} on {} with \"{}\", {} iterations (default {:.1} WIPS)...",
+        "tuning {} on {} with \"{}\" ({} tuner), {} iterations (default {:.1} WIPS)...",
         t.sim.workload,
         t.sim.topology,
         t.method.label(),
+        cfg.tuner,
         t.iterations,
         default_wips
     );
@@ -187,7 +191,7 @@ fn run_tune(t: &TuneArgs) {
         if t.sim.resume {
             println!("trace: resumed, appending to {path}");
         } else {
-            println!("trace: {} records -> {path}", run.records.len());
+            println!("trace: {} iterations -> {path}", run.records.len());
         }
     }
     print_metrics(registry.as_ref());

@@ -34,6 +34,17 @@ fn lines_of(sink: &MemorySink) -> Vec<String> {
         .collect()
 }
 
+/// Index of the first record belonging to iteration `k` — the resume
+/// boundary. An iteration spans several records (iteration + tuner), so
+/// slicing the reference trace at `k` records would land mid-iteration.
+fn boundary(lines: &[String], k: u64) -> usize {
+    let tag = format!("\"iteration\":{k},");
+    lines
+        .iter()
+        .position(|l| l.contains(&tag))
+        .unwrap_or(lines.len())
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "persist-torture-{tag}-{}-{:?}",
@@ -137,12 +148,17 @@ fn resume_tune(cfg: &SessionConfig, dir: &Path) -> (Vec<String>, TuningRun) {
 fn kill_and_resume_matches_uninterrupted_plain() {
     let cfg = pinned(Topology::single(), 200);
     let (full_lines, full_run) = full_tune_trace(&cfg);
-    assert_eq!(full_lines.len(), ITERS as usize);
+    let iteration_records = full_lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kind\":\"iteration\""))
+        .count();
+    assert_eq!(iteration_records, ITERS as usize);
 
     for k in interrupt_points(ITERS as u64, 0xD1E_0FF) {
         let dir = temp_dir(&format!("plain-{k}"));
         let pre = kill_tune_at(&cfg, &dir, k);
-        assert_eq!(pre, full_lines[..k as usize], "pre-kill trace at k={k}");
+        let cut = boundary(&full_lines, k);
+        assert_eq!(pre, full_lines[..cut], "pre-kill trace at k={k}");
 
         let (resumed, run) = resume_tune(&cfg, &dir);
         assert!(resumed[0].contains("\"kind\":\"resume\""), "{}", resumed[0]);
@@ -154,7 +170,7 @@ fn kill_and_resume_matches_uninterrupted_plain() {
         );
         assert_eq!(
             &resumed[1..],
-            &full_lines[k as usize..],
+            &full_lines[cut..],
             "post-resume trace at k={k}"
         );
         assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
@@ -260,7 +276,7 @@ fn torn_journal_tail_is_tolerated() {
 
     let (resumed, run) = resume_tune(&cfg, &dir);
     assert!(resumed[0].contains("\"kind\":\"resume\""));
-    assert_eq!(&resumed[1..], &full_lines[k as usize..]);
+    assert_eq!(&resumed[1..], &full_lines[boundary(&full_lines, k)..]);
     assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
@@ -289,7 +305,7 @@ fn corrupted_snapshot_falls_back_to_previous() {
         "fell back to the iteration-4 snapshot: {}",
         resumed[0]
     );
-    assert_eq!(&resumed[1..], &full_lines[k as usize..]);
+    assert_eq!(&resumed[1..], &full_lines[boundary(&full_lines, k)..]);
     assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
     assert!(
         dir.join("snap-00000006.ckpt.corrupt").exists(),

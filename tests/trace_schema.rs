@@ -92,14 +92,33 @@ fn traced_run(method: TuningMethod, iterations: u32) -> Vec<TraceRecord> {
 #[test]
 fn tuned_trace_matches_golden_schema() {
     let records = traced_run(TuningMethod::Default, 4);
-    assert_eq!(records.len(), 4, "one trace record per tuning iteration");
+    let iterations = records_of_kind(&records, "iteration");
+    assert_eq!(
+        iterations.len(),
+        4,
+        "one iteration record per tuning iteration"
+    );
     let expected = golden_keys();
-    for (i, r) in records.iter().enumerate() {
-        let line = r.to_json();
+    for (i, line) in iterations.iter().enumerate() {
         assert_eq!(
-            key_sequence(&line),
+            key_sequence(line),
             expected,
             "iteration {i} drifted from tests/golden/iteration_schema.txt: {line}"
+        );
+    }
+}
+
+#[test]
+fn tuner_records_match_golden_schema() {
+    let records = traced_run(TuningMethod::Default, 4);
+    let tuners = records_of_kind(&records, "tuner");
+    assert_eq!(tuners.len(), 4, "one tuner record per tuning iteration");
+    let expected = golden_keys_from(include_str!("golden/tuner_schema.txt"));
+    for line in &tuners {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/tuner_schema.txt: {line}"
         );
     }
 }
@@ -108,7 +127,7 @@ fn tuned_trace_matches_golden_schema() {
 fn trace_lines_are_structurally_valid_json_objects() {
     for r in traced_run(TuningMethod::Duplication, 3) {
         let line = r.to_json();
-        assert!(line.starts_with("{\"kind\":\"iteration\""), "{line}");
+        assert!(line.starts_with("{\"kind\":\""), "{line}");
         assert!(line.ends_with('}'), "{line}");
         assert!(!line.contains('\n'), "JSONL records must be one line");
         // Balanced nesting is what the key scanner relies on; depth must
@@ -259,8 +278,12 @@ fn eval_record_matches_golden_schema() {
 #[test]
 fn trace_values_track_the_run() {
     let records = traced_run(TuningMethod::Default, 5);
+    let iterations: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.to_json().starts_with("{\"kind\":\"iteration\""))
+        .collect();
     let mut best = f64::NEG_INFINITY;
-    for (i, r) in records.iter().enumerate() {
+    for (i, r) in iterations.iter().enumerate() {
         assert_eq!(r.get("iteration").and_then(|v| v.as_f64()), Some(i as f64));
         let wips = r.get("wips").and_then(|v| v.as_f64()).unwrap();
         let rec_best = r.get("best_wips").and_then(|v| v.as_f64()).unwrap();
