@@ -19,10 +19,12 @@ pub fn tune_all_workloads(
         let (summary, run) = tuning_process::run(w, effort, seed ^ (w as u64) << 16);
         (summary, run.best_config)
     });
-    let (r2, c2) = outs.pop().unwrap();
-    let (r1, c1) = outs.pop().unwrap();
-    let (r0, c0) = outs.pop().unwrap();
-    ([r0, r1, r2], [c0, c1, c2])
+    match (outs.pop(), outs.pop(), outs.pop()) {
+        (Some((r2, c2)), Some((r1, c1)), Some((r0, c0))) => ([r0, r1, r2], [c0, c1, c2]),
+        // parallel_map returns exactly one output per input, in input
+        // order, and Workload::ALL has three entries.
+        _ => unreachable!("parallel_map preserves length"),
+    }
 }
 
 #[cfg(test)]

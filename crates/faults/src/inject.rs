@@ -35,12 +35,24 @@ impl HealthTimeline {
 pub struct WindowFaults {
     /// Node health at the window's start (events strictly before `start`).
     pub initial: Vec<Health>,
-    /// Transitions inside the window, sorted by offset.
+    /// Transitions inside the window, sorted by offset. Includes the
+    /// implicit recoveries that end a stall.
     pub changes: Vec<HealthChange>,
     /// Product of noise-spike factors landing in the window (1.0 = none).
     pub noise: f64,
-    /// The raw in-window events, for tracing.
+    /// The raw in-window events, for tracing. Stall *ends* are implicit
+    /// and do not appear here.
     pub events: Vec<FaultEvent>,
+    /// Offsets of `Crash` events inside the window. Stalls make nodes
+    /// `Down` via `changes`, but only a crash invalidates the in-flight
+    /// measurement and triggers reconfiguration — this list keeps
+    /// `crashes()`/`crash_in()` crash-only.
+    pub crash_offsets: Vec<(usize, SimDuration)>,
+    /// Total stalled seconds overlapping the window, summed across stall
+    /// events. The timeout policy charges this against its budget: a
+    /// stalled node makes the evaluation *take longer*, it does not kill
+    /// the measurement.
+    pub stall_s: f64,
 }
 
 impl WindowFaults {
@@ -56,28 +68,43 @@ impl WindowFaults {
         self.changes.is_empty() && self.noise == 1.0 && self.initial.iter().all(Health::is_up)
     }
 
-    /// Nodes that transition to `Down` inside the window.
+    /// Nodes whose `Crash` event lands inside the window. Stalls are
+    /// excluded: a stalled node recovers on its own and must not be
+    /// treated as needing a restart.
     pub fn crashes(&self) -> Vec<usize> {
-        self.changes
-            .iter()
-            .filter(|c| c.health.is_down())
-            .map(|c| c.node)
-            .collect()
+        self.crash_offsets.iter().map(|&(n, _)| n).collect()
     }
 
     /// The first crash whose offset falls in `[from, to)`, if any.
     pub fn crash_in(&self, from: SimDuration, to: SimDuration) -> Option<(usize, SimDuration)> {
-        self.changes
+        self.crash_offsets
             .iter()
-            .find(|c| c.health.is_down() && c.after >= from && c.after < to)
-            .map(|c| (c.node, c.after))
+            .find(|&&(_, after)| after >= from && after < to)
+            .map(|&(n, after)| (n, after))
     }
+}
+
+/// One entry in the expanded schedule: either a plan event or the
+/// implicit end of a stall (which has no raw event of its own).
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Kind(FaultKind),
+    StallEnd,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    at: SimTime,
+    node: Option<usize>,
+    action: Action,
+    raw: Option<FaultEvent>,
 }
 
 /// Per-node fold state while replaying the schedule.
 #[derive(Debug, Clone, Copy)]
 struct NodeFold {
     down: bool,
+    stalled: bool,
     cpu: f64,
     disk: f64,
     nic: f64,
@@ -86,24 +113,29 @@ struct NodeFold {
 impl NodeFold {
     const PRISTINE: NodeFold = NodeFold {
         down: false,
+        stalled: false,
         cpu: 1.0,
         disk: 1.0,
         nic: 1.0,
     };
 
-    fn apply(&mut self, kind: FaultKind) {
-        match kind {
-            FaultKind::Crash => self.down = true,
-            FaultKind::Restart => *self = NodeFold::PRISTINE,
-            FaultKind::CpuSlow(f) => self.cpu = f,
-            FaultKind::DiskSlow(f) => self.disk = f,
-            FaultKind::NicDegrade(f) => self.nic = f,
-            FaultKind::NoiseSpike(_) => {}
+    fn apply(&mut self, action: Action) {
+        match action {
+            Action::Kind(FaultKind::Crash) => self.down = true,
+            Action::Kind(FaultKind::Restart) => *self = NodeFold::PRISTINE,
+            Action::Kind(FaultKind::CpuSlow(f)) => self.cpu = f,
+            Action::Kind(FaultKind::DiskSlow(f)) => self.disk = f,
+            Action::Kind(FaultKind::NicDegrade(f)) => self.nic = f,
+            Action::Kind(FaultKind::NoiseSpike(_)) => {}
+            Action::Kind(FaultKind::Stall(_)) => self.stalled = true,
+            // Only the stall lifts: a node that crashed mid-stall stays
+            // down until an explicit restart.
+            Action::StallEnd => self.stalled = false,
         }
     }
 
     fn health(&self) -> Health {
-        if self.down {
+        if self.down || self.stalled {
             Health::Down
         } else if self.cpu > 1.0 || self.disk > 1.0 || self.nic > 1.0 {
             Health::Degraded(Slowdown {
@@ -138,15 +170,43 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// The plan expanded into a sorted step schedule: every event, plus an
+    /// implicit `StallEnd` step `duration_s` after each stall.
+    fn steps(&self) -> Vec<Step> {
+        let mut steps: Vec<Step> = Vec::with_capacity(self.plan.events().len());
+        for e in self.plan.events() {
+            steps.push(Step {
+                at: e.at,
+                node: e.node,
+                action: Action::Kind(e.kind),
+                raw: Some(*e),
+            });
+            if let Some(d) = e.kind.stall_duration_s() {
+                steps.push(Step {
+                    at: e
+                        .at
+                        .checked_add(SimDuration::from_secs_f64(d))
+                        .unwrap_or(SimTime::MAX),
+                    node: e.node,
+                    action: Action::StallEnd,
+                    raw: None,
+                });
+            }
+        }
+        // Stable: simultaneous steps keep plan order, ends after starts.
+        steps.sort_by_key(|s| s.at);
+        steps
+    }
+
     fn fold_until(&self, t: SimTime, nodes: usize) -> Vec<NodeFold> {
         let mut folds = vec![NodeFold::PRISTINE; nodes];
-        for e in self.plan.events() {
-            if e.at >= t {
+        for s in self.steps() {
+            if s.at >= t {
                 break;
             }
-            if let Some(n) = e.node {
+            if let Some(n) = s.node {
                 if n < nodes {
-                    folds[n].apply(e.kind);
+                    folds[n].apply(s.action);
                 }
             }
         }
@@ -168,25 +228,31 @@ impl FaultInjector {
         let mut changes = Vec::new();
         let mut noise = 1.0;
         let mut events = Vec::new();
-        for e in self.plan.events() {
-            if e.at < start {
+        let mut crash_offsets = Vec::new();
+        for s in self.steps() {
+            if s.at < start {
                 continue;
             }
-            if e.at >= end {
+            if s.at >= end {
                 break;
             }
-            events.push(*e);
-            match e.node {
+            if let Some(e) = s.raw {
+                events.push(e);
+            }
+            match s.node {
                 Some(n) if n < nodes => {
-                    folds[n].apply(e.kind);
+                    folds[n].apply(s.action);
                     changes.push(HealthChange {
-                        after: e.at.since(start),
+                        after: s.at.since(start),
                         node: n,
                         health: folds[n].health(),
                     });
+                    if matches!(s.action, Action::Kind(FaultKind::Crash)) {
+                        crash_offsets.push((n, s.at.since(start)));
+                    }
                 }
                 _ => {
-                    if let FaultKind::NoiseSpike(f) = e.kind {
+                    if let Action::Kind(FaultKind::NoiseSpike(f)) = s.action {
                         noise *= f;
                     }
                 }
@@ -197,7 +263,32 @@ impl FaultInjector {
             changes,
             noise,
             events,
+            crash_offsets,
+            stall_s: self.stall_overlap_s(start, end, nodes),
         }
+    }
+
+    /// Seconds of stall overlapping `[start, end)`, summed over stall
+    /// events (concurrent stalls on different nodes each count).
+    fn stall_overlap_s(&self, start: SimTime, end: SimTime, nodes: usize) -> f64 {
+        let mut total = 0.0;
+        for e in self.plan.events() {
+            let Some(d) = e.kind.stall_duration_s() else {
+                continue;
+            };
+            if !matches!(e.node, Some(n) if n < nodes) {
+                continue;
+            }
+            let stall_end =
+                e.at.checked_add(SimDuration::from_secs_f64(d))
+                    .unwrap_or(SimTime::MAX);
+            let lo = e.at.max(start);
+            let hi = stall_end.min(end);
+            if hi > lo {
+                total += hi.since(lo).as_secs_f64();
+            }
+        }
+        total
     }
 
     /// Deterministic multiplicative perturbation for a noisy window:
@@ -266,6 +357,7 @@ mod tests {
             w.crash_in(SimDuration::ZERO, SimDuration::from_secs(5)),
             None
         );
+        assert_eq!(w.stall_s, 0.0);
     }
 
     #[test]
@@ -295,5 +387,64 @@ mod tests {
             assert!((0.25..=4.0).contains(&v), "{v} outside [1/4, 4]");
         }
         assert_eq!(inj.wips_noise(SimTime::from_secs(25), 1.0), 1.0);
+    }
+
+    #[test]
+    fn stall_downs_the_node_then_recovers_without_a_restart() {
+        let p = FaultPlan::new().stall(10.0, 2, 8.0);
+        let inj = FaultInjector::new(&p, 1);
+        assert!(inj.health_at(SimTime::from_secs(9), 4)[2].is_up());
+        assert!(inj.health_at(SimTime::from_secs(11), 4)[2].is_down());
+        assert!(
+            inj.health_at(SimTime::from_secs(19), 4)[2].is_up(),
+            "stall ends on its own at t=18"
+        );
+    }
+
+    #[test]
+    fn stall_is_not_a_crash() {
+        let p = FaultPlan::new().stall(10.0, 2, 8.0);
+        let inj = FaultInjector::new(&p, 1);
+        let w = inj.window(SimTime::ZERO, SimTime::from_secs(30), 4);
+        // The node goes Down and comes back in the health timeline...
+        assert_eq!(w.changes.len(), 2);
+        assert!(w.changes[0].health.is_down());
+        assert_eq!(w.changes[1].after, SimDuration::from_secs(18));
+        assert!(w.changes[1].health.is_up());
+        // ...but no crash is reported: nothing to restart, nothing to
+        // invalidate mid-measure.
+        assert!(w.crashes().is_empty());
+        assert_eq!(
+            w.crash_in(SimDuration::ZERO, SimDuration::from_secs(30)),
+            None
+        );
+        assert_eq!(w.stall_s, 8.0);
+        assert_eq!(w.events.len(), 1, "the implicit end is not a raw event");
+    }
+
+    #[test]
+    fn stall_overlap_is_clipped_to_the_window() {
+        let p = FaultPlan::new().stall(10.0, 0, 20.0).stall(25.0, 1, 20.0);
+        let inj = FaultInjector::new(&p, 1);
+        // Window [15, 35): first stall contributes [15, 30) = 15 s, the
+        // second [25, 35) = 10 s.
+        let w = inj.window(SimTime::from_secs(15), SimTime::from_secs(35), 4);
+        assert_eq!(w.stall_s, 25.0);
+        // A window after both stalls sees nothing.
+        let w = inj.window(SimTime::from_secs(50), SimTime::from_secs(60), 4);
+        assert_eq!(w.stall_s, 0.0);
+        assert!(w.is_trivial());
+    }
+
+    #[test]
+    fn crash_during_stall_stays_down_after_the_stall_ends() {
+        let p = FaultPlan::new().stall(10.0, 2, 8.0).crash(12.0, 2);
+        let inj = FaultInjector::new(&p, 1);
+        assert!(
+            inj.health_at(SimTime::from_secs(20), 4)[2].is_down(),
+            "the crash outlives the stall"
+        );
+        let w = inj.window(SimTime::ZERO, SimTime::from_secs(30), 4);
+        assert_eq!(w.crashes(), vec![2], "only the crash needs a restart");
     }
 }

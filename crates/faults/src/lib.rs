@@ -16,7 +16,10 @@
 //!   scheduled restart can heal a later attempt;
 //! * [`inject::FaultInjector`] — a stateless, replayable projection of a
 //!   plan onto any `[start, end)` measurement window, yielding the initial
-//!   node healths, in-window transitions, and the noise factor.
+//!   node healths, in-window transitions, the noise factor, and the
+//!   stalled seconds a timeout budget must absorb;
+//! * [`library`] — named chaos plans (crash storms, stall bursts, …) for
+//!   the resilience conformance suite.
 //!
 //! Everything is a pure function of `(plan, seed, time)`: the same plan and
 //! seed replay the same faults, byte for byte, which the determinism tests
@@ -31,9 +34,11 @@ pub mod clock;
 pub mod health;
 pub mod inject;
 mod json;
+pub mod library;
 pub mod plan;
 
 pub use clock::FaultClock;
 pub use health::{Health, Slowdown};
 pub use inject::{FaultInjector, HealthChange, HealthTimeline, WindowFaults};
+pub use library::ChaosPlan;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanError};

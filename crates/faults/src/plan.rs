@@ -21,6 +21,11 @@ pub enum FaultKind {
     /// Measurement noise multiplier for the window the event lands in;
     /// widens the reported confidence interval and perturbs the sample.
     NoiseSpike(f64),
+    /// Node is unresponsive (refuses new work) for the given number of
+    /// simulated seconds, then resumes with its prior slowdowns intact —
+    /// a GC pause, a lock convoy, an I/O hiccup. Unlike a crash there is
+    /// no restart event; the recovery instant is implied by the duration.
+    Stall(f64),
 }
 
 impl FaultKind {
@@ -33,17 +38,26 @@ impl FaultKind {
             FaultKind::DiskSlow(_) => "disk_slow",
             FaultKind::NicDegrade(_) => "nic_degrade",
             FaultKind::NoiseSpike(_) => "noise",
+            FaultKind::Stall(_) => "stall",
         }
     }
 
-    /// The slowdown/noise factor (1.0 for crash/restart).
+    /// The slowdown/noise factor (1.0 for crash/restart/stall).
     pub fn factor(&self) -> f64 {
         match self {
-            FaultKind::Crash | FaultKind::Restart => 1.0,
+            FaultKind::Crash | FaultKind::Restart | FaultKind::Stall(_) => 1.0,
             FaultKind::CpuSlow(f)
             | FaultKind::DiskSlow(f)
             | FaultKind::NicDegrade(f)
             | FaultKind::NoiseSpike(f) => *f,
+        }
+    }
+
+    /// The stall duration, if this is a stall.
+    pub fn stall_duration_s(&self) -> Option<f64> {
+        match self {
+            FaultKind::Stall(d) => Some(*d),
+            _ => None,
         }
     }
 
@@ -82,6 +96,10 @@ pub enum PlanError {
     MissingNode {
         kind: String,
     },
+    /// A stall needs a positive, finite duration.
+    BadDuration {
+        duration_s: f64,
+    },
     /// Two events share the same explicit id.
     DuplicateId(u64),
     /// An event timestamp is negative (times are simulated seconds ≥ 0).
@@ -102,7 +120,7 @@ impl fmt::Display for PlanError {
             PlanError::MissingField(name) => write!(f, "fault event missing field '{name}'"),
             PlanError::UnknownKind(k) => write!(
                 f,
-                "unknown fault kind '{k}' (expected crash, restart, cpu_slow, disk_slow, nic_degrade, or noise)"
+                "unknown fault kind '{k}' (expected crash, restart, cpu_slow, disk_slow, nic_degrade, noise, or stall)"
             ),
             PlanError::BadFactor { kind, factor } => {
                 write!(f, "fault '{kind}' needs a factor >= 1, got {factor}")
@@ -112,6 +130,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::MissingNode { kind } => {
                 write!(f, "fault '{kind}' requires a 'node' field")
+            }
+            PlanError::BadDuration { duration_s } => {
+                write!(f, "fault 'stall' needs a positive finite duration_s, got {duration_s}")
             }
             PlanError::DuplicateId(id) => {
                 write!(f, "duplicate fault event id {id}")
@@ -207,6 +228,12 @@ impl FaultPlan {
         self.with(at_s, None, FaultKind::NoiseSpike(factor))
     }
 
+    /// Stall `node` (unresponsive, no restart needed) for `duration_s`
+    /// simulated seconds starting at `at_s`.
+    pub fn stall(self, at_s: f64, node: usize, duration_s: f64) -> Self {
+        self.with(at_s, Some(node), FaultKind::Stall(duration_s))
+    }
+
     /// Check factors, node indices, id uniqueness, and crash/restart
     /// ordering against a cluster of `nodes` nodes.
     pub fn validate(&self, nodes: usize) -> Result<(), PlanError> {
@@ -218,6 +245,11 @@ impl FaultPlan {
                     kind: e.kind.name().to_string(),
                     factor,
                 });
+            }
+            if let Some(duration_s) = e.kind.stall_duration_s() {
+                if duration_s <= 0.0 || !duration_s.is_finite() {
+                    return Err(PlanError::BadDuration { duration_s });
+                }
             }
             match e.node {
                 Some(n) if n >= nodes => return Err(PlanError::NodeOutOfRange { node: n, nodes }),
@@ -281,6 +313,7 @@ impl FaultPlan {
                 .ok_or(PlanError::MissingField("kind"))?;
             let node = item.get("node").and_then(Json::as_f64).map(|n| n as usize);
             let factor = item.get("factor").and_then(Json::as_f64);
+            let duration_s = item.get("duration_s").and_then(Json::as_f64);
             let id = item.get("id").and_then(Json::as_f64).map(|v| v as u64);
             if let Some(id) = id {
                 if seen_ids.contains(&id) {
@@ -296,6 +329,13 @@ impl FaultPlan {
                 "disk_slow" => FaultKind::DiskSlow(need_factor()?),
                 "nic_degrade" => FaultKind::NicDegrade(need_factor()?),
                 "noise" => FaultKind::NoiseSpike(need_factor()?),
+                "stall" => {
+                    let d = duration_s.ok_or(PlanError::MissingField("duration_s"))?;
+                    if d <= 0.0 || !d.is_finite() {
+                        return Err(PlanError::BadDuration { duration_s: d });
+                    }
+                    FaultKind::Stall(d)
+                }
                 other => return Err(PlanError::UnknownKind(other.to_string())),
             };
             if kind.needs_node() && node.is_none() {
@@ -334,7 +374,9 @@ impl FaultPlan {
                 out.push_str(&format!(", \"node\": {n}"));
             }
             out.push_str(&format!(", \"kind\": \"{}\"", e.kind.name()));
-            if !e.kind.needs_node() || e.kind.factor() != 1.0 {
+            if let Some(d) = e.kind.stall_duration_s() {
+                out.push_str(&format!(", \"duration_s\": {d}"));
+            } else if !e.kind.needs_node() || e.kind.factor() != 1.0 {
                 out.push_str(&format!(", \"factor\": {}", e.kind.factor()));
             }
             if let Some(id) = e.id {
@@ -503,6 +545,44 @@ mod tests {
         // Crashes on different nodes never conflict.
         let plan = FaultPlan::new().crash(10.0, 0).crash(11.0, 1);
         assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn stall_roundtrips_through_json() {
+        let plan = FaultPlan::new().stall(12.5, 2, 8.0).crash(30.0, 1);
+        let json = plan.to_json();
+        assert!(json.contains("\"duration_s\": 8"), "duration kept: {json}");
+        let parsed = FaultPlan::parse_json(&json).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.events()[0].kind, FaultKind::Stall(8.0));
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn stall_requires_a_positive_finite_duration() {
+        assert_eq!(
+            FaultPlan::parse_json(r#"{"events": [{"at_s": 1.0, "node": 0, "kind": "stall"}]}"#)
+                .unwrap_err(),
+            PlanError::MissingField("duration_s")
+        );
+        for bad in ["0", "-2.5", "1e999"] {
+            let text = format!(
+                r#"{{"events": [{{"at_s": 1.0, "node": 0, "kind": "stall", "duration_s": {bad}}}]}}"#
+            );
+            assert!(
+                matches!(
+                    FaultPlan::parse_json(&text).unwrap_err(),
+                    PlanError::BadDuration { .. }
+                ),
+                "accepted duration {bad}"
+            );
+        }
+        // validate() catches programmatically built bad durations too.
+        let plan = FaultPlan::new().stall(1.0, 0, 0.0);
+        assert_eq!(
+            plan.validate(2).unwrap_err(),
+            PlanError::BadDuration { duration_s: 0.0 }
+        );
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //!   (parameter duplication and work-line partitioning);
 //! * [`monitor`]/[`reconfig`] — the §IV automatic cluster reconfiguration
 //!   algorithm (thresholds, urgency, cost model);
-//! * [`resilience`] — deterministic retry/backoff/jitter, a
-//!   per-configuration circuit breaker, and an outlier re-measurement
-//!   gate for failed or noisy evaluations.
+//! * resilience primitives (retry/backoff/jitter, the per-configuration
+//!   circuit breaker, the outlier re-measurement gate) now live in the
+//!   `resilience` crate and are re-exported here for compatibility.
 //!
 //! Tuning state is crash-safe: [`SimplexTuner`], [`HarmonyServer`],
 //! [`TuningHistory`], and [`CircuitBreaker`] implement the `persist`
@@ -67,7 +67,6 @@ pub mod monitor;
 pub mod param;
 pub mod reconfig;
 pub mod registry;
-pub mod resilience;
 pub mod revalidate;
 pub mod server;
 pub mod simplex;
@@ -86,6 +85,7 @@ pub use monitor::{Resource, UtilizationMonitor, UtilizationSnapshot};
 pub use param::ParamDef;
 pub use reconfig::{CostModel, NodeCostInputs, NodeReport, ReconfigDecision, Thresholds};
 pub use registry::{make_tuner, make_tuner_seeded, tuner_names, UnknownTuner};
+// Compatibility re-exports: these types moved to the `resilience` crate.
 pub use resilience::{Backoff, CircuitBreaker, Jitter, OutlierGate, RetryPolicy};
 pub use revalidate::Revalidating;
 pub use server::HarmonyServer;

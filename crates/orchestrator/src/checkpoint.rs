@@ -382,6 +382,10 @@ fn recovery_action_name(name: &str) -> Result<&'static str, PersistError> {
         "remeasure" => "remeasure",
         "breaker_open" => "breaker_open",
         "breaker_skip" => "breaker_skip",
+        "breaker_probe" => "breaker_probe",
+        "timeout" => "timeout",
+        "bulkhead_skip" => "bulkhead_skip",
+        "degraded" => "degraded",
         "reconfig" => "reconfig",
         other => return Err(schema(format!("unknown recovery action '{other}'"))),
     })

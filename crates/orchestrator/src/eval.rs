@@ -348,7 +348,7 @@ impl EvalEngine {
 /// Serialize one cached outcome. `p90_response` travels as integer
 /// microseconds and every float as raw bits (the `State` codec), so the
 /// round trip is bit-exact.
-fn outcome_state(out: &IterationOutcome) -> State {
+pub(crate) fn outcome_state(out: &IterationOutcome) -> State {
     State::map()
         .with("wips", State::F64(out.metrics.wips))
         .with("completed", State::U64(out.metrics.completed))
@@ -376,7 +376,7 @@ fn outcome_state(out: &IterationOutcome) -> State {
         .with("events", State::U64(out.events))
 }
 
-fn outcome_from_state(state: &State) -> Result<IterationOutcome, PersistError> {
+pub(crate) fn outcome_from_state(state: &State) -> Result<IterationOutcome, PersistError> {
     let node_utilization = state
         .field_list("util")?
         .iter()

@@ -9,6 +9,7 @@
 //! DESIGN.md §4 — chosen so the default configuration saturates each
 //! workload's bottleneck the way the paper's testbed did.
 
+pub mod chaos;
 pub mod faults;
 pub mod fig4;
 pub mod fig5;

@@ -1,31 +1,43 @@
-//! Fault-tolerant tuning sessions: retry, re-measurement, circuit
-//! breaking, and failure-driven reconfiguration.
+//! Fault-tolerant tuning sessions: a composable resilience policy stack
+//! (fallback ∘ breaker ∘ retry ∘ timeout ∘ bulkhead) plus
+//! failure-driven reconfiguration.
 //!
 //! A resilient session is the §III duplication loop hardened against the
 //! faults a [`faults::FaultPlan`] injects. Iteration `i` covers simulated
 //! time `[i·plan.total(), (i+1)·plan.total())` of the fault schedule
-//! ([`faults::FaultClock::window_of`]). Per iteration:
+//! ([`faults::FaultClock::window_of`]). Each iteration's evaluation runs
+//! through a [`resilience::Stack`]:
 //!
 //! 1. faults landing in the window are traced (`fault` records) and
 //!    applied inside the DES via the scenario's health timeline;
 //! 2. a sample invalidated by a crash during the *measurement* phase (or
-//!    one that measured zero throughput) is retried with bounded,
-//!    jittered backoff — the retry sees the post-crash steady state, as a
-//!    real re-measurement would;
+//!    one that measured zero throughput) is retried by the
+//!    [`resilience::Retry`] layer with bounded, jittered backoff — the
+//!    retry sees the post-crash steady state, as a real re-measurement
+//!    would;
 //! 3. a sample whose measured WIPS deviates wildly from its completion
 //!    count (a measurement-noise spike) is re-measured through the
-//!    [`OutlierGate`];
-//! 4. a configuration that exhausts its retry budget is reported to
+//!    [`OutlierGate`] inside the evaluation closure;
+//! 4. an attempt whose simulated time (window plus any stalled seconds)
+//!    exceeds the optional [`resilience::Timeout`] budget is invalidated
+//!    and retried like any other bad sample;
+//! 5. a configuration that exhausts its retry budget is reported to
 //!    Harmony as worthless (0.0 — the proposal is always answered) and
-//!    counted against a per-configuration [`CircuitBreaker`]; a
-//!    blacklisted configuration is rejected without re-measuring;
-//! 5. a crash triggers the §IV `decide()` path over the *live* nodes; if
+//!    counted against the per-configuration [`CircuitBreaker`] layer; a
+//!    blacklisted configuration is rejected without re-measuring (and,
+//!    when `breaker_half_open_after` is set, periodically probed);
+//! 6. with `degrade_to_best`, an iteration that would otherwise fail
+//!    outright degrades to the best-known sample ([`resilience::Fallback`],
+//!    `degraded` trace records) instead;
+//! 7. a crash triggers the §IV `decide()` path over the *live* nodes; if
 //!    the cost model declines, a spare node is pulled directly into the
 //!    wounded tier so the cluster heals anyway.
 //!
 //! Retry delays are simulated time (deterministic jitter from the fault
 //! seed); they are reported in `recovery` trace records but do not shift
-//! the window mapping, which stays iteration-indexed.
+//! the window mapping, which stays iteration-indexed. The whole policy
+//! stack checkpoints bit-exactly (per-delta `policy` state), so a killed
+//! session resumes mid-policy without re-burning RNG draws.
 
 use crate::binding;
 use crate::checkpoint::{self, Checkpointer};
@@ -39,13 +51,18 @@ use cluster::runner::IterationOutcome;
 use faults::{FaultClock, FaultEvent, FaultInjector, Health, HealthTimeline, WindowFaults};
 use harmony::monitor::UtilizationSnapshot;
 use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
-use harmony::resilience::{CircuitBreaker, OutlierGate, RetryPolicy};
 use harmony::server::HarmonyServer;
-use persist::{Checkpointable, State};
-use simkit::rng::SimRng;
+use obs::Registry;
+use persist::{Checkpointable, PersistError, State};
+use resilience::{
+    Breaker, Bulkhead, CircuitBreaker, Ctx, Event, Fallback, Outcome, OutlierGate, Retry,
+    RetryPolicy, Sample, Stack, StateCodec, Timeout,
+};
 use simkit::time::SimDuration;
 
-/// Policy knobs of a resilient session.
+/// Policy knobs of a resilient session. The defaults reduce the optional
+/// layers (timeout, bulkhead, half-open probing, degradation) to the
+/// identity, reproducing the original retry+breaker behavior exactly.
 #[derive(Debug, Clone)]
 pub struct ResilienceSettings {
     /// Bounded retry with backoff for invalid samples.
@@ -54,6 +71,20 @@ pub struct ResilienceSettings {
     pub gate: OutlierGate,
     /// Failed evaluations of one configuration before it is blacklisted.
     pub breaker_threshold: u32,
+    /// Probe a blacklisted configuration after this many refused
+    /// evaluations (`None`: blacklists are permanent).
+    pub breaker_half_open_after: Option<u32>,
+    /// Per-attempt simulated-time budget in seconds (`None`: unlimited).
+    /// An attempt is charged the measurement window plus any stalled
+    /// seconds the fault plan injects into it.
+    pub timeout_s: Option<f64>,
+    /// Cap on concurrently in-flight evaluations (`None`: unbounded).
+    /// Also clamps speculative-evaluation width via
+    /// [`Bulkhead::clamp_threads`].
+    pub bulkhead: Option<u32>,
+    /// Substitute the best-known sample when an iteration fails outright
+    /// (emits `degraded` trace records; the tuner still sees 0.0).
+    pub degrade_to_best: bool,
     /// Pull a spare node into a tier that lost one to a crash.
     pub reconfigure_on_crash: bool,
     /// Utilization thresholds for the `decide()` attempt.
@@ -68,6 +99,10 @@ impl Default for ResilienceSettings {
             retry: RetryPolicy::default(),
             gate: OutlierGate::default(),
             breaker_threshold: 3,
+            breaker_half_open_after: None,
+            timeout_s: None,
+            bulkhead: None,
+            degrade_to_best: false,
             reconfigure_on_crash: true,
             thresholds: Thresholds::default(),
             cost_model: CostModel::default(),
@@ -76,14 +111,16 @@ impl Default for ResilienceSettings {
 }
 
 /// One resilience action taken during the run (mirrors the `recovery`
-/// trace records).
+/// and `degraded` trace records).
 #[derive(Debug, Clone)]
 pub struct RecoveryAction {
     pub iteration: u32,
-    /// `retry`, `remeasure`, `breaker_open`, `breaker_skip`, `reconfig`.
+    /// `retry`, `remeasure`, `timeout`, `breaker_open`, `breaker_skip`,
+    /// `breaker_probe`, `bulkhead_skip`, `degraded`, `reconfig`.
     pub action: &'static str,
     pub attempt: u32,
-    /// Simulated backoff delay, seconds (0 when not a retry).
+    /// Simulated delay, seconds (backoff for retries, elapsed budget
+    /// overrun for timeouts, 0 otherwise).
     pub delay_s: f64,
     /// WIPS of the sample that triggered or resolved the action.
     pub wips: f64,
@@ -139,6 +176,49 @@ impl ResilientRun {
     }
 }
 
+/// The domain value flowing through the policy stack: the configuration
+/// under test and its measured outcome. Round-trips through
+/// [`persist::State`] so the fallback's best-known sample survives
+/// kill-and-resume bit-exactly.
+#[derive(Debug, Clone)]
+struct EvalSample {
+    config: ClusterConfig,
+    out: IterationOutcome,
+}
+
+impl StateCodec for EvalSample {
+    fn to_state(&self) -> State {
+        State::map()
+            .with("config", checkpoint::config_state(&self.config))
+            .with("outcome", crate::eval::outcome_state(&self.out))
+    }
+
+    fn from_state(state: &State) -> Result<Self, PersistError> {
+        Ok(EvalSample {
+            config: checkpoint::config_from_state(state.require("config")?)?,
+            out: crate::eval::outcome_from_state(state.require("outcome")?)?,
+        })
+    }
+}
+
+/// The session's policy composition, outermost first: fallback ∘ breaker
+/// ∘ retry ∘ timeout ∘ bulkhead. The retry jitter stream is seeded from
+/// the fault seed exactly as before, so fault-plan sessions keep their
+/// historical delay sequences.
+fn build_policy_stack(base: &SessionConfig, settings: &ResilienceSettings) -> Stack<EvalSample> {
+    Stack::new()
+        .layer(Fallback::new(settings.degrade_to_best))
+        .layer(Breaker::new(
+            CircuitBreaker::new(settings.breaker_threshold)
+                .half_open_after(settings.breaker_half_open_after),
+        ))
+        .layer(Retry::new(settings.retry, base.fault_seed ^ 0xBACC_0FF5))
+        .layer(Timeout::new(
+            settings.timeout_s.map(SimDuration::from_secs_f64),
+        ))
+        .layer(Bulkhead::new(settings.bulkhead))
+}
+
 /// Run a resilient duplication-tuning session under a fault plan.
 pub fn run_resilient_session(
     base: &SessionConfig,
@@ -149,8 +229,8 @@ pub fn run_resilient_session(
 }
 
 /// [`run_resilient_session`] with trace/metrics observation: `iteration`
-/// records as usual, plus `fault` and `recovery` records and the
-/// `faults.injected` / `resilience.*` counters.
+/// records as usual, plus `fault`, `recovery`, and `degraded` records and
+/// the `faults.injected` / `resilience.*` counters.
 pub fn run_resilient_session_observed(
     base: &SessionConfig,
     settings: &ResilienceSettings,
@@ -173,8 +253,7 @@ pub fn run_resilient_session_observed(
         HarmonyServer::new("web-tier", tier_tuner(binding::role_space(Role::App), 1)?),
         HarmonyServer::new("db-tier", tier_tuner(binding::role_space(Role::Db), 2)?),
     ];
-    let mut breaker = CircuitBreaker::new(settings.breaker_threshold);
-    let mut jitter_rng = SimRng::new(base.fault_seed ^ 0xBACC_0FF5);
+    let mut stack = build_policy_stack(base, settings);
     let mut records = Vec::with_capacity(iterations as usize);
     let mut fault_log = Vec::new();
     let mut recoveries = Vec::new();
@@ -212,12 +291,9 @@ pub fn run_resilient_session_observed(
                     for (server, st) in servers.iter_mut().zip(saved) {
                         server.restore_state(st).map_err(ckerr)?;
                     }
-                    breaker
-                        .restore_state(state.require("breaker").map_err(ckerr)?)
+                    stack
+                        .restore_state(state.require("policy").map_err(ckerr)?)
                         .map_err(ckerr)?;
-                    jitter_rng = SimRng::from_state(rng_words_from_state(
-                        state.require("jitter_rng").map_err(ckerr)?,
-                    )?);
                     best_wips = state.field_f64("best_wips").map_err(ckerr)?;
                     best_iter = state.field_u64("best_iteration").map_err(ckerr)? as u32;
                     records =
@@ -238,9 +314,13 @@ pub fn run_resilient_session_observed(
                     }
                 }
                 // Replay the journal past the snapshot. Proposals are
-                // re-derived deterministically; measured outcomes, retry
-                // counts, recoveries and node moves come from the journal
-                // — nothing is re-simulated and nothing is re-traced.
+                // re-derived deterministically; measured outcomes,
+                // recoveries and node moves come from the journal, and the
+                // policy stack (breaker counts, retry RNG position, the
+                // fallback's best sample, the simulated clock) restores
+                // bit-exactly from the journaled state — nothing is
+                // re-simulated, nothing is re-traced, and no RNG draw is
+                // ever re-burned.
                 let mut replayed = 0u32;
                 for delta in &resumed.deltas {
                     let i = delta.field_u64("iteration").map_err(ckerr)? as u32;
@@ -253,8 +333,7 @@ pub fn run_resilient_session_observed(
                     let wc = servers[1].next_config();
                     let dc = servers[2].next_config();
                     let config = binding::config_from_roles(&topology, &pc, &wc, &dc);
-                    let key = config_summary(&config);
-                    let skip = delta.field_bool("skip").map_err(ckerr)?;
+                    let _ = config_summary(&config);
                     let valid = delta.field_bool("valid").map_err(ckerr)?;
                     let wips = delta.field_f64("wips").map_err(ckerr)?;
                     let line_wips = delta
@@ -262,30 +341,20 @@ pub fn run_resilient_session_observed(
                         .and_then(State::to_f64_vec)
                         .map_err(ckerr)?;
                     let failed = delta.field_u64("failed").map_err(ckerr)?;
-                    if skip {
-                        for s in &mut servers {
-                            s.report(0.0);
-                        }
-                    } else {
-                        // The live run drew one jitter value per retry;
-                        // replay the same draws to keep the stream aligned.
-                        let retries = delta.field_u64("retries").map_err(ckerr)? as u32;
-                        for attempt in 1..=retries {
-                            let _ = settings.retry.delay(attempt, &mut jitter_rng);
-                        }
-                        for s in &mut servers {
-                            s.report(wips);
-                        }
-                        if valid {
-                            breaker.record_success(&key);
-                            if wips > best_wips {
-                                best_wips = wips;
-                                best_iter = i;
-                            }
-                        } else {
-                            let _ = breaker.record_failure(&key);
-                        }
+                    // The tuner was fed the measured value only when the
+                    // sample was valid (degraded iterations journal the
+                    // substituted WIPS but reported 0.0 to the tuner).
+                    let reported = if valid { wips } else { 0.0 };
+                    for s in &mut servers {
+                        s.report(reported);
                     }
+                    if valid && wips > best_wips {
+                        best_wips = wips;
+                        best_iter = i;
+                    }
+                    stack
+                        .restore_state(delta.require("policy").map_err(ckerr)?)
+                        .map_err(ckerr)?;
                     recoveries.extend(
                         checkpoint::recoveries_from_state(
                             delta.require("recoveries").map_err(ckerr)?,
@@ -367,133 +436,143 @@ pub fn run_resilient_session_observed(
         let key = config_summary(&config);
         let recov_mark = recoveries.len();
         let reconfig_mark = reconfigs.len();
-        let skip = breaker.is_open(&key);
-        let (wips, line_wips, failed, valid);
 
-        if skip {
-            // Blacklisted configuration: answer the proposal without
-            // re-measuring.
-            for s in &mut servers {
-                s.report(0.0);
+        let registry = observer.registry();
+        let outcome = stack.call(&key, i, &mut |ctx| {
+            evaluate_attempt(&cfg, settings, &config, i, wf.as_ref(), registry, ctx)
+        });
+        let events = stack.take_events();
+        apply_events(&events, i, &key, observer, &mut recoveries);
+
+        let skip = matches!(outcome, Outcome::Rejected(_));
+        let (wips, line_wips, failed, valid);
+        match outcome {
+            Outcome::Rejected(_) => {
+                // Blacklisted configuration (or no bulkhead permit):
+                // answer the proposal without re-measuring.
+                for s in &mut servers {
+                    s.report(0.0);
+                }
+                records.push(IterationRecord {
+                    iteration: i,
+                    wips: 0.0,
+                    line_wips: Vec::new(),
+                    workload: cfg.workload,
+                    failed: 0,
+                });
+                wips = 0.0;
+                line_wips = Vec::new();
+                failed = 0;
+                valid = false;
             }
-            observer.record_recovery(i, "breaker_skip", 0, 0.0, &key, 0.0);
-            if let Some(reg) = observer.registry() {
-                reg.counter("resilience.breaker_skips").inc();
-            }
-            recoveries.push(RecoveryAction {
-                iteration: i,
-                action: "breaker_skip",
-                attempt: 0,
-                delay_s: 0.0,
-                wips: 0.0,
-            });
-            records.push(IterationRecord {
-                iteration: i,
-                wips: 0.0,
-                line_wips: Vec::new(),
-                workload: cfg.workload,
-                failed: 0,
-            });
-            wips = 0.0;
-            line_wips = Vec::new();
-            failed = 0;
-            valid = false;
-        } else {
-            let (out, out_valid) = evaluate_with_retries(
-                &cfg,
-                settings,
-                &config,
-                &key,
-                i,
-                wf.as_ref(),
-                &mut jitter_rng,
-                observer,
-                &mut recoveries,
-            );
-            valid = out_valid;
-            wips = if valid { out.metrics.wips } else { 0.0 };
-            for s in &mut servers {
-                s.report(wips);
-            }
-            if valid {
-                breaker.record_success(&key);
-                if wips > best_wips {
+            Outcome::Ok(sample) | Outcome::Invalid(sample) => {
+                valid = sample.valid;
+                let out = sample.value.out;
+                wips = if valid { out.metrics.wips } else { 0.0 };
+                for s in &mut servers {
+                    s.report(wips);
+                }
+                if valid && wips > best_wips {
                     best_wips = wips;
                     best_iter = i;
                 }
-            } else if breaker.record_failure(&key) {
-                observer.record_recovery(
+                observer.record_iteration(
+                    &cfg,
+                    "resilient",
                     i,
-                    "breaker_open",
-                    settings.retry.max_attempts,
-                    0.0,
-                    &key,
-                    0.0,
+                    &config,
+                    &out,
+                    best_wips.max(0.0),
+                    best_iter,
+                    &servers[0].diagnostics(),
+                    t0.elapsed().as_secs_f64() * 1e3,
                 );
-                if let Some(reg) = observer.registry() {
-                    reg.counter("resilience.breaker_open").inc();
-                }
-                recoveries.push(RecoveryAction {
+                records.push(IterationRecord {
                     iteration: i,
-                    action: "breaker_open",
-                    attempt: settings.retry.max_attempts,
-                    delay_s: 0.0,
-                    wips: 0.0,
+                    wips,
+                    line_wips: out.line_wips.clone(),
+                    workload: cfg.workload,
+                    failed: out.total_failed,
                 });
+                reconfigure_if_crashed(
+                    &cfg,
+                    settings,
+                    wf.as_ref(),
+                    i,
+                    &out,
+                    wips,
+                    &mut topology,
+                    &mut recoveries,
+                    &mut reconfigs,
+                    observer,
+                );
+                line_wips = out.line_wips;
+                failed = out.total_failed;
             }
-
-            observer.record_iteration(
-                &cfg,
-                "resilient",
-                i,
-                &config,
-                &out,
-                best_wips.max(0.0),
-                best_iter,
-                &servers[0].diagnostics(),
-                t0.elapsed().as_secs_f64() * 1e3,
-            );
-            records.push(IterationRecord {
-                iteration: i,
-                wips,
-                line_wips: out.line_wips.clone(),
-                workload: cfg.workload,
-                failed: out.total_failed,
-            });
-
-            // Failure-driven reconfiguration: a crash in this window wounds a
-            // tier; try to backfill it from the healthiest other tier.
-            if settings.reconfigure_on_crash {
-                if let Some(wf) = &wf {
-                    let crashed = wf.crashes();
-                    if !crashed.is_empty() {
-                        if let Some(event) =
-                            heal_after_crash(&cfg, settings, &topology, &crashed, i, &out, observer)
-                        {
-                            if let Ok(next) = topology.reassign(event.node, event.to_tier) {
-                                topology = next;
-                                recoveries.push(RecoveryAction {
-                                    iteration: i,
-                                    action: "reconfig",
-                                    attempt: 0,
-                                    delay_s: 0.0,
-                                    wips,
-                                });
-                                reconfigs.push(event);
-                            }
-                        }
+            Outcome::Degraded(d) => {
+                // Graceful degradation: the tuner still learns the
+                // proposal was worthless, but downstream consumers see
+                // the substituted best-known WIPS and the running best
+                // is left untouched.
+                for s in &mut servers {
+                    s.report(0.0);
+                }
+                wips = d.sample.score;
+                valid = false;
+                match d.measured {
+                    Some(m) => {
+                        let out = m.value.out;
+                        observer.record_iteration(
+                            &cfg,
+                            "resilient",
+                            i,
+                            &config,
+                            &out,
+                            best_wips.max(0.0),
+                            best_iter,
+                            &servers[0].diagnostics(),
+                            t0.elapsed().as_secs_f64() * 1e3,
+                        );
+                        records.push(IterationRecord {
+                            iteration: i,
+                            wips,
+                            line_wips: out.line_wips.clone(),
+                            workload: cfg.workload,
+                            failed: out.total_failed,
+                        });
+                        reconfigure_if_crashed(
+                            &cfg,
+                            settings,
+                            wf.as_ref(),
+                            i,
+                            &out,
+                            wips,
+                            &mut topology,
+                            &mut recoveries,
+                            &mut reconfigs,
+                            observer,
+                        );
+                        line_wips = out.line_wips;
+                        failed = out.total_failed;
+                    }
+                    None => {
+                        // Nothing was measured (rejection): no iteration
+                        // record, no reconfiguration evidence.
+                        records.push(IterationRecord {
+                            iteration: i,
+                            wips,
+                            line_wips: Vec::new(),
+                            workload: cfg.workload,
+                            failed: 0,
+                        });
+                        line_wips = Vec::new();
+                        failed = 0;
                     }
                 }
             }
-            line_wips = out.line_wips;
-            failed = out.total_failed;
         }
 
         if let Some(ck) = ckpt.as_mut() {
-            let retries = recoveries[recov_mark..]
-                .iter()
-                .filter(|r| r.action == "retry")
-                .count() as u64;
             let reconfig = reconfigs
                 .get(reconfig_mark)
                 .map(checkpoint::reconfig_state)
@@ -506,7 +585,7 @@ pub fn run_resilient_session_observed(
                     .with("wips", State::F64(wips))
                     .with("line_wips", State::f64_list(&line_wips))
                     .with("failed", State::U64(failed))
-                    .with("retries", State::U64(retries))
+                    .with("policy", stack.save_state())
                     .with(
                         "recoveries",
                         checkpoint::recoveries_state(&recoveries[recov_mark..]),
@@ -517,8 +596,7 @@ pub fn run_resilient_session_observed(
                 let mut snap = resilient_snapshot(
                     &topology,
                     &servers,
-                    &breaker,
-                    &jitter_rng,
+                    &stack,
                     best_wips,
                     best_iter,
                     &records,
@@ -543,13 +621,14 @@ pub fn run_resilient_session_observed(
     })
 }
 
-/// Full mutable state of a resilient session, snapshot-ready.
+/// Full mutable state of a resilient session, snapshot-ready. The whole
+/// policy stack (breaker, retry RNG, clock, fallback best) travels as one
+/// `policy` subtree.
 #[allow(clippy::too_many_arguments)]
 fn resilient_snapshot(
     topology: &Topology,
     servers: &[HarmonyServer; 3],
-    breaker: &CircuitBreaker,
-    jitter_rng: &SimRng,
+    stack: &Stack<EvalSample>,
     best_wips: f64,
     best_iter: u32,
     records: &[IterationRecord],
@@ -563,11 +642,7 @@ fn resilient_snapshot(
             "servers",
             State::List(servers.iter().map(Checkpointable::save_state).collect()),
         )
-        .with("breaker", breaker.save_state())
-        .with(
-            "jitter_rng",
-            State::List(jitter_rng.state().iter().map(|&w| State::U64(w)).collect()),
-        )
+        .with("policy", stack.save_state())
         .with("best_wips", State::F64(best_wips))
         .with("best_iteration", State::U64(best_iter as u64))
         .with("records", checkpoint::records_state(records))
@@ -575,142 +650,224 @@ fn resilient_snapshot(
         .with("reconfigs", checkpoint::reconfigs_state(reconfigs))
 }
 
-/// Decode a serialized xoshiro256** state (4 words).
-fn rng_words_from_state(state: &State) -> Result<[u64; 4], SessionError> {
-    let list = state
-        .as_list()
-        .ok_or_else(|| SessionError::Checkpoint("jitter_rng state is not a list".into()))?;
-    if list.len() != 4 {
-        return Err(SessionError::Checkpoint(format!(
-            "jitter_rng state expects 4 words, found {}",
-            list.len()
-        )));
+/// Map one stack call's event log onto `recovery`/`degraded` trace
+/// records, `resilience.*` counters, and [`RecoveryAction`]s — in the
+/// exact order the layers acted.
+fn apply_events(
+    events: &[Event],
+    iteration: u32,
+    key: &str,
+    observer: &mut SessionObserver,
+    recoveries: &mut Vec<RecoveryAction>,
+) {
+    let count = |observer: &SessionObserver, name: &str| {
+        if let Some(reg) = observer.registry() {
+            reg.counter(name).inc();
+        }
+    };
+    for e in events {
+        let (action, attempt, delay_s, wips) = match *e {
+            Event::Retry {
+                attempt,
+                delay,
+                score,
+            } => ("retry", attempt, delay.as_secs_f64(), score),
+            Event::Remeasure { attempt, score } => ("remeasure", attempt, 0.0, score),
+            Event::Timeout {
+                attempt,
+                elapsed,
+                score,
+                ..
+            } => ("timeout", attempt, elapsed.as_secs_f64(), score),
+            Event::BreakerOpen { attempts } => ("breaker_open", attempts, 0.0, 0.0),
+            Event::BreakerSkip => ("breaker_skip", 0, 0.0, 0.0),
+            Event::BreakerProbe => ("breaker_probe", 0, 0.0, 0.0),
+            Event::BulkheadFull => ("bulkhead_skip", 0, 0.0, 0.0),
+            Event::Degraded { score, reason } => {
+                observer.record_degraded(iteration, reason.name(), key, score);
+                count(observer, "resilience.degraded");
+                recoveries.push(RecoveryAction {
+                    iteration,
+                    action: "degraded",
+                    attempt: 0,
+                    delay_s: 0.0,
+                    wips: score,
+                });
+                continue;
+            }
+        };
+        observer.record_recovery(iteration, action, attempt, delay_s, key, wips);
+        let counter = match *e {
+            Event::Retry { .. } => "resilience.retries",
+            Event::Remeasure { .. } => "resilience.remeasures",
+            Event::Timeout { .. } => "resilience.timeouts",
+            Event::BreakerOpen { .. } => "resilience.breaker_open",
+            Event::BreakerSkip => "resilience.breaker_skips",
+            Event::BreakerProbe => "resilience.breaker_probes",
+            Event::BulkheadFull => "resilience.bulkhead_skips",
+            Event::Degraded { .. } => unreachable!("handled above"),
+        };
+        count(observer, counter);
+        recoveries.push(RecoveryAction {
+            iteration,
+            action,
+            attempt,
+            delay_s,
+            wips,
+        });
     }
-    let mut words = [0u64; 4];
-    for (w, s) in words.iter_mut().zip(list) {
-        *w = s
-            .as_u64()
-            .ok_or_else(|| SessionError::Checkpoint("jitter_rng word is not a u64".into()))?;
-    }
-    Ok(words)
 }
 
-/// Evaluate one proposal, retrying invalid samples and re-measuring
-/// noise-spiked ones. Returns the final outcome and whether it is valid.
-#[allow(clippy::too_many_arguments)]
-fn evaluate_with_retries(
+/// One evaluation attempt, run by the policy stack. The first attempt is
+/// the primary measurement (with outlier re-measurement when the window
+/// is noise-spiked); retries see the post-crash steady state, like a real
+/// re-measurement scheduled after the failure. Every attempt advances the
+/// policy clock by the simulated time it consumed, which is what the
+/// timeout layer budgets against.
+fn evaluate_attempt(
     cfg: &SessionConfig,
     settings: &ResilienceSettings,
     config: &ClusterConfig,
-    key: &str,
     iteration: u32,
     wf: Option<&WindowFaults>,
-    jitter_rng: &mut SimRng,
-    observer: &mut SessionObserver,
-    recoveries: &mut Vec<RecoveryAction>,
-) -> (IterationOutcome, bool) {
-    let mut out = cfg.evaluate_observed(config.clone(), iteration, observer.registry());
+    registry: Option<&Registry>,
+    ctx: &mut Ctx<'_>,
+) -> Sample<EvalSample> {
+    if ctx.attempt <= 1 {
+        let mut out = cfg.evaluate_observed(config.clone(), iteration, registry);
 
-    // A crash inside the measurement phase invalidates the sample (the
-    // paper's fixed-interval measurement assumes a stable cluster).
-    let crashed_mid_measure = wf
-        .map(|w| {
-            w.crash_in(cfg.plan.warmup, cfg.plan.warmup + cfg.plan.measure)
-                .is_some()
-        })
-        .unwrap_or(false);
-    let mut valid = !crashed_mid_measure && out.metrics.wips > 0.0;
+        // A crash inside the measurement phase invalidates the sample (the
+        // paper's fixed-interval measurement assumes a stable cluster).
+        let crashed_mid_measure = wf
+            .map(|w| {
+                w.crash_in(cfg.plan.warmup, cfg.plan.warmup + cfg.plan.measure)
+                    .is_some()
+            })
+            .unwrap_or(false);
+        let mut valid = !crashed_mid_measure && out.metrics.wips > 0.0;
 
-    // Noise-spike re-measurement: the sample passes only if measured WIPS
-    // is consistent with its own completion count.
-    if valid {
-        if let Some(w) = wf.filter(|w| w.noise > 1.0) {
-            let measure_secs = cfg.plan.measure.as_secs_f64();
-            if measure_secs > 0.0 {
-                let (start, _) = FaultClock::window_of(cfg.plan.total(), iteration);
-                let mut remeasures = 0;
-                while remeasures < settings.gate.max_remeasures {
-                    let predicted = out.metrics.completed as f64 / measure_secs;
-                    let deviation = (out.metrics.wips - predicted).abs();
-                    if settings.gate.accepts(predicted, deviation) {
-                        break;
-                    }
-                    remeasures += 1;
-                    observer.record_recovery(
-                        iteration,
-                        "remeasure",
-                        remeasures,
-                        0.0,
-                        key,
-                        out.metrics.wips,
-                    );
-                    if let Some(reg) = observer.registry() {
-                        reg.counter("resilience.remeasures").inc();
-                    }
-                    recoveries.push(RecoveryAction {
-                        iteration,
-                        action: "remeasure",
-                        attempt: remeasures,
-                        delay_s: 0.0,
-                        wips: out.metrics.wips,
-                    });
-                    // Re-run the window and draw the next noise value (a
-                    // re-measurement happens at a later session time).
-                    let retry_cfg = cfg
-                        .clone()
-                        .base_seed(cfg.base_seed ^ remeasure_salt(remeasures));
-                    out = retry_cfg.eval.run(
-                        &retry_cfg.scenario(config.clone(), iteration),
-                        observer.registry(),
-                    );
-                    if let Some(plan) = cfg.fault_plan.as_ref() {
-                        let injector = FaultInjector::new(plan, cfg.fault_seed);
-                        let shifted = start + SimDuration::from_micros(remeasures as u64);
-                        let factor = injector.wips_noise(shifted, w.noise);
-                        out.metrics.wips *= factor;
-                        for lw in &mut out.line_wips {
-                            *lw *= factor;
+        // Noise-spike re-measurement: the sample passes only if measured
+        // WIPS is consistent with its own completion count.
+        if valid {
+            if let Some(w) = wf.filter(|w| w.noise > 1.0) {
+                let measure_secs = cfg.plan.measure.as_secs_f64();
+                if measure_secs > 0.0 {
+                    let (start, _) = FaultClock::window_of(cfg.plan.total(), iteration);
+                    let mut remeasures = 0;
+                    while remeasures < settings.gate.max_remeasures {
+                        let predicted = out.metrics.completed as f64 / measure_secs;
+                        let deviation = (out.metrics.wips - predicted).abs();
+                        if settings.gate.accepts(predicted, deviation) {
+                            break;
+                        }
+                        remeasures += 1;
+                        ctx.push(Event::Remeasure {
+                            attempt: remeasures,
+                            score: out.metrics.wips,
+                        });
+                        // Re-run the window and draw the next noise value (a
+                        // re-measurement happens at a later session time).
+                        let retry_cfg = cfg
+                            .clone()
+                            .base_seed(cfg.base_seed ^ remeasure_salt(remeasures));
+                        out = retry_cfg
+                            .eval
+                            .run(&retry_cfg.scenario(config.clone(), iteration), registry);
+                        if let Some(plan) = cfg.fault_plan.as_ref() {
+                            let injector = FaultInjector::new(plan, cfg.fault_seed);
+                            let shifted = start + SimDuration::from_micros(remeasures as u64);
+                            let factor = injector.wips_noise(shifted, w.noise);
+                            out.metrics.wips *= factor;
+                            for lw in &mut out.line_wips {
+                                *lw *= factor;
+                            }
                         }
                     }
+                    valid = out.metrics.wips > 0.0;
                 }
-                valid = out.metrics.wips > 0.0;
             }
         }
-    }
 
-    // Bounded retry with backoff: the retry sees the post-crash steady
-    // state, like a real re-measurement scheduled after the failure.
-    let mut attempt = 1;
-    while !valid && settings.retry.allows(attempt + 1) {
-        let delay = settings.retry.delay(attempt, jitter_rng);
-        attempt += 1;
-        observer.record_recovery(
-            iteration,
-            "retry",
-            attempt,
-            delay.as_secs_f64(),
-            key,
-            out.metrics.wips,
+        // The primary attempt holds the cluster for the full window, plus
+        // any stalled seconds the fault plan injected into it.
+        let stall_s = wf.map(|w| w.stall_s).unwrap_or(0.0);
+        ctx.advance(
+            cfg.plan
+                .total()
+                .saturating_add(SimDuration::from_secs_f64(stall_s)),
         );
-        if let Some(reg) = observer.registry() {
-            reg.counter("resilience.retries").inc();
+        let score = out.metrics.wips;
+        Sample {
+            value: EvalSample {
+                config: config.clone(),
+                out,
+            },
+            valid,
+            score,
         }
-        recoveries.push(RecoveryAction {
-            iteration,
-            action: "retry",
-            attempt,
-            delay_s: delay.as_secs_f64(),
-            wips: out.metrics.wips,
-        });
+    } else {
         let retry_cfg = cfg
             .clone()
-            .base_seed(cfg.base_seed ^ remeasure_salt(attempt));
+            .base_seed(cfg.base_seed ^ remeasure_salt(ctx.attempt));
         let mut scenario = retry_cfg.scenario(config.clone(), iteration);
         scenario.faults = steady_state_timeline(cfg, iteration);
-        out = cfg.eval.run(&scenario, observer.registry());
-        valid = out.metrics.wips > 0.0;
+        let out = cfg.eval.run(&scenario, registry);
+        let valid = out.metrics.wips > 0.0;
+        // A retry re-measures in the post-crash steady state; it holds the
+        // cluster for one more window but sees no further stalls.
+        ctx.advance(cfg.plan.total());
+        let score = out.metrics.wips;
+        Sample {
+            value: EvalSample {
+                config: config.clone(),
+                out,
+            },
+            valid,
+            score,
+        }
     }
-    (out, valid)
+}
+
+/// Failure-driven reconfiguration: a crash in this window wounds a tier;
+/// try to backfill it from the healthiest other tier.
+#[allow(clippy::too_many_arguments)]
+fn reconfigure_if_crashed(
+    cfg: &SessionConfig,
+    settings: &ResilienceSettings,
+    wf: Option<&WindowFaults>,
+    iteration: u32,
+    out: &IterationOutcome,
+    wips: f64,
+    topology: &mut Topology,
+    recoveries: &mut Vec<RecoveryAction>,
+    reconfigs: &mut Vec<ReconfigEvent>,
+    observer: &mut SessionObserver,
+) {
+    if !settings.reconfigure_on_crash {
+        return;
+    }
+    let Some(wf) = wf else {
+        return;
+    };
+    let crashed = wf.crashes();
+    if crashed.is_empty() {
+        return;
+    }
+    if let Some(event) =
+        heal_after_crash(cfg, settings, topology, &crashed, iteration, out, observer)
+    {
+        if let Ok(next) = topology.reassign(event.node, event.to_tier) {
+            *topology = next;
+            recoveries.push(RecoveryAction {
+                iteration,
+                action: "reconfig",
+                attempt: 0,
+                delay_s: 0.0,
+                wips,
+            });
+            reconfigs.push(event);
+        }
+    }
 }
 
 /// Decorrelate retry/re-measurement seeds from the primary sample.
@@ -896,6 +1053,92 @@ mod tests {
             run.recoveries
         );
         assert_eq!(run.best_wips, 0.0);
+    }
+
+    #[test]
+    fn breaker_open_reports_the_actual_attempt_count() {
+        let cfg = base(Topology::tiers(1, 1, 1).unwrap(), 150)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(0.5, 0));
+        // Only one attempt allowed: the trip must report 1, not a larger
+        // policy maximum.
+        let settings = ResilienceSettings {
+            breaker_threshold: 1,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = run_resilient_session(&cfg, &settings, 2).expect("run");
+        let trip = run
+            .recoveries
+            .iter()
+            .find(|r| r.action == "breaker_open")
+            .expect("breaker must trip");
+        assert_eq!(trip.attempt, 1, "actual attempts, not the policy max");
+    }
+
+    #[test]
+    fn stall_blows_the_timeout_budget_and_is_retried() {
+        // A stall longer than the per-attempt budget: the first attempt
+        // times out, the retry (no stall) passes.
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().stall(total + 2.0, 1, total));
+        let settings = ResilienceSettings {
+            timeout_s: Some(total * 1.5),
+            ..Default::default()
+        };
+        let run = run_resilient_session(&cfg, &settings, 3).expect("run");
+        assert!(
+            run.recoveries.iter().any(|r| r.action == "timeout"),
+            "expected a timeout: {:?}",
+            run.recoveries
+        );
+        assert!(
+            run.recoveries.iter().any(|r| r.action == "retry"),
+            "the timed-out attempt is retried: {:?}",
+            run.recoveries
+        );
+        // Stalls are not crashes: nothing to reconfigure.
+        assert!(run.reconfigs.is_empty());
+        assert!(run.records[1].wips > 0.0, "retried sample is usable");
+    }
+
+    #[test]
+    fn degradation_substitutes_best_known_wips() {
+        // Iterations 0 is healthy; the blackout from iteration 1 on would
+        // zero every later record, but degradation holds the best-known
+        // WIPS instead while the tuner still learns the truth.
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(1, 1, 1).unwrap(), 150)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(total + 0.5, 0));
+        let settings = ResilienceSettings {
+            breaker_threshold: 1,
+            degrade_to_best: true,
+            reconfigure_on_crash: false,
+            ..Default::default()
+        };
+        let run = run_resilient_session(&cfg, &settings, 4).expect("run");
+        assert!(run.records[0].wips > 0.0, "healthy baseline");
+        let best = run.records[0].wips.max(run.best_wips);
+        for r in &run.records[1..] {
+            assert!(
+                (r.wips - best).abs() < 1e-9 || r.wips <= best,
+                "degraded record within best-known bounds: {} vs {best}",
+                r.wips
+            );
+            assert!(r.wips > 0.0, "degraded, not zeroed: {r:?}");
+        }
+        assert!(
+            run.recoveries.iter().any(|r| r.action == "degraded"),
+            "{:?}",
+            run.recoveries
+        );
+        assert_eq!(run.best_wips, run.records[0].wips, "best never degrades");
     }
 
     #[test]

@@ -674,6 +674,28 @@ impl<'a> SessionObserver<'a> {
         sink.emit(&rec);
     }
 
+    /// Emit one `degraded` trace record when the fallback policy
+    /// substitutes the best-known sample for a failed or rejected
+    /// evaluation. Field order is part of the trace schema
+    /// (tests/golden/degraded_schema.txt).
+    pub(crate) fn record_degraded(
+        &mut self,
+        iteration: u32,
+        reason: &str,
+        config: &str,
+        wips: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("degraded")
+            .field("iteration", iteration)
+            .field("reason", reason)
+            .field("config", config)
+            .field("wips", wips);
+        sink.emit(&rec);
+    }
+
     /// Emit one `resume` trace record when a checkpointed session picks
     /// up where an interrupted run stopped. Field order is part of the
     /// trace schema (tests/golden/resume_schema.txt).

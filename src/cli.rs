@@ -113,8 +113,9 @@ OPTIONS (all subcommands):
   --plan tiny|fast|paper                  measurement intervals (default fast)
   --trace PATH       write one JSONL trace record per iteration
   --metrics          print engine/resource metrics at the end of the run
-  --faults PATH      JSON fault plan to inject (crashes, slowdowns, noise)
-  --fault-seed N     seed for fault noise/jitter draws (default 0xFA17)
+  --faults PATH      JSON fault plan to inject (crashes, stalls, slowdowns, noise)
+  --fault-seed N     seed for fault noise/jitter draws (default 0xFA17;
+                     requires --faults)
   --checkpoint-dir PATH   journal + snapshot session state for crash recovery
   --checkpoint-every N    snapshot cadence in iterations (default 10, N >= 1)
   --resume           continue the interrupted session in --checkpoint-dir
@@ -314,6 +315,9 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
             }
         }
     }
+    if sim.fault_seed.is_some() && sim.faults.is_none() {
+        return Err("--fault-seed requires --faults".into());
+    }
     if sim.checkpoint_dir.is_none() {
         if sim.resume {
             return Err("--resume requires --checkpoint-dir".into());
@@ -511,6 +515,21 @@ mod tests {
         assert!(parse(argv(&["simulate", "--faults"])).is_err());
         assert!(parse(argv(&["reconfig", "--fault-seed", "nope"])).is_err());
         assert!(parse(argv(&["tune", "--fault-seed"])).is_err());
+    }
+
+    #[test]
+    fn fault_seed_without_a_plan_is_rejected() {
+        // A fault seed only feeds the injector's noise/jitter draws; with
+        // no plan it silently does nothing, so reject it loudly.
+        for sub in ["simulate", "tune", "reconfig", "sweep"] {
+            let err = parse(argv(&[sub, "--fault-seed", "9"])).unwrap_err();
+            assert!(
+                err.contains("--fault-seed requires --faults"),
+                "{sub}: {err}"
+            );
+        }
+        // With a plan it is accepted as before.
+        assert!(parse(argv(&["tune", "--faults", "p.json", "--fault-seed", "9"])).is_ok());
     }
 
     #[test]

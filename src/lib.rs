@@ -6,6 +6,7 @@
 //! * [`cluster`] — the simulated three-tier testbed;
 //! * [`harmony`] — the Active Harmony tuning system;
 //! * [`faults`] — deterministic fault plans and injection;
+//! * [`resilience`] — composable retry/timeout/breaker/bulkhead policies;
 //! * [`obs`] — metrics registry and structured trace sinks;
 //! * [`persist`] — crash-safe state: write-ahead journal + snapshots;
 //! * [`orchestrator`] — sessions, experiments, reports.
@@ -18,6 +19,7 @@ pub use harmony;
 pub use obs;
 pub use orchestrator;
 pub use persist;
+pub use resilience;
 pub use simkit;
 pub use tpcw;
 
@@ -36,7 +38,7 @@ pub use tpcw;
 pub mod prelude {
     pub use cluster::config::{ClusterConfig, Role, Topology};
     pub use cluster::spec::NodeSpec;
-    pub use faults::{FaultPlan, Health};
+    pub use faults::{ChaosPlan, FaultPlan, Health};
     pub use harmony::annealing::SimulatedAnnealing;
     pub use harmony::bestconfig::BestConfigTuner;
     pub use harmony::classytune::ClassyTuneTuner;
@@ -56,6 +58,9 @@ pub mod prelude {
     pub use orchestrator::session::{
         tune, tune_observed, IterationRecord, SessionConfig, SessionError, SessionObserver,
         TuningRun,
+    };
+    pub use resilience::{
+        Backoff, Bulkhead, CircuitBreaker, Jitter, OutlierGate, RetryPolicy, Stack,
     };
     pub use tpcw::metrics::IntervalPlan;
     pub use tpcw::mix::Workload;

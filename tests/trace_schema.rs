@@ -221,6 +221,39 @@ fn recovery_records_match_golden_schema() {
 }
 
 #[test]
+fn degraded_records_match_golden_schema() {
+    // Only the proxy node serves; its crash after a healthy first window
+    // zeroes every later evaluation, so with `degrade_to_best` each
+    // subsequent iteration emits a `degraded` record.
+    let plan = IntervalPlan::tiny();
+    let window = plan.total().as_secs_f64();
+    let cfg = SessionConfig::new(Topology::tiers(1, 1, 1).unwrap(), Workload::Shopping, 150)
+        .plan(plan)
+        .pin_seed(true)
+        .fault_plan(FaultPlan::new().crash(window + 0.5, 0));
+    let settings = ResilienceSettings {
+        breaker_threshold: 1,
+        degrade_to_best: true,
+        reconfigure_on_crash: false,
+        ..Default::default()
+    };
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    run_resilient_session_observed(&cfg, &settings, 4, &mut observer).expect("resilient session");
+
+    let degraded = records_of_kind(&sink.records, "degraded");
+    assert!(!degraded.is_empty(), "blackout must degrade some iteration");
+    let expected = golden_keys_from(include_str!("golden/degraded_schema.txt"));
+    for line in &degraded {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/degraded_schema.txt: {line}"
+        );
+    }
+}
+
+#[test]
 fn resume_record_matches_golden_schema() {
     let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
         .plan(IntervalPlan::tiny())
