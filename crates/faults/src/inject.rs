@@ -149,6 +149,35 @@ impl NodeFold {
     }
 }
 
+/// A node's raw operational state at an instant, as the monitoring plane
+/// sees it. [`Health`] collapses crashes and stalls into `Down`, but a
+/// failure detector needs the distinction: a crash silences heartbeats
+/// outright, a stall only *defers* them until `stalled_until`, and
+/// slowdowns merely stretch their latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStatus {
+    /// Crashed and not yet restarted: heartbeats stop entirely.
+    pub crashed: bool,
+    /// Mid-stall: heartbeats due before this instant arrive, late, when
+    /// the stall lifts. Overlapping stalls merge to the latest end.
+    pub stalled_until: Option<SimTime>,
+    /// Resource degradation factors (1.0 = nominal) — these jitter
+    /// heartbeat latency without ever suppressing the beat.
+    pub slowdown: Slowdown,
+}
+
+impl NodeStatus {
+    pub const UP: NodeStatus = NodeStatus {
+        crashed: false,
+        stalled_until: None,
+        slowdown: Slowdown {
+            cpu: 1.0,
+            disk: 1.0,
+            nic: 1.0,
+        },
+    };
+}
+
 /// A stateless projection of one plan + seed onto the session timeline.
 /// Replaying the same window twice yields identical faults, which is what
 /// makes retries and resumed sessions deterministic.
@@ -168,6 +197,10 @@ impl FaultInjector {
 
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The plan expanded into a sorted step schedule: every event, plus an
@@ -219,6 +252,51 @@ impl FaultInjector {
             .iter()
             .map(NodeFold::health)
             .collect()
+    }
+
+    /// Raw node statuses once every event strictly before `t` has
+    /// applied — the monitoring plane's ground truth. Unlike
+    /// [`FaultInjector::health_at`], crashes and stalls stay distinct and
+    /// a stall carries its end time, so heartbeat arrivals can be derived
+    /// (stopped vs deferred vs jittered).
+    pub fn status_at(&self, t: SimTime, nodes: usize) -> Vec<NodeStatus> {
+        let mut statuses = vec![NodeStatus::UP; nodes];
+        for s in self.steps() {
+            if s.at >= t {
+                break;
+            }
+            let Some(n) = s.node else { continue };
+            if n >= nodes {
+                continue;
+            }
+            let st = &mut statuses[n];
+            match s.action {
+                Action::Kind(FaultKind::Crash) => st.crashed = true,
+                Action::Kind(FaultKind::Restart) => *st = NodeStatus::UP,
+                Action::Kind(FaultKind::CpuSlow(f)) => st.slowdown.cpu = f,
+                Action::Kind(FaultKind::DiskSlow(f)) => st.slowdown.disk = f,
+                Action::Kind(FaultKind::NicDegrade(f)) => st.slowdown.nic = f,
+                Action::Kind(FaultKind::NoiseSpike(_)) => {}
+                Action::Kind(FaultKind::Stall(d)) => {
+                    let until =
+                        s.at.checked_add(SimDuration::from_secs_f64(d))
+                            .unwrap_or(SimTime::MAX);
+                    st.stalled_until = Some(match st.stalled_until {
+                        Some(u) => u.max(until),
+                        None => until,
+                    });
+                }
+                // The merged `stalled_until` already encodes every end;
+                // expired stalls are swept below.
+                Action::StallEnd => {}
+            }
+        }
+        for st in &mut statuses {
+            if matches!(st.stalled_until, Some(u) if u < t) {
+                st.stalled_until = None;
+            }
+        }
+        statuses
     }
 
     /// Project the plan onto the measurement window `[start, end)`.
@@ -434,6 +512,44 @@ mod tests {
         let w = inj.window(SimTime::from_secs(50), SimTime::from_secs(60), 4);
         assert_eq!(w.stall_s, 0.0);
         assert!(w.is_trivial());
+    }
+
+    #[test]
+    fn status_distinguishes_crash_from_stall() {
+        let p = FaultPlan::new()
+            .crash(10.0, 0)
+            .stall(10.0, 1, 8.0)
+            .cpu_slow(10.0, 2, 2.5)
+            .restart(40.0, 0);
+        let inj = FaultInjector::new(&p, 1);
+
+        let st = inj.status_at(SimTime::from_secs(12), 4);
+        assert!(st[0].crashed, "crash is a crash");
+        assert!(st[0].stalled_until.is_none());
+        assert!(!st[1].crashed, "a stall is not a crash");
+        assert_eq!(st[1].stalled_until, Some(SimTime::from_secs(18)));
+        assert_eq!(st[2].slowdown.cpu, 2.5);
+        assert!(!st[2].crashed && st[2].stalled_until.is_none());
+        assert_eq!(st[3], NodeStatus::UP);
+
+        // The stall lifts on its own; the crash needs the restart.
+        let st = inj.status_at(SimTime::from_secs(30), 4);
+        assert!(st[0].crashed);
+        assert!(st[1].stalled_until.is_none(), "stall expired at t=18");
+        let st = inj.status_at(SimTime::from_secs(41), 4);
+        assert!(!st[0].crashed, "restart clears the crash");
+    }
+
+    #[test]
+    fn overlapping_stalls_merge_to_the_latest_end() {
+        let p = FaultPlan::new().stall(10.0, 2, 10.0).stall(15.0, 2, 20.0);
+        let inj = FaultInjector::new(&p, 1);
+        let st = inj.status_at(SimTime::from_secs(22), 4);
+        assert_eq!(
+            st[2].stalled_until,
+            Some(SimTime::from_secs(35)),
+            "second stall extends the first"
+        );
     }
 
     #[test]

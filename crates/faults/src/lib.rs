@@ -39,6 +39,6 @@ pub mod plan;
 
 pub use clock::FaultClock;
 pub use health::{Health, Slowdown};
-pub use inject::{FaultInjector, HealthChange, HealthTimeline, WindowFaults};
+pub use inject::{FaultInjector, HealthChange, HealthTimeline, NodeStatus, WindowFaults};
 pub use library::ChaosPlan;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanError};

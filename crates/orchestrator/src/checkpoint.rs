@@ -16,7 +16,7 @@
 //! [`SessionError::Checkpoint`] error, never a silently diverging run.
 
 use crate::reconfigure::ReconfigEvent;
-use crate::resilient::RecoveryAction;
+use crate::resilient::{DetectionEvent, RecoveryAction};
 use crate::session::{IterationRecord, SessionConfig, SessionError};
 use cluster::config::{ClusterConfig, NodeParams, Role, Topology};
 use cluster::params::{DbParams, ProxyParams, WebParams};
@@ -443,6 +443,49 @@ pub(crate) fn reconfig_from_state(state: &State) -> Result<ReconfigEvent, Persis
         immediate: state.field_bool("immediate")?,
         cost_value: state.field_f64("cost_value")?,
     })
+}
+
+fn membership_state_name(name: &str) -> Result<&'static str, PersistError> {
+    Ok(detect::NodeState::from_name(name)?.name())
+}
+
+pub(crate) fn detections_state(events: &[DetectionEvent]) -> State {
+    State::List(
+        events
+            .iter()
+            .map(|d| {
+                State::map()
+                    .with("iteration", State::U64(d.iteration as u64))
+                    .with("node", State::U64(d.node as u64))
+                    .with("at_s", State::F64(d.at_s))
+                    .with("from", State::Str(d.from.to_string()))
+                    .with("to", State::Str(d.to.to_string()))
+                    .with("phi", State::F64(d.phi))
+                    .with("truth_crashed", State::Bool(d.truth_crashed))
+                    .with("latency_s", State::F64(d.latency_s))
+            })
+            .collect(),
+    )
+}
+
+pub(crate) fn detections_from_state(state: &State) -> Result<Vec<DetectionEvent>, PersistError> {
+    state
+        .as_list()
+        .ok_or_else(|| schema("detections is not a list"))?
+        .iter()
+        .map(|d| {
+            Ok(DetectionEvent {
+                iteration: d.field_u64("iteration")? as u32,
+                node: d.field_u64("node")? as usize,
+                at_s: d.field_f64("at_s")?,
+                from: membership_state_name(d.field_str("from")?)?,
+                to: membership_state_name(d.field_str("to")?)?,
+                phi: d.field_f64("phi")?,
+                truth_crashed: d.field_bool("truth_crashed")?,
+                latency_s: d.field_f64("latency_s")?,
+            })
+        })
+        .collect()
 }
 
 pub(crate) fn reconfigs_state(events: &[ReconfigEvent]) -> State {

@@ -10,6 +10,7 @@
 //! workload's bottleneck the way the paper's testbed did.
 
 pub mod chaos;
+pub mod detect;
 pub mod faults;
 pub mod fig4;
 pub mod fig5;

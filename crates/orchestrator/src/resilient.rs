@@ -48,7 +48,8 @@ use crate::session::{
 };
 use cluster::config::{ClusterConfig, Role, Topology};
 use cluster::runner::IterationOutcome;
-use faults::{FaultClock, FaultEvent, FaultInjector, Health, HealthTimeline, WindowFaults};
+use detect::{Detector, DetectorConfig, NodeState, WindowReport};
+use faults::{FaultClock, FaultEvent, FaultInjector, FaultPlan, HealthTimeline, WindowFaults};
 use harmony::monitor::UtilizationSnapshot;
 use harmony::reconfig::{decide, CostModel, NodeCostInputs, NodeReport, Thresholds};
 use harmony::server::HarmonyServer;
@@ -58,7 +59,7 @@ use resilience::{
     Breaker, Bulkhead, CircuitBreaker, Ctx, Event, Fallback, Outcome, OutlierGate, Retry,
     RetryPolicy, Sample, Stack, StateCodec, Timeout,
 };
-use simkit::time::SimDuration;
+use simkit::time::{SimDuration, SimTime};
 
 /// Policy knobs of a resilient session. The defaults reduce the optional
 /// layers (timeout, bulkhead, half-open probing, degradation) to the
@@ -87,6 +88,11 @@ pub struct ResilienceSettings {
     pub degrade_to_best: bool,
     /// Pull a spare node into a tier that lost one to a crash.
     pub reconfigure_on_crash: bool,
+    /// Drive reconfiguration from *detected* membership instead of the
+    /// injector's health oracle: heartbeats → φ-accrual suspicion →
+    /// hysteretic membership ([`detect::Detector`]). `None` keeps the
+    /// historical oracle behavior bit-exactly.
+    pub detector: Option<DetectorConfig>,
     /// Utilization thresholds for the `decide()` attempt.
     pub thresholds: Thresholds,
     /// Cost model for the `decide()` attempt.
@@ -104,6 +110,7 @@ impl Default for ResilienceSettings {
             bulkhead: None,
             degrade_to_best: false,
             reconfigure_on_crash: true,
+            detector: None,
             thresholds: Thresholds::default(),
             cost_model: CostModel::default(),
         }
@@ -126,6 +133,40 @@ pub struct RecoveryAction {
     pub wips: f64,
 }
 
+/// One detected membership transition, scored against the injector's
+/// ground truth. Mirrors the `membership` trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionEvent {
+    pub iteration: u32,
+    pub node: usize,
+    /// Simulated time of the assessment tick that decided the transition.
+    pub at_s: f64,
+    /// Membership state names (`up` / `suspect` / `down`).
+    pub from: &'static str,
+    pub to: &'static str,
+    /// The φ that triggered the assessment.
+    pub phi: f64,
+    /// Whether the injector's ground truth had the node crashed at the
+    /// transition instant (a `down` confirmation with `false` here is a
+    /// false positive — typically a long stall believed dead).
+    pub truth_crashed: bool,
+    /// For a true-positive `down` confirmation: seconds from the crash to
+    /// the confirmation. `-1.0` when not applicable.
+    pub latency_s: f64,
+}
+
+impl DetectionEvent {
+    /// The transition confirmed a node `Down`.
+    pub fn is_down(&self) -> bool {
+        self.to == "down"
+    }
+
+    /// A `Down` confirmation the ground truth contradicts.
+    pub fn is_false_positive(&self) -> bool {
+        self.is_down() && !self.truth_crashed
+    }
+}
+
 /// Result of a resilient tuning session.
 #[derive(Debug, Clone)]
 pub struct ResilientRun {
@@ -136,6 +177,9 @@ pub struct ResilientRun {
     pub recoveries: Vec<RecoveryAction>,
     /// Failure-driven node moves.
     pub reconfigs: Vec<ReconfigEvent>,
+    /// Detected membership transitions (empty unless
+    /// [`ResilienceSettings::detector`] is set).
+    pub detections: Vec<DetectionEvent>,
     pub final_topology: Topology,
     pub best_wips: f64,
 }
@@ -161,6 +205,26 @@ impl ResilientRun {
             .iter()
             .find(|(_, e)| matches!(e.kind, faults::FaultKind::Crash))
             .map(|(i, _)| *i)
+    }
+
+    /// `Down` confirmations the ground truth contradicts.
+    pub fn detection_false_positives(&self) -> usize {
+        self.detections
+            .iter()
+            .filter(|d| d.is_false_positive())
+            .count()
+    }
+
+    /// Mean seconds from a crash to its `Down` confirmation, over the
+    /// true-positive detections (`None`: no true positive was scored).
+    pub fn mean_detection_latency_s(&self) -> Option<f64> {
+        let lat: Vec<f64> = self
+            .detections
+            .iter()
+            .filter(|d| d.is_down() && d.truth_crashed && d.latency_s >= 0.0)
+            .map(|d| d.latency_s)
+            .collect();
+        (!lat.is_empty()).then(|| lat.iter().sum::<f64>() / lat.len() as f64)
     }
 
     /// How many iterations after the first crash WIPS first reached
@@ -238,6 +302,20 @@ pub fn run_resilient_session_observed(
     observer: &mut SessionObserver,
 ) -> Result<ResilientRun, SessionError> {
     base.validate_faults()?;
+    // One injector for the whole session: the fault schedule is a pure
+    // function of (plan, seed), so rebuilding it per iteration was pure
+    // waste. Node count never changes across reassigns.
+    let injector = base
+        .fault_plan
+        .as_ref()
+        .map(|p| FaultInjector::new(p, base.fault_seed));
+    // Detector mode without a fault plan still observes heartbeats (all
+    // healthy, jitter only): monitor an injector over the empty plan.
+    let clean_injector = FaultInjector::new(&FaultPlan::new(), base.fault_seed);
+    let mut detector = settings
+        .detector
+        .map(|dc| Detector::new(dc, base.topology.len(), base.fault_seed));
+    let mut detections: Vec<DetectionEvent> = Vec::new();
     let mut topology = base.topology.clone();
     // Tier servers run the session's configured tuning algorithm,
     // resolved through the harmony registry exactly like plain tuning.
@@ -312,6 +390,16 @@ pub fn run_resilient_session_observed(
                     if let Some(cached) = state.get("eval_cache") {
                         base.eval.restore_cache(cached).map_err(ckerr)?;
                     }
+                    // Detector mode is part of the fingerprint, so a
+                    // detector-mode snapshot always carries these fields.
+                    if let Some(det) = detector.as_mut() {
+                        det.restore_state(state.require("detector").map_err(ckerr)?)
+                            .map_err(ckerr)?;
+                        detections = checkpoint::detections_from_state(
+                            state.require("detections").map_err(ckerr)?,
+                        )
+                        .map_err(ckerr)?;
+                    }
                 }
                 // Replay the journal past the snapshot. Proposals are
                 // re-derived deterministically; measured outcomes,
@@ -375,6 +463,16 @@ pub fn run_resilient_session_observed(
                             reconfigs.push(event);
                         }
                     }
+                    if let Some(det) = detector.as_mut() {
+                        det.restore_state(delta.require("detector").map_err(ckerr)?)
+                            .map_err(ckerr)?;
+                        detections.extend(
+                            checkpoint::detections_from_state(
+                                delta.require("detections").map_err(ckerr)?,
+                            )
+                            .map_err(ckerr)?,
+                        );
+                    }
                     records.push(IterationRecord {
                         iteration: i,
                         wips,
@@ -388,9 +486,10 @@ pub fn run_resilient_session_observed(
                 // The fault schedule is a pure function of the plan and
                 // seed, so the log of already-covered windows rebuilds
                 // statelessly (node count never changes across reassigns).
-                for i in 0..start {
-                    if let Some(wf) = base.fault_window(i) {
-                        for e in &wf.events {
+                if let Some(inj) = injector.as_ref() {
+                    for i in 0..start {
+                        let (ws, we) = FaultClock::window_of(base.plan.total(), i);
+                        for e in &inj.window(ws, we, topology.len()).events {
                             fault_log.push((i, *e));
                         }
                     }
@@ -410,7 +509,10 @@ pub fn run_resilient_session_observed(
     for i in start..iterations {
         let t0 = std::time::Instant::now();
         let cfg = base.clone().topology(topology.clone());
-        let wf = cfg.fault_window(i);
+        let (win_start, win_end) = FaultClock::window_of(base.plan.total(), i);
+        let wf = injector
+            .as_ref()
+            .map(|inj| inj.window(win_start, win_end, topology.len()));
 
         // Trace every fault landing in this window.
         if let Some(wf) = &wf {
@@ -429,6 +531,78 @@ pub fn run_resilient_session_observed(
             }
         }
 
+        // Detector mode: observe the window's heartbeats *before*
+        // evaluating, so the reconfiguration below acts on detected
+        // membership, never the oracle. Every transition is scored
+        // against the injector's ground truth as it happens.
+        let det_mark = detections.len();
+        let report = detector.as_mut().map(|det| {
+            let inj = injector.as_ref().unwrap_or(&clean_injector);
+            let report = det.observe_window(inj, win_start, win_end);
+            if let Some(reg) = observer.registry() {
+                reg.counter("detector.heartbeats").add(report.delivered);
+                reg.counter("detector.missed").add(report.missed);
+            }
+            for (n, (&phi, state)) in report.peak_phi.iter().zip(&report.states).enumerate() {
+                observer.record_suspicion(i, n, phi, state.name());
+            }
+            for t in &report.transitions {
+                observer.record_membership(
+                    i,
+                    t.at.as_secs_f64(),
+                    t.node,
+                    t.from.name(),
+                    t.to.name(),
+                    t.phi,
+                );
+                let truth_crashed = injector.as_ref().is_some_and(|inj| {
+                    inj.status_at(t.at, topology.len())
+                        .get(t.node)
+                        .map(|s| s.crashed)
+                        .unwrap_or(false)
+                });
+                let latency_s = if t.to == NodeState::Down && truth_crashed {
+                    fault_log
+                        .iter()
+                        .filter(|(_, e)| {
+                            matches!(e.kind, faults::FaultKind::Crash)
+                                && e.node == Some(t.node)
+                                && e.at <= t.at
+                        })
+                        .map(|(_, e)| t.at.since(e.at).as_secs_f64())
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    f64::INFINITY
+                };
+                if let Some(reg) = observer.registry() {
+                    reg.counter("detector.transitions").inc();
+                    if t.to == NodeState::Down {
+                        reg.counter(if truth_crashed {
+                            "detector.true_positives"
+                        } else {
+                            "detector.false_positives"
+                        })
+                        .inc();
+                    }
+                }
+                detections.push(DetectionEvent {
+                    iteration: i,
+                    node: t.node,
+                    at_s: t.at.as_secs_f64(),
+                    from: t.from.name(),
+                    to: t.to.name(),
+                    phi: t.phi,
+                    truth_crashed,
+                    latency_s: if latency_s.is_finite() {
+                        latency_s
+                    } else {
+                        -1.0
+                    },
+                });
+            }
+            report
+        });
+
         let pc = servers[0].next_config();
         let wc = servers[1].next_config();
         let dc = servers[2].next_config();
@@ -439,7 +613,16 @@ pub fn run_resilient_session_observed(
 
         let registry = observer.registry();
         let outcome = stack.call(&key, i, &mut |ctx| {
-            evaluate_attempt(&cfg, settings, &config, i, wf.as_ref(), registry, ctx)
+            evaluate_attempt(
+                &cfg,
+                settings,
+                &config,
+                i,
+                wf.as_ref(),
+                injector.as_ref(),
+                registry,
+                ctx,
+            )
         });
         let events = stack.take_events();
         apply_events(&events, i, &key, observer, &mut recoveries);
@@ -495,9 +678,11 @@ pub fn run_resilient_session_observed(
                     failed: out.total_failed,
                 });
                 reconfigure_if_crashed(
-                    &cfg,
                     settings,
                     wf.as_ref(),
+                    report.as_ref(),
+                    injector.as_ref(),
+                    win_end,
                     i,
                     &out,
                     wips,
@@ -505,7 +690,7 @@ pub fn run_resilient_session_observed(
                     &mut recoveries,
                     &mut reconfigs,
                     observer,
-                );
+                )?;
                 line_wips = out.line_wips;
                 failed = out.total_failed;
             }
@@ -541,9 +726,11 @@ pub fn run_resilient_session_observed(
                             failed: out.total_failed,
                         });
                         reconfigure_if_crashed(
-                            &cfg,
                             settings,
                             wf.as_ref(),
+                            report.as_ref(),
+                            injector.as_ref(),
+                            win_end,
                             i,
                             &out,
                             wips,
@@ -551,7 +738,7 @@ pub fn run_resilient_session_observed(
                             &mut recoveries,
                             &mut reconfigs,
                             observer,
-                        );
+                        )?;
                         line_wips = out.line_wips;
                         failed = out.total_failed;
                     }
@@ -577,21 +764,27 @@ pub fn run_resilient_session_observed(
                 .get(reconfig_mark)
                 .map(checkpoint::reconfig_state)
                 .unwrap_or(State::Null);
-            ck.append(
-                State::map()
-                    .with("iteration", State::U64(i as u64))
-                    .with("skip", State::Bool(skip))
-                    .with("valid", State::Bool(valid))
-                    .with("wips", State::F64(wips))
-                    .with("line_wips", State::f64_list(&line_wips))
-                    .with("failed", State::U64(failed))
-                    .with("policy", stack.save_state())
-                    .with(
-                        "recoveries",
-                        checkpoint::recoveries_state(&recoveries[recov_mark..]),
-                    )
-                    .with("reconfig", reconfig),
-            )?;
+            let mut delta = State::map()
+                .with("iteration", State::U64(i as u64))
+                .with("skip", State::Bool(skip))
+                .with("valid", State::Bool(valid))
+                .with("wips", State::F64(wips))
+                .with("line_wips", State::f64_list(&line_wips))
+                .with("failed", State::U64(failed))
+                .with("policy", stack.save_state())
+                .with(
+                    "recoveries",
+                    checkpoint::recoveries_state(&recoveries[recov_mark..]),
+                )
+                .with("reconfig", reconfig);
+            if let Some(det) = detector.as_ref() {
+                delta.set("detector", det.save_state());
+                delta.set(
+                    "detections",
+                    checkpoint::detections_state(&detections[det_mark..]),
+                );
+            }
+            ck.append(delta)?;
             ck.maybe_snapshot(i + 1, iterations, || {
                 let mut snap = resilient_snapshot(
                     &topology,
@@ -606,6 +799,10 @@ pub fn run_resilient_session_observed(
                 if base.eval.cache_enabled() {
                     snap.set("eval_cache", base.eval.save_cache_state());
                 }
+                if let Some(det) = detector.as_ref() {
+                    snap.set("detector", det.save_state());
+                    snap.set("detections", checkpoint::detections_state(&detections));
+                }
                 snap
             })?;
         }
@@ -616,6 +813,7 @@ pub fn run_resilient_session_observed(
         faults: fault_log,
         recoveries,
         reconfigs,
+        detections,
         final_topology: topology,
         best_wips: best_wips.max(0.0),
     })
@@ -724,12 +922,14 @@ fn apply_events(
 /// re-measurement scheduled after the failure. Every attempt advances the
 /// policy clock by the simulated time it consumed, which is what the
 /// timeout layer budgets against.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_attempt(
     cfg: &SessionConfig,
     settings: &ResilienceSettings,
     config: &ClusterConfig,
     iteration: u32,
     wf: Option<&WindowFaults>,
+    injector: Option<&FaultInjector>,
     registry: Option<&Registry>,
     ctx: &mut Ctx<'_>,
 ) -> Sample<EvalSample> {
@@ -773,8 +973,7 @@ fn evaluate_attempt(
                         out = retry_cfg
                             .eval
                             .run(&retry_cfg.scenario(config.clone(), iteration), registry);
-                        if let Some(plan) = cfg.fault_plan.as_ref() {
-                            let injector = FaultInjector::new(plan, cfg.fault_seed);
+                        if let Some(injector) = injector {
                             let shifted = start + SimDuration::from_micros(remeasures as u64);
                             let factor = injector.wips_noise(shifted, w.noise);
                             out.metrics.wips *= factor;
@@ -810,7 +1009,7 @@ fn evaluate_attempt(
             .clone()
             .base_seed(cfg.base_seed ^ remeasure_salt(ctx.attempt));
         let mut scenario = retry_cfg.scenario(config.clone(), iteration);
-        scenario.faults = steady_state_timeline(cfg, iteration);
+        scenario.faults = steady_state_timeline(injector, cfg, iteration);
         let out = cfg.eval.run(&scenario, registry);
         let valid = out.metrics.wips > 0.0;
         // A retry re-measures in the post-crash steady state; it holds the
@@ -828,13 +1027,22 @@ fn evaluate_attempt(
     }
 }
 
-/// Failure-driven reconfiguration: a crash in this window wounds a tier;
-/// try to backfill it from the healthiest other tier.
+/// Failure-driven reconfiguration: a failed node wounds a tier; try to
+/// backfill it from the healthiest other tier.
+///
+/// In detector mode (`detected` is `Some`) the trigger is a *freshly
+/// confirmed* `Down` transition and liveness is the detector's membership
+/// view — the oracle is never consulted. Otherwise the trigger is the
+/// injector's crash record for the window, and a session that observed a
+/// crash without a resolvable injector is a [`SessionError::FaultPlan`]
+/// (it used to silently assume every node healthy).
 #[allow(clippy::too_many_arguments)]
 fn reconfigure_if_crashed(
-    cfg: &SessionConfig,
     settings: &ResilienceSettings,
     wf: Option<&WindowFaults>,
+    detected: Option<&WindowReport>,
+    injector: Option<&FaultInjector>,
+    window_end: SimTime,
     iteration: u32,
     out: &IterationOutcome,
     wips: f64,
@@ -842,20 +1050,48 @@ fn reconfigure_if_crashed(
     recoveries: &mut Vec<RecoveryAction>,
     reconfigs: &mut Vec<ReconfigEvent>,
     observer: &mut SessionObserver,
-) {
+) -> Result<(), SessionError> {
     if !settings.reconfigure_on_crash {
-        return;
+        return Ok(());
     }
-    let Some(wf) = wf else {
-        return;
+    let (crashed, live) = match detected {
+        Some(report) => (
+            report.confirmed_down(),
+            report
+                .states
+                .iter()
+                .map(|s| *s != NodeState::Down)
+                .collect::<Vec<bool>>(),
+        ),
+        None => {
+            let Some(wf) = wf else {
+                return Ok(());
+            };
+            let crashed = wf.crashes();
+            if crashed.is_empty() {
+                return Ok(());
+            }
+            let injector = injector.ok_or_else(|| {
+                SessionError::FaultPlan(
+                    "a crash was observed but the session has no resolvable fault plan to \
+                     derive node health from"
+                        .into(),
+                )
+            })?;
+            let live = injector
+                .health_at(window_end, topology.len())
+                .iter()
+                .map(|h| !h.is_down())
+                .collect();
+            (crashed, live)
+        }
     };
-    let crashed = wf.crashes();
     if crashed.is_empty() {
-        return;
+        return Ok(());
     }
-    if let Some(event) =
-        heal_after_crash(cfg, settings, topology, &crashed, iteration, out, observer)
-    {
+    if let Some(event) = heal_after_crash(
+        settings, topology, &crashed, iteration, out, &live, observer,
+    ) {
         if let Ok(next) = topology.reassign(event.node, event.to_tier) {
             *topology = next;
             recoveries.push(RecoveryAction {
@@ -868,6 +1104,7 @@ fn reconfigure_if_crashed(
             reconfigs.push(event);
         }
     }
+    Ok(())
 }
 
 /// Decorrelate retry/re-measurement seeds from the primary sample.
@@ -877,9 +1114,12 @@ fn remeasure_salt(attempt: u32) -> u64 {
 
 /// Node healths once every fault up to the end of iteration `i`'s window
 /// has applied — what a re-measurement after the crash would see.
-fn steady_state_timeline(cfg: &SessionConfig, iteration: u32) -> Option<HealthTimeline> {
-    let plan = cfg.fault_plan.as_ref()?;
-    let injector = FaultInjector::new(plan, cfg.fault_seed);
+fn steady_state_timeline(
+    injector: Option<&FaultInjector>,
+    cfg: &SessionConfig,
+    iteration: u32,
+) -> Option<HealthTimeline> {
+    let injector = injector?;
     let (_, end) = FaultClock::window_of(cfg.plan.total(), iteration);
     let timeline = HealthTimeline {
         initial: injector.health_at(end, cfg.topology.len()),
@@ -891,23 +1131,18 @@ fn steady_state_timeline(cfg: &SessionConfig, iteration: u32) -> Option<HealthTi
 /// Pick a node move that backfills a tier wounded by a crash. Tries the
 /// §IV `decide()` algorithm over the live nodes first; if the cost model
 /// declines, pulls a spare from the best-staffed other tier directly.
+#[allow(clippy::too_many_arguments)]
 fn heal_after_crash(
-    cfg: &SessionConfig,
     settings: &ResilienceSettings,
     topology: &Topology,
     crashed: &[usize],
     iteration: u32,
     out: &IterationOutcome,
+    live_nodes: &[bool],
     observer: &mut SessionObserver,
 ) -> Option<ReconfigEvent> {
-    let (_, end) = FaultClock::window_of(cfg.plan.total(), iteration);
-    let healths: Vec<Health> = cfg
-        .fault_plan
-        .as_ref()
-        .map(|p| FaultInjector::new(p, cfg.fault_seed).health_at(end, topology.len()))
-        .unwrap_or_else(|| vec![Health::Up; topology.len()]);
     let wounded_tier = topology.role(*crashed.first()?);
-    let live = |n: usize| !healths.get(n).map(Health::is_down).unwrap_or(false);
+    let live = |n: usize| live_nodes.get(n).copied().unwrap_or(false);
     let live_count = |t: Role| {
         (0..topology.len())
             .filter(|&n| topology.role(n) == t && live(n))
@@ -1154,5 +1389,99 @@ mod tests {
         assert_eq!(e.to_tier, Role::App);
         assert_ne!(e.node, 2, "the dead node cannot be the donor");
         assert_eq!(run.final_topology.count(Role::App), 3);
+    }
+
+    fn detector_settings() -> ResilienceSettings {
+        ResilienceSettings {
+            detector: Some(DetectorConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detector_mode_confirms_the_crash_and_heals_without_the_oracle() {
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(2, 2, 2).unwrap(), 400)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().crash(total + 2.0, 2));
+        let run = run_resilient_session(&cfg, &detector_settings(), 4).expect("run");
+        // The detector confirmed node 2 Down from heartbeat silence alone.
+        let down: Vec<_> = run.detections.iter().filter(|d| d.is_down()).collect();
+        assert_eq!(down.len(), 1, "{:?}", run.detections);
+        assert_eq!(down[0].node, 2);
+        assert!(down[0].truth_crashed, "scored against ground truth");
+        assert!(
+            down[0].latency_s > 0.0 && down[0].latency_s < 15.0,
+            "detection latency {}s",
+            down[0].latency_s
+        );
+        assert_eq!(run.detection_false_positives(), 0);
+        assert!(run.mean_detection_latency_s().is_some());
+        // And the detected membership gated the same §IV recovery the
+        // oracle used to: a spare was pulled into the wounded tier.
+        assert_eq!(run.reconfigs.len(), 1, "{:?}", run.reconfigs);
+        assert_eq!(run.reconfigs[0].to_tier, Role::App);
+        assert_ne!(run.reconfigs[0].node, 2);
+        assert_eq!(run.final_topology.count(Role::App), 3);
+    }
+
+    #[test]
+    fn detector_mode_is_deterministic() {
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300)
+            .pin_seed(true)
+            .fault_plan(
+                FaultPlan::new()
+                    .crash(total + 7.0, 1)
+                    .stall(2.0 * total + 5.0, 2, 2.0),
+            );
+        let a = run_resilient_session(&cfg, &detector_settings(), 4).expect("a");
+        let b = run_resilient_session(&cfg, &detector_settings(), 4).expect("b");
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.wips_series(), b.wips_series());
+        assert_eq!(a.reconfigs.len(), b.reconfigs.len());
+    }
+
+    #[test]
+    fn detector_without_a_fault_plan_observes_clean_heartbeats() {
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300).pin_seed(true);
+        let run = run_resilient_session(&cfg, &detector_settings(), 3).expect("run");
+        assert!(run.detections.is_empty(), "{:?}", run.detections);
+        assert!(run.reconfigs.is_empty());
+        assert!(run.best_wips > 0.0);
+    }
+
+    #[test]
+    fn a_short_stall_never_reconfigures_in_detector_mode() {
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().stall(total + 5.0, 1, 2.0));
+        let run = run_resilient_session(&cfg, &detector_settings(), 3).expect("run");
+        assert!(
+            !run.detections.iter().any(|d| d.is_down()),
+            "a 2s stall must not be believed dead: {:?}",
+            run.detections
+        );
+        assert!(run.reconfigs.is_empty());
+    }
+
+    #[test]
+    fn a_long_stall_is_a_scored_false_positive() {
+        // A 12s freeze exceeds what the default thresholds tolerate: the
+        // detector believes the node dead — and the ground-truth scoring
+        // records exactly that honesty gap.
+        let total = IntervalPlan::tiny().total().as_secs_f64();
+        let cfg = base(Topology::tiers(1, 2, 1).unwrap(), 300)
+            .pin_seed(true)
+            .fault_plan(FaultPlan::new().stall(total + 5.0, 1, 12.0));
+        let run = run_resilient_session(&cfg, &detector_settings(), 3).expect("run");
+        assert!(run.detection_false_positives() >= 1, "{:?}", run.detections);
+        // The node thaws and its beats resume: membership recovers.
+        assert!(
+            run.detections.iter().any(|d| d.to == "up"),
+            "{:?}",
+            run.detections
+        );
     }
 }

@@ -674,6 +674,48 @@ impl<'a> SessionObserver<'a> {
         sink.emit(&rec);
     }
 
+    /// Emit one `suspicion` trace record per node per iteration in
+    /// detector mode: the window's peak φ and the membership state at the
+    /// window's end. Field order is part of the trace schema
+    /// (tests/golden/suspicion_schema.txt).
+    pub(crate) fn record_suspicion(&mut self, iteration: u32, node: usize, phi: f64, state: &str) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("suspicion")
+            .field("iteration", iteration)
+            .field("node", node as i64)
+            .field("phi", phi)
+            .field("state", state);
+        sink.emit(&rec);
+    }
+
+    /// Emit one `membership` trace record per detected transition
+    /// (Up/Suspect/Down), stamped with the simulated assessment time.
+    /// Field order is part of the trace schema
+    /// (tests/golden/membership_schema.txt).
+    pub(crate) fn record_membership(
+        &mut self,
+        iteration: u32,
+        at_s: f64,
+        node: usize,
+        from: &str,
+        to: &str,
+        phi: f64,
+    ) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let rec = TraceRecord::new("membership")
+            .field("iteration", iteration)
+            .field("at_s", at_s)
+            .field("node", node as i64)
+            .field("from", from)
+            .field("to", to)
+            .field("phi", phi);
+        sink.emit(&rec);
+    }
+
     /// Emit one `degraded` trace record when the fallback policy
     /// substitutes the best-known sample for a failed or rejected
     /// evaluation. Field order is part of the trace schema

@@ -25,6 +25,13 @@
 //! [`simkit::rng::SimRng`]) and checkpointable: each layer round-trips
 //! its mutable state through [`persist::State`] bit-exactly, so a killed
 //! session resumes mid-policy without re-burning RNG draws.
+//!
+//! This crate is the *acting* half of the robustness story: its layers
+//! decide what to do about failures. The *sensing* half — deciding a
+//! node has failed at all, from heartbeat observations rather than the
+//! fault injector's oracle — lives in the `detect` crate (φ-accrual
+//! suspicion + hysteretic membership; DESIGN.md §5i), whose confirmed
+//! `Down` transitions gate the session's reconfiguration path.
 
 // Policies run inside long sessions: failures must surface as typed
 // errors or degraded outcomes, never panics. Test modules are exempt;

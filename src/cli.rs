@@ -84,6 +84,16 @@ pub struct TuneArgs {
     pub iterations: u32,
     /// Registered tuning algorithm (`--tuner`); `None` = simplex.
     pub tuner: Option<String>,
+    /// Run a resilient session gating reconfiguration on the φ-accrual
+    /// failure detector instead of the injector's health oracle.
+    pub detector: bool,
+    /// φ sliding-window capacity override (requires `--detector`).
+    pub detector_window: Option<usize>,
+    /// Suspicion threshold φ* override (requires `--detector`).
+    pub phi_threshold: Option<f64>,
+    /// Run a resilient session with the historical oracle-gated
+    /// reconfiguration (conflicts with `--detector`).
+    pub health_oracle: bool,
 }
 
 /// Sweep options.
@@ -133,6 +143,17 @@ TUNE:
                      old meaning — the §III duplication/partitioning
                      strategy — but relying on it to imply the simplex
                      algorithm is deprecated: say --tuner simplex.
+  --detector         run a resilient session that gates crash
+                     reconfiguration on the φ-accrual failure detector
+                     (heartbeats -> suspicion -> membership) instead of
+                     the fault injector's health oracle
+  --detector-window N   φ sliding-window capacity (default 64;
+                     requires --detector)
+  --phi-threshold X  suspicion threshold φ* (default 8.0; requires
+                     --detector)
+  --health-oracle    run a resilient session with the historical
+                     oracle-gated reconfiguration (conflicts with
+                     --detector)
 
 SWEEP:
   --from N --to N --step N                (default 400..2000 step 400)
@@ -148,16 +169,36 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String>
     let rest: Vec<String> = it.collect();
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "simulate" => Ok(Command::Simulate(parse_sim(&rest)?.0)),
-        "reconfig" => Ok(Command::Reconfig(parse_sim(&rest)?.0)),
+        "simulate" => Ok(Command::Simulate(parse_sim_exact(&rest)?)),
+        "reconfig" => Ok(Command::Reconfig(parse_sim_exact(&rest)?)),
         "tune" => {
             let (sim, leftover) = parse_sim(&rest)?;
             let mut method = TuningMethod::Default;
             let mut iterations = 50;
             let mut tuner = None;
+            let mut detector = false;
+            let mut detector_window = None;
+            let mut phi_threshold = None;
+            let mut health_oracle = false;
             let mut i = 0;
             while i < leftover.len() {
                 match leftover[i].as_str() {
+                    "--detector" => {
+                        detector = true;
+                        i += 1;
+                    }
+                    "--detector-window" => {
+                        detector_window = Some(parse_num(&leftover, i, "--detector-window")?);
+                        i += 2;
+                    }
+                    "--phi-threshold" => {
+                        phi_threshold = Some(parse_num(&leftover, i, "--phi-threshold")?);
+                        i += 2;
+                    }
+                    "--health-oracle" => {
+                        health_oracle = true;
+                        i += 1;
+                    }
                     "--tuner" => {
                         let v = leftover.get(i + 1).ok_or("--tuner needs a value")?;
                         if !harmony::registry::tuner_names().contains(&v.as_str()) {
@@ -184,11 +225,32 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String>
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
+            if detector && health_oracle {
+                return Err("--detector conflicts with --health-oracle".into());
+            }
+            if !detector {
+                if detector_window.is_some() {
+                    return Err("--detector-window requires --detector".into());
+                }
+                if phi_threshold.is_some() {
+                    return Err("--phi-threshold requires --detector".into());
+                }
+            }
+            if detector_window == Some(0) {
+                return Err("--detector-window must be at least 1".into());
+            }
+            if phi_threshold.is_some_and(|p: f64| !p.is_finite() || p <= 0.0) {
+                return Err("--phi-threshold must be a positive number".into());
+            }
             Ok(Command::Tune(TuneArgs {
                 sim,
                 method,
                 iterations,
                 tuner,
+                detector,
+                detector_window,
+                phi_threshold,
+                health_oracle,
             }))
         }
         "sweep" => {
@@ -223,6 +285,16 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String>
             }))
         }
         other => Err(format!("unknown subcommand '{other}' (try help)")),
+    }
+}
+
+/// Parse the common options for subcommands with no flags of their own,
+/// rejecting anything unconsumed.
+fn parse_sim_exact(args: &[String]) -> Result<SimArgs, String> {
+    let (sim, leftover) = parse_sim(args)?;
+    match leftover.first() {
+        None => Ok(sim),
+        Some(other) => Err(format!("unknown argument '{other}'")),
     }
 }
 
@@ -451,6 +523,59 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn detector_flags() {
+        match parse(argv(&["tune"])).unwrap() {
+            Command::Tune(t) => {
+                assert!(!t.detector);
+                assert_eq!(t.detector_window, None);
+                assert_eq!(t.phi_threshold, None);
+                assert!(!t.health_oracle);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&[
+            "tune",
+            "--detector",
+            "--detector-window",
+            "32",
+            "--phi-threshold",
+            "12.5",
+        ]))
+        .unwrap()
+        {
+            Command::Tune(t) => {
+                assert!(t.detector);
+                assert_eq!(t.detector_window, Some(32));
+                assert_eq!(t.phi_threshold, Some(12.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["tune", "--health-oracle"])).unwrap() {
+            Command::Tune(t) => assert!(t.health_oracle && !t.detector),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detector_flags_are_validated() {
+        let err = parse(argv(&["tune", "--detector", "--health-oracle"])).unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        let err = parse(argv(&["tune", "--detector-window", "32"])).unwrap_err();
+        assert!(err.contains("requires --detector"), "{err}");
+        let err = parse(argv(&["tune", "--phi-threshold", "8.0"])).unwrap_err();
+        assert!(err.contains("requires --detector"), "{err}");
+        let err = parse(argv(&["tune", "--detector", "--detector-window", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(argv(&["tune", "--detector", "--phi-threshold", "-1"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert!(parse(argv(&["tune", "--detector", "--phi-threshold"])).is_err());
+        assert!(parse(argv(&["tune", "--detector", "--detector-window", "lots"])).is_err());
+        // Detector flags belong to `tune`; other subcommands reject them.
+        assert!(parse(argv(&["simulate", "--detector"])).is_err());
+        assert!(parse(argv(&["sweep", "--health-oracle"])).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod cli;
 
 pub use cluster;
+pub use detect;
 pub use faults;
 pub use harmony;
 pub use obs;
@@ -38,6 +39,7 @@ pub use tpcw;
 pub mod prelude {
     pub use cluster::config::{ClusterConfig, Role, Topology};
     pub use cluster::spec::NodeSpec;
+    pub use detect::{Detector, DetectorConfig, MembershipView, NodeState, PhiAccrual};
     pub use faults::{ChaosPlan, FaultPlan, Health};
     pub use harmony::annealing::SimulatedAnnealing;
     pub use harmony::bestconfig::BestConfigTuner;
@@ -53,7 +55,8 @@ pub mod prelude {
     pub use orchestrator::checkpoint::CheckpointPolicy;
     pub use orchestrator::eval::{EvalEngine, EvalSettings};
     pub use orchestrator::resilient::{
-        run_resilient_session, run_resilient_session_observed, ResilienceSettings, ResilientRun,
+        run_resilient_session, run_resilient_session_observed, DetectionEvent, ResilienceSettings,
+        ResilientRun,
     };
     pub use orchestrator::session::{
         tune, tune_observed, IterationRecord, SessionConfig, SessionError, SessionObserver,

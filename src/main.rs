@@ -157,6 +157,9 @@ fn run_tune(t: &TuneArgs) {
     if let Some(name) = t.tuner.as_deref() {
         cfg = cfg.tuner(name);
     }
+    if t.detector || t.health_oracle {
+        return run_tune_resilient(t, cfg);
+    }
     let (default_wips, _) = cfg.measure_default(2);
     println!(
         "tuning {} on {} with \"{}\" ({} tuner), {} iterations (default {:.1} WIPS)...",
@@ -193,6 +196,84 @@ fn run_tune(t: &TuneArgs) {
         } else {
             println!("trace: {} iterations -> {path}", run.records.len());
         }
+    }
+    print_metrics(registry.as_ref());
+}
+
+/// `tune --detector` / `tune --health-oracle`: a resilient session whose
+/// crash reconfiguration is gated on detected membership (φ-accrual over
+/// simulated heartbeats) or, with `--health-oracle`, on the injector's
+/// ground-truth health — the historical behavior, kept as an explicit
+/// baseline for comparison.
+fn run_tune_resilient(t: &TuneArgs, cfg: SessionConfig) {
+    use detect::DetectorConfig;
+    use orchestrator::resilient::{run_resilient_session_observed, ResilienceSettings};
+
+    let mut settings = ResilienceSettings::default();
+    if t.detector {
+        let mut dc = DetectorConfig::default();
+        if let Some(w) = t.detector_window {
+            dc.window = w;
+        }
+        if let Some(p) = t.phi_threshold {
+            dc.phi_threshold = p;
+        }
+        settings.detector = Some(dc);
+    }
+    let gate = if t.detector {
+        "phi-accrual detector"
+    } else {
+        "health oracle"
+    };
+    println!(
+        "resilient tuning {} on {} ({} tuner, {} iterations), reconfiguration gated on the {}...",
+        t.sim.workload, t.sim.topology, cfg.tuner, t.iterations, gate
+    );
+    let mut trace = open_trace(&t.sim);
+    let registry = open_registry(&t.sim);
+    let mut observer = SessionObserver::new(
+        trace.as_mut().map(|s| s as &mut dyn TraceSink),
+        registry.as_ref(),
+    );
+    let run = match run_resilient_session_observed(&cfg, &settings, t.iterations, &mut observer) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("WIPS: {}", sparkline(&run.wips_series()));
+    println!(
+        "best {:.1} WIPS | {} recovery action(s) | {} reconfiguration(s)",
+        run.best_wips,
+        run.recoveries.len(),
+        run.reconfigs.len()
+    );
+    if t.detector {
+        let down = run.detections.iter().filter(|d| d.is_down()).count();
+        match run.mean_detection_latency_s() {
+            Some(lat) => println!(
+                "detector: {} membership transition(s), {} Down confirmation(s) \
+                 ({} false), mean detection latency {:.2}s",
+                run.detections.len(),
+                down,
+                run.detection_false_positives(),
+                lat
+            ),
+            None => println!(
+                "detector: {} membership transition(s), {} Down confirmation(s) \
+                 ({} false)",
+                run.detections.len(),
+                down,
+                run.detection_false_positives()
+            ),
+        }
+    }
+    for r in &run.reconfigs {
+        println!(
+            "iteration {:3}: node {} pulled into the {} tier after a crash",
+            r.iteration, r.node, r.to_tier
+        );
     }
     print_metrics(registry.as_ref());
 }

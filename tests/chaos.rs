@@ -175,69 +175,173 @@ fn kill_and_resume_is_byte_identical_at_policy_transitions() {
     for chaos in library::all(window_s(), 4) {
         let cfg = chaos_cfg(chaos.plan.clone(), "simplex");
 
-        let mut full_sink = MemorySink::new();
-        let mut observer = SessionObserver::with_sink(&mut full_sink);
-        let full_run = run_resilient_session_observed(&cfg, &settings, ITERS, &mut observer)
-            .expect("uninterrupted chaos run");
-        let full_lines = lines_of(&full_sink);
+        kill_resume_roundtrip(chaos.name, &cfg, &settings);
+    }
+}
 
-        // Resume right after each iteration where the stack acted; the
-        // next iteration start is the kill point.
-        let mut boundaries: Vec<u64> = full_run
-            .recoveries
-            .iter()
-            .map(|r| r.iteration as u64 + 1)
-            .filter(|&k| k < ITERS as u64)
-            .collect();
-        boundaries.sort_unstable();
-        boundaries.dedup();
-        assert!(
-            !boundaries.is_empty(),
-            "{}: chaos plan must force at least one policy transition: {:?}",
-            chaos.name,
-            full_run.recoveries
+/// Run the kill/resume byte-identity contract for one (config, settings)
+/// pair: the boundaries are every iteration after which the stack acted
+/// or (in detector mode) membership transitioned — the latter are
+/// exactly the mid-suspicion boundaries where φ windows, membership
+/// streaks, and pending arrivals must restore bit-exactly.
+fn kill_resume_roundtrip(name: &str, cfg: &SessionConfig, settings: &ResilienceSettings) {
+    let mut full_sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut full_sink);
+    let full_run = run_resilient_session_observed(cfg, settings, ITERS, &mut observer)
+        .expect("uninterrupted chaos run");
+    let full_lines = lines_of(&full_sink);
+
+    // Resume right after each iteration where the stack acted or the
+    // detector transitioned; the next iteration start is the kill point.
+    let mut boundaries: Vec<u64> = full_run
+        .recoveries
+        .iter()
+        .map(|r| r.iteration as u64 + 1)
+        .chain(full_run.detections.iter().map(|d| d.iteration as u64 + 1))
+        .filter(|&k| k < ITERS as u64)
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    assert!(
+        !boundaries.is_empty(),
+        "{name}: chaos plan must force at least one policy transition: {:?}",
+        full_run.recoveries
+    );
+
+    for k in boundaries {
+        let dir = temp_dir(&format!("{name}-{k}"));
+        let ck = cfg.clone().checkpoint(CheckpointPolicy::new(&dir).every(2));
+        let mut sink = KillSink {
+            inner: MemorySink::new(),
+            kill_at: k,
+        };
+        run_killed(|| {
+            let mut observer = SessionObserver::with_sink(&mut sink);
+            let _ = run_resilient_session_observed(&ck, settings, ITERS, &mut observer);
+        });
+        let pre = lines_of(&sink.inner);
+        assert_eq!(pre, full_lines[..pre.len()], "{name} k={k}: pre-kill trace");
+
+        let resume_cfg = cfg
+            .clone()
+            .checkpoint(CheckpointPolicy::new(&dir).every(2).resume(true));
+        let mut resumed_sink = MemorySink::new();
+        let mut observer = SessionObserver::with_sink(&mut resumed_sink);
+        let run = run_resilient_session_observed(&resume_cfg, settings, ITERS, &mut observer)
+            .expect("resumed chaos run");
+        let resumed = lines_of(&resumed_sink);
+        assert!(resumed[0].contains("\"kind\":\"resume\""), "{}", resumed[0]);
+        assert_eq!(
+            &resumed[1..],
+            &full_lines[pre.len()..],
+            "{name} k={k}: post-resume trace must splice byte-identically"
         );
+        assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
+        assert_eq!(run.final_topology, full_run.final_topology);
+        assert_eq!(run.records.len(), full_run.records.len());
+        assert_eq!(run.recoveries.len(), full_run.recoveries.len());
+        assert_eq!(run.reconfigs.len(), full_run.reconfigs.len());
+        assert_eq!(run.detections, full_run.detections, "{name} k={k}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
 
-        for k in boundaries {
-            let dir = temp_dir(&format!("{}-{k}", chaos.name));
-            let ck = cfg.clone().checkpoint(CheckpointPolicy::new(&dir).every(2));
-            let mut sink = KillSink {
-                inner: MemorySink::new(),
-                kill_at: k,
-            };
-            run_killed(|| {
-                let mut observer = SessionObserver::with_sink(&mut sink);
-                let _ = run_resilient_session_observed(&ck, &settings, ITERS, &mut observer);
-            });
-            let pre = lines_of(&sink.inner);
+// --- detector-mode conformance -----------------------------------------
+
+/// The chaos profile with the failure detector on: reconfiguration is
+/// gated on detected membership instead of the injector oracle.
+fn detector_settings() -> ResilienceSettings {
+    ResilienceSettings {
+        detector: Some(DetectorConfig::default()),
+        ..chaos_settings()
+    }
+}
+
+/// Finish-or-degrade holds for every tuner × chaos plan with the
+/// detector driving reconfiguration, and every detection the sessions
+/// report is well-formed (known states, finite φ, in-range node).
+#[test]
+fn every_tuner_survives_every_chaos_plan_in_detector_mode() {
+    let nodes = Topology::tiers(1, 2, 1).expect("topology").len();
+    for tuner in harmony::registry::tuner_names() {
+        for chaos in library::all(window_s(), 4) {
+            let cfg = chaos_cfg(chaos.plan.clone(), tuner);
+            let run = run_resilient_session(&cfg, &detector_settings(), ITERS)
+                .unwrap_or_else(|e| panic!("{tuner} × {}: {e:?}", chaos.name));
             assert_eq!(
-                pre,
-                full_lines[..pre.len()],
-                "{} k={k}: pre-kill trace",
+                run.records.len(),
+                ITERS as usize,
+                "{tuner} × {}",
                 chaos.name
             );
-
-            let resume_cfg = cfg
-                .clone()
-                .checkpoint(CheckpointPolicy::new(&dir).every(2).resume(true));
-            let mut resumed_sink = MemorySink::new();
-            let mut observer = SessionObserver::with_sink(&mut resumed_sink);
-            let run = run_resilient_session_observed(&resume_cfg, &settings, ITERS, &mut observer)
-                .expect("resumed chaos run");
-            let resumed = lines_of(&resumed_sink);
-            assert!(resumed[0].contains("\"kind\":\"resume\""), "{}", resumed[0]);
-            assert_eq!(
-                &resumed[1..],
-                &full_lines[pre.len()..],
-                "{} k={k}: post-resume trace must splice byte-identically",
-                chaos.name
-            );
-            assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
-            assert_eq!(run.final_topology, full_run.final_topology);
-            assert_eq!(run.records.len(), full_run.records.len());
-            assert_eq!(run.recoveries.len(), full_run.recoveries.len());
-            assert_eq!(run.reconfigs.len(), full_run.reconfigs.len());
-            std::fs::remove_dir_all(&dir).expect("cleanup");
+            for r in &run.records {
+                assert!(
+                    r.wips.is_finite() && r.wips >= 0.0,
+                    "{tuner} × {}: bad wips {r:?}",
+                    chaos.name
+                );
+            }
+            for d in &run.detections {
+                assert!(d.node < nodes, "{tuner} × {}: {d:?}", chaos.name);
+                assert!(d.phi.is_finite() && d.phi >= 0.0, "{d:?}");
+                assert!(
+                    ["up", "suspect", "down"].contains(&d.from)
+                        && ["up", "suspect", "down"].contains(&d.to),
+                    "{d:?}"
+                );
+            }
         }
     }
+}
+
+/// Detector-mode determinism: detections, WIPS series, and node moves
+/// reproduce bit-for-bit across runs for every tuner.
+#[test]
+fn detector_chaos_runs_are_deterministic() {
+    let mayhem = library::all(window_s(), 4)
+        .into_iter()
+        .find(|c| c.name == "mixed-mayhem")
+        .expect("library has mixed-mayhem");
+    for tuner in harmony::registry::tuner_names() {
+        let cfg = chaos_cfg(mayhem.plan.clone(), tuner);
+        let a = run_resilient_session(&cfg, &detector_settings(), ITERS).expect("first run");
+        let b = run_resilient_session(&cfg, &detector_settings(), ITERS).expect("second run");
+        assert_eq!(a.detections, b.detections, "{tuner}: detections");
+        let bits =
+            |r: &ResilientRun| -> Vec<u64> { r.records.iter().map(|x| x.wips.to_bits()).collect() };
+        assert_eq!(bits(&a), bits(&b), "{tuner}: WIPS series must be bit-equal");
+        assert_eq!(a.reconfigs.len(), b.reconfigs.len(), "{tuner}: node moves");
+        assert_eq!(a.best_wips.to_bits(), b.best_wips.to_bits(), "{tuner}");
+    }
+}
+
+/// Kill-and-resume byte-identity with the detector on, across the chaos
+/// library — every detection iteration is a kill boundary, so sessions
+/// are killed mid-suspicion (estimator windows part-filled, membership
+/// streaks in flight, stalled beats pending) and must splice exactly.
+#[test]
+fn detector_kill_and_resume_is_byte_identical_mid_suspicion() {
+    let settings = detector_settings();
+    for chaos in library::all(window_s(), 4) {
+        let cfg = chaos_cfg(chaos.plan.clone(), "simplex");
+        kill_resume_roundtrip(&format!("det-{}", chaos.name), &cfg, &settings);
+    }
+    // And one plan built to straddle a boundary mid-confirmation: the
+    // crash lands two beats before the window ends, so at the kill point
+    // the node is Suspect but not yet confirmed Down.
+    let w = window_s();
+    let cfg = chaos_cfg(FaultPlan::new().crash(2.0 * w - 2.0, 1), "simplex");
+    let run = run_resilient_session(&cfg, &settings, ITERS).expect("straddle run");
+    assert!(
+        run.detections
+            .iter()
+            .any(|d| d.to == "suspect" && d.iteration == 1)
+            && run
+                .detections
+                .iter()
+                .any(|d| d.is_down() && d.iteration == 2),
+        "suspicion must straddle the boundary: {:?}",
+        run.detections
+    );
+    kill_resume_roundtrip("det-straddle", &cfg, &settings);
 }

@@ -253,6 +253,67 @@ fn degraded_records_match_golden_schema() {
     }
 }
 
+/// A detector-mode resilient run over a crash-then-restart plan: emits
+/// `suspicion` records every iteration and `membership` records for the
+/// Suspect → Down → Up transition chain.
+fn traced_detector_run() -> Vec<TraceRecord> {
+    let plan = IntervalPlan::tiny();
+    let window = plan.total().as_secs_f64();
+    let cfg = SessionConfig::new(Topology::tiers(1, 2, 1).unwrap(), Workload::Shopping, 250)
+        .plan(plan)
+        .pin_seed(true)
+        .fault_plan(
+            FaultPlan::new()
+                .crash(window + 5.0, 1)
+                .restart(2.0 * window + 5.0, 1),
+        );
+    let settings = ResilienceSettings {
+        detector: Some(DetectorConfig::default()),
+        ..Default::default()
+    };
+    let mut sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut sink);
+    run_resilient_session_observed(&cfg, &settings, 3, &mut observer).expect("resilient session");
+    sink.records
+}
+
+#[test]
+fn suspicion_records_match_golden_schema() {
+    let records = traced_detector_run();
+    let suspicions = records_of_kind(&records, "suspicion");
+    assert_eq!(
+        suspicions.len(),
+        3 * 4,
+        "one suspicion record per node per iteration: {suspicions:?}"
+    );
+    let expected = golden_keys_from(include_str!("golden/suspicion_schema.txt"));
+    for line in &suspicions {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/suspicion_schema.txt: {line}"
+        );
+    }
+}
+
+#[test]
+fn membership_records_match_golden_schema() {
+    let records = traced_detector_run();
+    let memberships = records_of_kind(&records, "membership");
+    assert!(
+        memberships.len() >= 3,
+        "suspect, down, and recovery transitions: {memberships:?}"
+    );
+    let expected = golden_keys_from(include_str!("golden/membership_schema.txt"));
+    for line in &memberships {
+        assert_eq!(
+            key_sequence(line),
+            expected,
+            "drifted from tests/golden/membership_schema.txt: {line}"
+        );
+    }
+}
+
 #[test]
 fn resume_record_matches_golden_schema() {
     let cfg = SessionConfig::new(Topology::single(), Workload::Shopping, 200)
