@@ -4,7 +4,10 @@
 //! (when `--baseline` points at the committed copy) fails the process
 //! with exit code 1 on a >tolerance normalized regression. Also
 //! re-runs every seeded scenario twice and fails on any fingerprint
-//! mismatch — a determinism smoke test.
+//! mismatch — a determinism smoke test — then replays the battery
+//! through the shared worker pool at width 2 and fails if any pool
+//! fingerprint differs from the sequential one (the multi-core engine
+//! must be a wall-clock knob, never a results knob).
 //!
 //! Usage:
 //!   bench_smoke [--out PATH] [--baseline PATH] [--tolerance FRAC]
@@ -97,6 +100,28 @@ fn main() {
         eprintln!("bench-smoke: determinism check failed");
         std::process::exit(1);
     }
+
+    // 1b. Pool determinism: the same battery through the shared worker
+    //     pool at width 2 must fingerprint identically to the
+    //     sequential pass above.
+    for (name, fp) in smoke::pool_fingerprints(2) {
+        match fingerprints.iter().find(|(n, _)| *n == name) {
+            Some((_, seq)) if *seq == fp => {}
+            Some((_, seq)) => {
+                eprintln!("POOL DETERMINISM FAIL {name}: {fp:016x} != sequential {seq:016x}");
+                determinism_ok = false;
+            }
+            None => {
+                eprintln!("POOL DETERMINISM FAIL {name}: scenario missing from sequential pass");
+                determinism_ok = false;
+            }
+        }
+    }
+    if !determinism_ok {
+        eprintln!("bench-smoke: 2-thread pool determinism check failed");
+        std::process::exit(1);
+    }
+    println!("pool fingerprints at width 2: identical to sequential");
 
     // 2. Timing: cold-path scenario + pure-CPU reference spin,
     //    interleaved so both minimums sample the same noise windows.

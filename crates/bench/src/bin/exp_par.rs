@@ -1,0 +1,245 @@
+//! EXP-PAR: the deterministic multi-core evaluation engine.
+//!
+//! Three checks, one artifact (`BENCH_6.json`):
+//!
+//! 1. **Determinism** — every seeded probe scenario is evaluated
+//!    through the shared worker pool at widths 1, 2, and 8; all three
+//!    passes must produce bit-identical fingerprints. Exit 1 on drift.
+//! 2. **Cold-path speculation scaling** — each scenario of the battery
+//!    (a stand-in for one speculative candidate batch) is timed
+//!    individually, and the batch is projected onto 2/4/8 workers with
+//!    the pool's own greedy submission-order schedule. The 4-worker
+//!    projection must beat sequential (speedup > 1).
+//! 3. **Replication-sweep scaling** — eight measurement replications of
+//!    a 2p2a2d session are timed individually and projected the same
+//!    way. The 4-worker projection must reach >= 2x.
+//!
+//! Wall-clock speedups measured on the build host are reported too,
+//! clearly labeled: on a single-core CI runner they hover around 1x by
+//! construction, which is why the gates read the schedule projection
+//! (see `bench::par`) rather than this host's core count.
+//!
+//! Usage:
+//!   exp_par [--out PATH] [--rounds N]
+
+use bench::par::{makespan, projected_speedup};
+use bench::smoke::{fingerprint, fingerprint_scenarios, pool_fingerprints};
+use cluster::config::ClusterConfig;
+use cluster::runner::run_iteration;
+use orchestrator::par::shared_pool;
+use orchestrator::session::SessionConfig;
+use std::time::Instant;
+use tpcw::metrics::IntervalPlan;
+use tpcw::mix::Workload;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+const PROJECTED: [usize; 3] = [2, 4, 8];
+const REPS: u32 = 8;
+
+struct Cli {
+    out: std::path::PathBuf,
+    rounds: u32,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        out: "BENCH_6.json".into(),
+        rounds: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => cli.out = val("--out").into(),
+            "--rounds" => {
+                cli.rounds = val("--rounds").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --rounds");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: exp_par [--out PATH] [--rounds N]");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// Minimum duration of `f` over `rounds` runs, in ms.
+fn time_min_ms<F: FnMut()>(rounds: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn json_speedups(durations: &[f64]) -> String {
+    PROJECTED
+        .iter()
+        .map(|&w| format!("\"{w}\": {:.3}", projected_speedup(durations, w)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let cli = parse_cli();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Deterministic multi-core evaluation engine (cores on this host: {cores}) ==\n");
+
+    // 1. Fingerprint identity at widths 1 / 2 / 8 through the pool.
+    let passes: Vec<Vec<(String, u64)>> = WIDTHS.iter().map(|&w| pool_fingerprints(w)).collect();
+    let mut identical = true;
+    println!("scenario       width-1          width-2          width-8");
+    for (i, (name, fp1)) in passes[0].iter().enumerate() {
+        let fp2 = passes[1][i].1;
+        let fp8 = passes[2][i].1;
+        let ok = *fp1 == fp2 && *fp1 == fp8;
+        identical &= ok;
+        println!(
+            "  {name:<12} {fp1:016x} {fp2:016x} {fp8:016x}{}",
+            if ok { "" } else { "  MISMATCH" }
+        );
+    }
+    if !identical {
+        eprintln!("\nFAIL: pool width changed a scenario fingerprint");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} fingerprints bit-identical at widths 1/2/8\n",
+        passes[0].len()
+    );
+
+    // 2. Cold-path speculative batch: per-candidate durations, then the
+    //    pool's greedy schedule projected onto 2/4/8 workers. Also time
+    //    the real pool batch on this host for the measured column.
+    let scenarios: Vec<_> = fingerprint_scenarios();
+    let spec_durations: Vec<f64> = scenarios
+        .iter()
+        .map(|(_, s)| {
+            time_min_ms(cli.rounds, || {
+                std::hint::black_box(fingerprint(&run_iteration(s)));
+            })
+        })
+        .collect();
+    let spec_seq_ms: f64 = spec_durations.iter().sum();
+    let batch: Vec<_> = scenarios.iter().map(|(_, s)| s.clone()).collect();
+    let spec_wall_pool_ms = time_min_ms(cli.rounds, || {
+        std::hint::black_box(
+            shared_pool().run_batch(batch.clone(), 0, |s| run_iteration(s).events),
+        );
+    });
+    println!("cold-path speculative batch ({} candidates):", batch.len());
+    println!("  sequential {spec_seq_ms:.1} ms; measured pool wall on this host {spec_wall_pool_ms:.1} ms");
+    for &w in &PROJECTED {
+        println!(
+            "  projected at {w} workers: makespan {:.1} ms, speedup {:.2}x",
+            makespan(&spec_durations, w),
+            projected_speedup(&spec_durations, w)
+        );
+    }
+
+    // 3. Replication sweep: REPS independent measurement replications
+    //    of the 2p2a2d Shopping session.
+    let topology = match cluster::config::Topology::tiers(2, 2, 2) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("topology: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = SessionConfig::new(topology, Workload::Shopping, 600)
+        .plan(IntervalPlan::tiny())
+        .pin_seed(true);
+    let defaults = ClusterConfig::defaults(&cfg.topology);
+    let rep_durations: Vec<f64> = (0..REPS)
+        .map(|rep| {
+            let cfg = &cfg;
+            let defaults = &defaults;
+            time_min_ms(cli.rounds, move || {
+                std::hint::black_box(cfg.evaluate(defaults.clone(), rep));
+            })
+        })
+        .collect();
+    let rep_seq_ms: f64 = rep_durations.iter().sum();
+    let rep_wall_seq_ms = time_min_ms(cli.rounds, || {
+        std::hint::black_box(cfg.measure_default(REPS));
+    });
+    let cfg_pool = cfg.clone().replication_threads(0);
+    let rep_wall_pool_ms = time_min_ms(cli.rounds, || {
+        std::hint::black_box(cfg_pool.measure_default(REPS));
+    });
+    println!("\nreplication sweep ({REPS} replications, 2p2a2d Shopping):");
+    println!(
+        "  sequential {rep_seq_ms:.1} ms; measured wall on this host: threads=1 {rep_wall_seq_ms:.1} ms, pool {rep_wall_pool_ms:.1} ms"
+    );
+    for &w in &PROJECTED {
+        println!(
+            "  projected at {w} workers: makespan {:.1} ms, speedup {:.2}x",
+            makespan(&rep_durations, w),
+            projected_speedup(&rep_durations, w)
+        );
+    }
+
+    // 4. Artifact.
+    let fps = passes[0]
+        .iter()
+        .map(|(name, fp)| format!("    \"{name}\": \"{fp:016x}\""))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"bench-par-v1\",\n  \"cores_on_build_host\": {cores},\n  \
+         \"widths_checked\": [1, 2, 8],\n  \"fingerprints_identical\": {identical},\n  \
+         \"fingerprints\": {{\n{fps}\n  }},\n  \"speculation\": {{\n    \
+         \"batch\": \"{n} seeded candidate scenarios, cold cache\",\n    \
+         \"sequential_ms\": {spec_seq_ms:.3},\n    \
+         \"measured_pool_wall_ms\": {spec_wall_pool_ms:.3},\n    \
+         \"projected_speedup\": {{ {spec_speedups} }}\n  }},\n  \"replications\": {{\n    \
+         \"sweep\": \"{REPS} replications, 2p2a2d Shopping, tiny plan\",\n    \
+         \"sequential_ms\": {rep_seq_ms:.3},\n    \
+         \"measured_wall_ms_threads_1\": {rep_wall_seq_ms:.3},\n    \
+         \"measured_pool_wall_ms\": {rep_wall_pool_ms:.3},\n    \
+         \"projected_speedup\": {{ {rep_speedups} }}\n  }},\n  \"method\": \
+         \"projected_speedup = sum of individually timed task durations (min over {rounds} \
+         rounds) divided by the greedy submission-order schedule makespan at that width — the \
+         exact schedule the shared pool runs; measured_*_wall_ms are honest wall times on this \
+         host and track its core count, not the projection\"\n}}\n",
+        n = batch.len(),
+        spec_speedups = json_speedups(&spec_durations),
+        rep_speedups = json_speedups(&rep_durations),
+        rounds = cli.rounds.max(1),
+    );
+    if let Err(e) = std::fs::write(&cli.out, json) {
+        eprintln!("could not write {}: {e}", cli.out.display());
+        std::process::exit(2);
+    }
+    println!("\nwrote {}", cli.out.display());
+
+    // 5. Gates: the engine must actually buy parallel speedup on the
+    //    schedules it runs.
+    let spec_4 = projected_speedup(&spec_durations, 4);
+    let rep_4 = projected_speedup(&rep_durations, 4);
+    if spec_4 <= 1.0 {
+        eprintln!("FAIL: cold-path speculation projects {spec_4:.2}x at 4 workers (need > 1)");
+        std::process::exit(1);
+    }
+    if rep_4 < 2.0 {
+        eprintln!("FAIL: replication sweep projects {rep_4:.2}x at 4 workers (need >= 2)");
+        std::process::exit(1);
+    }
+    println!(
+        "gates: speculation {spec_4:.2}x > 1 and replications {rep_4:.2}x >= 2 at 4 workers — PASS"
+    );
+}

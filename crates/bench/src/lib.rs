@@ -9,6 +9,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod par;
 pub mod smoke;
 pub mod tuned;
 pub mod util;

@@ -104,6 +104,19 @@ pub fn fingerprint(out: &IterationOutcome) -> u64 {
     fp
 }
 
+/// Fingerprint the seeded scenario battery through the shared worker
+/// pool at the given batch width (0 = one worker per core). The pool
+/// merges results in submission order, so the returned list must be
+/// bit-identical to fingerprinting the battery sequentially — the
+/// in-CI check for the deterministic multi-core evaluation engine.
+pub fn pool_fingerprints(width: usize) -> Vec<(String, u64)> {
+    let (names, scenarios): (Vec<String>, Vec<ClusterScenario>) =
+        fingerprint_scenarios().into_iter().unzip();
+    let fps = orchestrator::par::shared_pool()
+        .run_batch(scenarios, width, |s| fingerprint(&run_iteration(s)));
+    names.into_iter().zip(fps).collect()
+}
+
 /// One reference-spin batch: a fixed SplitMix64 chain, in ms.
 fn spin_batch_ms(round: u32) -> f64 {
     const CHAIN: u64 = 4_000_000;
@@ -282,6 +295,15 @@ mod tests {
         let a = fingerprint(&run_iteration(&s));
         let b = fingerprint(&run_iteration(&s));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_fingerprints_match_sequential_at_width_two() {
+        let seq: Vec<(String, u64)> = fingerprint_scenarios()
+            .iter()
+            .map(|(n, s)| (n.clone(), fingerprint(&run_iteration(s))))
+            .collect();
+        assert_eq!(pool_fingerprints(2), seq);
     }
 
     #[test]

@@ -23,11 +23,11 @@
 //! * **Speculation** ([`EvalSettings::threads`] ≠ 1, requires the
 //!   cache) — the session asks its tuner which configurations it *may*
 //!   propose over the next few iterations (see `Tuner::speculate`) and
-//!   evaluates the misses concurrently via [`crate::par::parallel_map`]
-//!   before the sequential loop consumes them as cache hits. Wrong
-//!   guesses cost only wasted background work; they can never change a
-//!   result, because the consuming lookup is keyed by the scenario the
-//!   loop actually built.
+//!   evaluates the misses concurrently on the process-wide worker pool
+//!   ([`crate::par::shared_pool`]) before the sequential loop consumes
+//!   them as cache hits. Wrong guesses cost only wasted background
+//!   work; they can never change a result, because the consuming lookup
+//!   is keyed by the scenario the loop actually built.
 //!
 //! Determinism argument: the cache stores the raw simulation outcome
 //! (fault-noise multipliers are applied by the session *after* lookup,
@@ -118,8 +118,13 @@ pub struct EvalCounters {
     pub hits: u64,
     /// Consuming lookups that ran the DES.
     pub misses: u64,
-    /// Speculative background evaluations executed.
+    /// Speculative background evaluations whose result was *stored* for
+    /// the sequential loop to consume — useful speculative work only.
     pub speculated: u64,
+    /// Speculative evaluations whose result was discarded: the scenario
+    /// failed validation, or the cache hit its capacity cap before the
+    /// result could be stored.
+    pub speculation_dropped: u64,
 }
 
 impl EvalCounters {
@@ -129,6 +134,9 @@ impl EvalCounters {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             speculated: self.speculated.saturating_sub(earlier.speculated),
+            speculation_dropped: self
+                .speculation_dropped
+                .saturating_sub(earlier.speculation_dropped),
         }
     }
 
@@ -154,6 +162,7 @@ pub struct EvalEngine {
     hits: AtomicU64,
     misses: AtomicU64,
     speculated: AtomicU64,
+    speculation_dropped: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalEngine {
@@ -188,6 +197,7 @@ impl EvalEngine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             speculated: AtomicU64::new(0),
+            speculation_dropped: AtomicU64::new(0),
         }
     }
 
@@ -234,6 +244,7 @@ impl EvalEngine {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             speculated: self.speculated.load(Ordering::Relaxed),
+            speculation_dropped: self.speculation_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -263,49 +274,60 @@ impl EvalEngine {
         out
     }
 
-    /// Speculatively evaluate `scenarios` on worker threads, caching the
-    /// results for the sequential loop to consume. Already-cached and
-    /// duplicate scenarios are skipped; scenarios that fail validation
-    /// are dropped so the consuming path re-runs them and reports the
-    /// error with its usual context. Returns the number of evaluations
-    /// actually executed.
+    /// Speculatively evaluate `scenarios` on the shared worker pool
+    /// ([`crate::par::shared_pool`]), caching the results for the
+    /// sequential loop to consume. Already-cached and duplicate
+    /// scenarios are skipped; scenarios that fail validation are
+    /// dropped so the consuming path re-runs them and reports the error
+    /// with its usual context. Returns the number of evaluations
+    /// actually executed; only *stored* results count toward the
+    /// `speculated` counter, the rest land in `speculation_dropped`.
     pub fn prefetch(&self, scenarios: &[ClusterScenario]) -> usize {
         if self.speculation_horizon() == 0 || scenarios.is_empty() {
             return 0;
         }
-        let mut todo: Vec<(u64, &ClusterScenario)> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut todo: Vec<ClusterScenario> = Vec::new();
         {
             let cache = self.lock();
             let mut seen = BTreeSet::new();
             for s in scenarios {
                 let key = scenario_fingerprint(s);
                 if !cache.contains_key(&key) && seen.insert(key) {
-                    todo.push((key, s));
+                    keys.push(key);
+                    todo.push(s.clone());
                 }
             }
             // Never speculate past the capacity cap: entries that could
             // not be stored would be pure waste.
             let room = self.settings.capacity.saturating_sub(cache.len());
+            keys.truncate(room);
             todo.truncate(room);
         }
         if todo.is_empty() {
             return 0;
         }
-        let outs = crate::par::parallel_map(&todo, self.settings.threads, |(_, s)| {
+        let executed = todo.len();
+        let outs = crate::par::shared_pool().run_batch(todo, self.settings.threads, |s| {
             run_iteration_checked(s).ok()
         });
-        let executed = todo.len();
-        self.speculated
-            .fetch_add(executed as u64, Ordering::Relaxed);
-        let mut cache = self.lock();
-        for ((key, _), out) in todo.into_iter().zip(outs) {
-            if let Some(out) = out {
-                if cache.len() >= self.settings.capacity {
-                    break;
+        let mut stored = 0u64;
+        let mut dropped = 0u64;
+        {
+            let mut cache = self.lock();
+            for (key, out) in keys.into_iter().zip(outs) {
+                match out {
+                    Some(out) if cache.len() < self.settings.capacity => {
+                        cache.insert(key, out);
+                        stored += 1;
+                    }
+                    _ => dropped += 1,
                 }
-                cache.insert(key, out);
             }
         }
+        self.speculated.fetch_add(stored, Ordering::Relaxed);
+        self.speculation_dropped
+            .fetch_add(dropped, Ordering::Relaxed);
         executed
     }
 
@@ -494,9 +516,50 @@ mod tests {
         let out = engine.run(&scenarios[1], None);
         let c = engine.counters();
         assert_eq!((c.hits, c.misses, c.speculated), (1, 0, 3));
+        assert_eq!(c.speculation_dropped, 0, "every result was stored");
         // The cached speculative result equals a fresh sequential run.
         let fresh = run_iteration(&scenarios[1]);
         assert_eq!(out.metrics.wips.to_bits(), fresh.metrics.wips.to_bits());
+    }
+
+    #[test]
+    fn prefetch_counts_dropped_results_separately() {
+        // Regression: `speculated` used to count every executed
+        // speculation, including results that were never stored. A
+        // scenario that fails validation is dropped (the consuming path
+        // re-runs it for the real error) and must land in
+        // `speculation_dropped`, not `speculated`.
+        let engine = EvalEngine::new(EvalSettings::default().cache(true).threads(2));
+        let good = scenario(0);
+        let mut bad = scenario(1);
+        bad.topology = cluster::config::Topology::tiers(2, 1, 1).expect("topology");
+        let executed = engine.prefetch(&[good, bad]);
+        assert_eq!(executed, 2, "both scenarios were evaluated");
+        let c = engine.counters();
+        assert_eq!(c.speculated, 1, "only the stored result counts");
+        assert_eq!(c.speculation_dropped, 1, "the invalid scenario was dropped");
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn counters_since_includes_dropped() {
+        let a = EvalCounters {
+            hits: 5,
+            misses: 4,
+            speculated: 3,
+            speculation_dropped: 2,
+        };
+        let b = EvalCounters {
+            hits: 7,
+            misses: 5,
+            speculated: 6,
+            speculation_dropped: 5,
+        };
+        let d = b.since(&a);
+        assert_eq!(
+            (d.hits, d.misses, d.speculated, d.speculation_dropped),
+            (2, 1, 3, 3)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! configuration, and the diagonal improves on the default by 5–16%.
 
 use super::{population_for, Effort};
-use crate::par::parallel_map;
+use crate::par::shared_pool;
 use crate::session::SessionConfig;
 use cluster::config::{ClusterConfig, Topology};
 use tpcw::mix::Workload;
@@ -44,17 +44,22 @@ pub fn run_with_configs(configs: &[ClusterConfig; 3], effort: &Effort, seed: u64
         }
     }
     let reps = effort.reps.max(1);
-    let results = parallel_map(&cells, 0, |&(c, w)| {
+    // Whole cells are the unit of parallelism: each schedules onto the
+    // shared worker pool alongside replications and speculative prefetch,
+    // and results merge back in cell order regardless of worker count.
+    let tuned = configs.clone();
+    let effort = *effort;
+    let results = shared_pool().run_batch(cells.clone(), 0, move |&(c, w)| {
         let workload = Workload::ALL[w];
         let cfg = SessionConfig::new(
             Topology::single(),
             workload,
-            population_for(workload, effort),
+            population_for(workload, &effort),
         )
         .plan(effort.plan)
         .base_seed(seed ^ ((c as u64) << 32) ^ w as u64);
         let config = if c < 3 {
-            configs[c].clone()
+            tuned[c].clone()
         } else {
             ClusterConfig::defaults(&cfg.topology)
         };

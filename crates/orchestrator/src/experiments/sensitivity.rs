@@ -11,7 +11,7 @@
 
 use super::{population_for, Effort};
 use crate::binding;
-use crate::par::parallel_map;
+use crate::par::shared_pool;
 use crate::session::SessionConfig;
 use cluster::config::Topology;
 use tpcw::mix::Workload;
@@ -66,7 +66,9 @@ pub fn run(workload: Workload, effort: &Effort, seed: u64) -> SensitivityResult 
         .wips;
 
     let dims: Vec<usize> = (0..space.dims()).collect();
-    let mut entries = parallel_map(&dims, 0, |&dim| {
+    // One dimension = one pool job; entries land in dimension order before
+    // the impact sort, so worker count never changes the result.
+    let mut entries = shared_pool().run_batch(dims, 0, move |&dim| {
         let def = space.def(dim);
         let mut low = default_config.clone();
         low.set(dim, def.min);

@@ -7,7 +7,7 @@
 //! the untuned baseline, and iterations to reach the best configuration.
 
 use super::{table4_population, Effort};
-use crate::par::parallel_map;
+use crate::par::shared_pool;
 use crate::session::{tune, SessionConfig};
 use cluster::config::Topology;
 use harmony::strategy::TuningMethod;
@@ -57,9 +57,13 @@ pub fn run(methods: &[TuningMethod], effort: &Effort, seed: u64) -> Table4Result
 
     let (baseline_wips, baseline_std) = base.measure_default(effort.reps.max(2));
 
-    let rows = parallel_map(methods, 0, |&method| {
+    // Each method's tuning run is one pool job; rows come back in method
+    // order whatever the worker count.
+    let session = base.clone();
+    let effort = *effort;
+    let rows = shared_pool().run_batch(methods.to_vec(), 0, move |&method| {
         // Decorrelate methods' measurement noise.
-        let cfg = base
+        let cfg = session
             .clone()
             .base_seed(seed ^ (method as u64).wrapping_mul(0x9E37_79B9));
         let run = tune(&cfg, method, effort.iterations)

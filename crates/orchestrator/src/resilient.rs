@@ -323,13 +323,19 @@ pub fn run_resilient_session_observed(
         harmony::registry::make_tuner_seeded(&base.tuner, space, None, tuner_seed(base, index))
             .map_err(|e| SessionError::UnknownTuner(e.to_string()))
     };
+    // Batch protocol (ask/tell v2): tuners propose whole rounds up front so
+    // the queued remainder can feed speculative prefetch, exactly like the
+    // plain tuning session's tier servers.
     let mut servers = [
         HarmonyServer::new(
             "proxy-tier",
             tier_tuner(binding::role_space(Role::Proxy), 0)?,
-        ),
-        HarmonyServer::new("web-tier", tier_tuner(binding::role_space(Role::App), 1)?),
-        HarmonyServer::new("db-tier", tier_tuner(binding::role_space(Role::Db), 2)?),
+        )
+        .batch_protocol(true),
+        HarmonyServer::new("web-tier", tier_tuner(binding::role_space(Role::App), 1)?)
+            .batch_protocol(true),
+        HarmonyServer::new("db-tier", tier_tuner(binding::role_space(Role::Db), 2)?)
+            .batch_protocol(true),
     ];
     let mut stack = build_policy_stack(base, settings);
     let mut records = Vec::with_capacity(iterations as usize);

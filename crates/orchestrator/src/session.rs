@@ -121,6 +121,14 @@ pub struct SessionConfig {
     /// config. The default is fully transparent — no cache, one thread —
     /// so sessions behave exactly as if the engine did not exist.
     pub eval: Arc<EvalEngine>,
+    /// Worker width for measurement replications
+    /// ([`SessionConfig::measure_default`],
+    /// [`SessionConfig::measure_until_precise`]): `1` (the default)
+    /// evaluates replications sequentially on the calling thread, `0`
+    /// uses one worker per available core, anything else is an explicit
+    /// width. Replications are independent simulations merged in
+    /// replication order, so results are bit-identical at any width.
+    pub replication_threads: usize,
 }
 
 impl SessionConfig {
@@ -141,6 +149,7 @@ impl SessionConfig {
             tuner: "simplex".to_string(),
             checkpoint: None,
             eval: Arc::new(EvalEngine::new(EvalSettings::default())),
+            replication_threads: 1,
         }
     }
 
@@ -240,6 +249,13 @@ impl SessionConfig {
     /// this call share the new engine.
     pub fn eval_settings(mut self, settings: EvalSettings) -> Self {
         self.eval = Arc::new(EvalEngine::new(settings));
+        self
+    }
+
+    /// Builder: set the measurement-replication worker width (see
+    /// [`SessionConfig::replication_threads`]; `0` = one per core).
+    pub fn replication_threads(mut self, threads: usize) -> Self {
+        self.replication_threads = threads;
         self
     }
 
@@ -392,12 +408,40 @@ impl SessionConfig {
         out
     }
 
+    /// Evaluate replications `start .. start + count` of `config`,
+    /// returned in replication order. With `replication_threads == 1`
+    /// (the default) every replication runs sequentially on the calling
+    /// thread; otherwise the batch fans out over the shared worker pool
+    /// ([`crate::par::shared_pool`]) and the index-keyed merge keeps the
+    /// result a pure function of `(self, config, start, count)` — any
+    /// width produces bit-identical outcomes.
+    fn replications(
+        &self,
+        config: &ClusterConfig,
+        start: u32,
+        count: u32,
+    ) -> Vec<IterationOutcome> {
+        if self.replication_threads == 1 || count < 2 {
+            return (start..start + count)
+                .map(|i| self.evaluate_replication(config.clone(), i))
+                .collect();
+        }
+        let me = self.clone();
+        let config = config.clone();
+        let reps: Vec<u32> = (start..start + count).collect();
+        crate::par::shared_pool().run_batch(reps, self.replication_threads, move |&rep| {
+            me.evaluate_replication(config.clone(), rep)
+        })
+    }
+
     /// Measure the default configuration over `reps` independent seeds:
-    /// the Table 4 "None (No Tuning)" row.
+    /// the Table 4 "None (No Tuning)" row. Replications run on the
+    /// shared worker pool when [`SessionConfig::replication_threads`]
+    /// asks for it and are folded in replication order, so the returned
+    /// statistics are bit-identical at any width.
     pub fn measure_default(&self, reps: u32) -> (f64, f64) {
         let mut stats = simkit::stats::Welford::new();
-        for i in 0..reps {
-            let out = self.evaluate_replication(ClusterConfig::defaults(&self.topology), i);
+        for out in self.replications(&ClusterConfig::defaults(&self.topology), 0, reps) {
             stats.record(out.metrics.wips);
         }
         (stats.mean(), stats.std_dev())
@@ -406,20 +450,38 @@ impl SessionConfig {
     /// Measure a configuration with sequential sampling: add replications
     /// until the 95% confidence half-width falls below
     /// `target_rel × mean`, up to `max_reps`. Returns the interval.
+    ///
+    /// With [`SessionConfig::replication_threads`] ≠ 1 the replications
+    /// are evaluated in waves of the worker width; the stopping rule
+    /// still scans samples one by one in replication order, so the
+    /// returned interval is bit-identical to the sequential one — a
+    /// wave can only *overshoot* the stopping point (wasted speculative
+    /// replications, never a different answer).
     pub fn measure_until_precise(
         &self,
         config: &ClusterConfig,
         target_rel: f64,
         max_reps: u32,
     ) -> simkit::ci::ConfidenceInterval {
+        let max_reps = max_reps.max(2);
+        let wave = if self.replication_threads == 1 {
+            1
+        } else {
+            crate::par::resolved_threads(self.replication_threads) as u32
+        };
         let mut samples = Vec::new();
-        for i in 0..max_reps.max(2) {
-            let out = self.evaluate_replication(config.clone(), i);
-            samples.push(out.metrics.wips);
-            if samples.len() >= 2 {
-                let ci = simkit::ci::replication_ci(&samples);
-                if ci.relative_precision() <= target_rel {
-                    return ci;
+        let mut next = 0u32;
+        while next < max_reps {
+            let count = wave.min(max_reps - next);
+            let outs = self.replications(config, next, count);
+            next += count;
+            for out in outs {
+                samples.push(out.metrics.wips);
+                if samples.len() >= 2 {
+                    let ci = simkit::ci::replication_ci(&samples);
+                    if ci.relative_precision() <= target_rel {
+                        return ci;
+                    }
                 }
             }
         }
@@ -784,6 +846,7 @@ impl<'a> SessionObserver<'a> {
             .field("hits", counters.hits)
             .field("misses", counters.misses)
             .field("speculated", counters.speculated)
+            .field("speculation_dropped", counters.speculation_dropped)
             .field("hit_rate", counters.hit_rate());
         sink.emit(&rec);
     }
@@ -938,19 +1001,25 @@ impl TuneEngine {
     }
 
     fn tier_servers(cfg: &SessionConfig) -> Result<[HarmonyServer; 3], SessionError> {
+        // Session servers run the ask/tell v2 batch protocol: same
+        // proposal sequence, but a batch-native tuner's queued round is
+        // certain future work, visible to speculative prefetch.
         Ok([
             HarmonyServer::new(
                 "proxy-tier",
                 Self::build_tuner(cfg, binding::role_space(Role::Proxy), None, 0)?,
-            ),
+            )
+            .batch_protocol(true),
             HarmonyServer::new(
                 "web-tier",
                 Self::build_tuner(cfg, binding::role_space(Role::App), None, 1)?,
-            ),
+            )
+            .batch_protocol(true),
             HarmonyServer::new(
                 "db-tier",
                 Self::build_tuner(cfg, binding::role_space(Role::Db), None, 2)?,
-            ),
+            )
+            .batch_protocol(true),
         ])
     }
 
@@ -962,7 +1031,7 @@ impl TuneEngine {
         (0..count)
             .map(|i| {
                 let tuner = Self::build_tuner(cfg, binding::tier_space(), seed, i as u64)?;
-                Ok(HarmonyServer::new(format!("line-{i}"), tuner))
+                Ok(HarmonyServer::new(format!("line-{i}"), tuner).batch_protocol(true))
             })
             .collect()
     }
@@ -972,10 +1041,13 @@ impl TuneEngine {
     fn for_method(cfg: &SessionConfig, method: TuningMethod) -> Result<TuneEngine, SessionError> {
         Ok(match method {
             TuningMethod::None => TuneEngine::Baseline,
-            TuningMethod::Default => TuneEngine::Single(HarmonyServer::new(
-                "all-nodes",
-                Self::build_tuner(cfg, binding::full_space(&cfg.topology), None, 0)?,
-            )),
+            TuningMethod::Default => TuneEngine::Single(
+                HarmonyServer::new(
+                    "all-nodes",
+                    Self::build_tuner(cfg, binding::full_space(&cfg.topology), None, 0)?,
+                )
+                .batch_protocol(true),
+            ),
             TuningMethod::Duplication | TuningMethod::Hybrid => {
                 TuneEngine::Tiers(Box::new(Self::tier_servers(cfg)?))
             }
@@ -1269,7 +1341,8 @@ impl TuneEngine {
                     "all-nodes",
                     Self::build_tuner(cfg, binding::full_space(&cfg.topology), None, 0)
                         .map_err(skeleton_err)?,
-                );
+                )
+                .batch_protocol(true);
                 restore_into(&mut server, first)?;
                 Ok(TuneEngine::Single(server))
             }
@@ -1552,6 +1625,9 @@ fn drive_tuning(
             registry.counter("eval.cache_hits").add(activity.hits);
             registry.counter("eval.cache_misses").add(activity.misses);
             registry.counter("eval.speculated").add(activity.speculated);
+            registry
+                .counter("eval.speculation_dropped")
+                .add(activity.speculation_dropped);
         }
         observer.record_eval(
             method.label(),
@@ -1989,10 +2065,39 @@ mod tests {
                 "hits",
                 "misses",
                 "speculated",
+                "speculation_dropped",
                 "hit_rate"
             ]
         );
         assert_eq!(eval.get("iterations").and_then(|v| v.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn parallel_replications_match_sequential_bit_for_bit() {
+        // The unit of parallelism is the full independent replication:
+        // fanning a measurement sweep over the shared pool must change
+        // wall-clock time only, never a bit of the folded statistics.
+        let seq = quick_cfg(Workload::Shopping);
+        let (mean_1, sd_1) = seq.measure_default(6);
+        for width in [0usize, 2, 8] {
+            let par = quick_cfg(Workload::Shopping).replication_threads(width);
+            let (mean_w, sd_w) = par.measure_default(6);
+            assert_eq!(mean_1.to_bits(), mean_w.to_bits(), "width {width}");
+            assert_eq!(sd_1.to_bits(), sd_w.to_bits(), "width {width}");
+        }
+        let default = ClusterConfig::defaults(&seq.topology);
+        let ci_1 = seq.measure_until_precise(&default, 0.05, 6);
+        for width in [2usize, 8] {
+            let par = quick_cfg(Workload::Shopping).replication_threads(width);
+            let ci_w = par.measure_until_precise(&default, 0.05, 6);
+            assert_eq!(ci_1.mean.to_bits(), ci_w.mean.to_bits(), "width {width}");
+            assert_eq!(
+                ci_1.half_width.to_bits(),
+                ci_w.half_width.to_bits(),
+                "width {width}"
+            );
+            assert_eq!(ci_1.samples, ci_w.samples, "width {width}");
+        }
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct SimArgs {
     /// Disable the measurement memoization cache (on by default in the
     /// CLI; the library default is off).
     pub no_eval_cache: bool,
+    /// Worker width for measurement replications
+    /// (`None` = 1 = sequential; `Some(0)` = one per core). Bit-identical
+    /// results at any width — replications merge in replication order.
+    pub replication_threads: Option<usize>,
 }
 
 impl Default for SimArgs {
@@ -72,6 +76,7 @@ impl Default for SimArgs {
             resume: false,
             eval_threads: None,
             no_eval_cache: false,
+            replication_threads: None,
         }
     }
 }
@@ -130,9 +135,12 @@ OPTIONS (all subcommands):
   --checkpoint-every N    snapshot cadence in iterations (default 10, N >= 1)
   --resume           continue the interrupted session in --checkpoint-dir
   --eval-threads N   worker threads for speculative candidate evaluation
-                     (default 1 = sequential; 0 = one per core)
+                     (default 1 = sequential; 0 = auto, one per core)
   --no-eval-cache    disable measurement memoization (identical results,
                      repeated configurations re-simulate)
+  --replication-threads N   worker width for measurement replications
+                     (default 1 = sequential; 0 = auto, one per core);
+                     any width produces bit-identical statistics
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -370,6 +378,10 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
             "--no-eval-cache" => {
                 sim.no_eval_cache = true;
                 i += 1;
+            }
+            "--replication-threads" => {
+                sim.replication_threads = Some(parse_num(args, i, "--replication-threads")?);
+                i += 2;
             }
             "--plan" => {
                 let v = args.get(i + 1).ok_or("--plan needs a value")?;
@@ -731,6 +743,41 @@ mod tests {
         }
         assert!(parse(argv(&["tune", "--eval-threads"])).is_err());
         assert!(parse(argv(&["tune", "--eval-threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn thread_flags_document_zero_as_auto() {
+        // Regression: 0 = "one worker per core" was accepted silently;
+        // the help text must spell the convention out for both flags.
+        assert!(USAGE.contains("--eval-threads"));
+        assert!(USAGE.contains("--replication-threads"));
+        for line in ["--eval-threads", "--replication-threads"] {
+            let at = USAGE.find(line).unwrap();
+            assert!(
+                USAGE[at..at + 200].contains("0 = auto, one per core"),
+                "{line} help must document 0 = auto"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_threads_flag() {
+        match parse(argv(&["tune", "--replication-threads", "4"])).unwrap() {
+            Command::Tune(t) => assert_eq!(t.sim.replication_threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        // 0 = one worker per core, same convention as --eval-threads.
+        match parse(argv(&["simulate", "--replication-threads", "0"])).unwrap() {
+            Command::Simulate(sim) => assert_eq!(sim.replication_threads, Some(0)),
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&["sweep"])).unwrap() {
+            Command::Sweep(s) => assert_eq!(s.sim.replication_threads, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(argv(&["tune", "--replication-threads"])).is_err());
+        assert!(parse(argv(&["tune", "--replication-threads", "-1"])).is_err());
+        assert!(parse(argv(&["tune", "--replication-threads", "many"])).is_err());
     }
 
     #[test]

@@ -94,6 +94,9 @@ fn session_of(sim: &SimArgs) -> SessionConfig {
             .cache(!sim.no_eval_cache)
             .threads(sim.eval_threads.unwrap_or(1)),
     );
+    // Replication width shares the eval convention: 1 = sequential
+    // (default), 0 = one worker per core; bit-identical either way.
+    cfg = cfg.replication_threads(sim.replication_threads.unwrap_or(1));
     if let Err(e) = cfg.validate_faults() {
         eprintln!("error: {e}");
         std::process::exit(2);

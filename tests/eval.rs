@@ -274,3 +274,141 @@ fn kill_and_resume_restores_the_warm_cache() {
     assert_eq!(counters.misses, 0, "{counters:?}");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+// -- thread-width independence (1 / 2 / 8 workers) -------------------------
+
+/// The scheduling guarantee behind the shared worker pool: worker count
+/// is a wall-clock knob, never a results knob. The same seeded session
+/// run with 1, 2, and 8 evaluation *and* replication threads produces
+/// byte-identical traces, bit-equal WIPS, the same best configuration,
+/// and the same session fingerprint.
+#[test]
+fn thread_width_1_2_8_is_byte_identical() {
+    let cfg_at = |w: usize| {
+        pinned(Topology::tiers(2, 2, 2).expect("topology"), 300)
+            .eval_settings(EvalSettings::default().cache(true).threads(w))
+            .replication_threads(w)
+    };
+    let runs: Vec<(Vec<String>, TuningRun)> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| traced(&cfg_at(w), TuningMethod::Partitioning, 6))
+        .collect();
+    let (lines_1, run_1) = &runs[0];
+    for (w, (lines, run)) in [2usize, 8].iter().zip(&runs[1..]) {
+        assert_eq!(lines_1, lines, "{w} workers changed the trace bytes");
+        assert_eq!(
+            run_1.best_wips.to_bits(),
+            run.best_wips.to_bits(),
+            "{w} workers changed the best WIPS"
+        );
+        assert_eq!(run_1.best_config, run.best_config);
+    }
+    // The session fingerprint is a function of the scenario inputs, so
+    // the engine width must not leak into it: a checkpoint written at
+    // one width resumes at any other.
+    let fp_at =
+        |w: usize| orchestrator::checkpoint::session_fingerprint(&cfg_at(w), "partitioning", 6, 0);
+    assert_eq!(fp_at(1), fp_at(2));
+    assert_eq!(fp_at(1), fp_at(8));
+}
+
+/// Checkpoint artifacts are width-independent too: two speculating
+/// widths write snapshot + journal files that are byte-identical, down
+/// to the serialized memoization cache (every width stores the same
+/// speculated outcomes, merged in the same order).
+#[test]
+fn checkpoint_files_are_width_independent() {
+    let run_at = |w: usize| {
+        let dir = temp_dir(&format!("width-{w}"));
+        let cfg = pinned(Topology::single(), 200)
+            .eval_settings(EvalSettings::default().cache(true).threads(w))
+            .checkpoint(CheckpointPolicy::new(&dir).every(2));
+        let run = tune(&cfg, TuningMethod::Default, 6).expect("checkpointed session");
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+            .expect("checkpoint dir")
+            .map(|e| {
+                let e = e.expect("dir entry");
+                let name = e.file_name().to_string_lossy().into_owned();
+                let bytes = std::fs::read(e.path()).expect("checkpoint file");
+                (name, bytes)
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        (files, run)
+    };
+    let (files_2, run_2) = run_at(2);
+    let (files_8, run_8) = run_at(8);
+    assert!(
+        files_2.iter().any(|(n, _)| n.starts_with("snap-")),
+        "expected at least one snapshot: {:?}",
+        files_2.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    let names = |fs: &[(String, Vec<u8>)]| fs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&files_2), names(&files_8));
+    for ((name, bytes_2), (_, bytes_8)) in files_2.iter().zip(&files_8) {
+        assert_eq!(bytes_2, bytes_8, "{name} differs between widths 2 and 8");
+    }
+    assert_eq!(run_2.best_wips.to_bits(), run_8.best_wips.to_bits());
+}
+
+/// Kill a speculating session mid-run at one width and resume it at a
+/// *different* width: the continued trace must still match the
+/// uninterrupted sequential run byte for byte. Crash recovery, the
+/// restored cache, and the worker pool compose without bleeding state.
+#[test]
+fn kill_and_resume_mid_speculation_is_width_independent() {
+    const ITERS: u32 = 8;
+    let base = pinned(Topology::single(), 200);
+    // Sequential reference (no cache, one worker): ground truth bytes.
+    let (full_lines, full_run) = traced(&base, TuningMethod::Default, ITERS);
+
+    let k = 5u64;
+    let dir = temp_dir("width-switch");
+    let policy = CheckpointPolicy::new(&dir).every(2);
+    let killed = base
+        .clone()
+        .eval_settings(EvalSettings::default().cache(true).threads(2))
+        .checkpoint(policy.clone());
+    let mut sink = KillSink {
+        inner: MemorySink::new(),
+        kill_at: k,
+    };
+    run_killed(|| {
+        let mut observer = SessionObserver::with_sink(&mut sink);
+        let _ = tune_observed(&killed, TuningMethod::Default, ITERS, &mut observer);
+    });
+    // The pre-crash engine was speculating when the kill fired.
+    assert!(
+        killed.eval.counters().speculated > 0,
+        "the killed session never speculated: {:?}",
+        killed.eval.counters()
+    );
+
+    let resumed_cfg = base
+        .eval_settings(EvalSettings::default().cache(true).threads(8))
+        .checkpoint(policy.resume(true));
+    let mut resumed_sink = MemorySink::new();
+    let mut observer = SessionObserver::with_sink(&mut resumed_sink);
+    let run = tune_observed(&resumed_cfg, TuningMethod::Default, ITERS, &mut observer)
+        .expect("resumed session");
+    let resumed = comparable_lines(&resumed_sink);
+
+    assert!(
+        resumed[0].starts_with("{\"kind\":\"resume\""),
+        "{}",
+        resumed[0]
+    );
+    let boundary = full_lines
+        .iter()
+        .position(|l| l.contains(&format!("\"iteration\":{k},")))
+        .expect("iteration k in the reference trace");
+    assert_eq!(
+        &resumed[1..],
+        &full_lines[boundary..],
+        "post-resume trace at width 8 must match the sequential run"
+    );
+    assert_eq!(run.best_wips.to_bits(), full_run.best_wips.to_bits());
+    assert_eq!(run.best_config, full_run.best_config);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
