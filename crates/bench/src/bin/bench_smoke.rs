@@ -151,10 +151,19 @@ fn main() {
             eprintln!("could not read baseline {}: {e}", path.display());
             std::process::exit(2);
         });
-        let base = extract_f64(&json, "normalized").unwrap_or_else(|| {
-            eprintln!("baseline {} has no \"normalized\" field", path.display());
-            std::process::exit(2);
-        });
+        // Baselines are allowed to carry sections this binary does not
+        // know about (other bench binaries merge their own sections into
+        // the same file), and a baseline from a different schema epoch
+        // may not carry ours. Missing key -> warn and skip the gate; a
+        // gate that cannot run is not a regression.
+        let Some(base) = extract_f64(&json, "normalized") else {
+            eprintln!(
+                "gate: SKIP — baseline {} has no \"normalized\" field \
+                 (unknown or pre-smoke schema); nothing to compare against",
+                path.display()
+            );
+            return;
+        };
         match gate(report.normalized(), base, cli.tolerance) {
             Verdict::Pass(change) => println!(
                 "gate: PASS ({:+.1}% vs baseline, tolerance {:.0}%)",

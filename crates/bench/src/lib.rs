@@ -10,6 +10,7 @@
 pub mod args;
 pub mod harness;
 pub mod par;
+pub mod scale;
 pub mod smoke;
 pub mod tuned;
 pub mod util;

@@ -289,6 +289,20 @@ mod tests {
     }
 
     #[test]
+    fn extract_tolerates_foreign_sections_in_a_baseline() {
+        // BENCH files accumulate sections from several binaries; a
+        // baseline carrying sections this binary does not understand
+        // must still yield its own key (and cleanly yield None — the
+        // gate-skip path, not a crash — when the key is absent).
+        let foreign = "{\n  \"schema\": \"bench-par-v2\",\n  \
+                       \"population_scaling\": { \"points\": [ { \"wips\": 1.0 } ] },\n  \
+                       \"normalized\": 0.25\n}";
+        assert_eq!(extract_f64(foreign, "normalized"), Some(0.25));
+        let keyless = "{ \"schema\": \"bench-par-v2\", \"tentpole\": { \"x\": 1 } }";
+        assert_eq!(extract_f64(keyless, "normalized"), None);
+    }
+
+    #[test]
     fn fingerprints_deterministic_across_runs() {
         // One small scenario run twice must fingerprint identically.
         let s = cold_scenario();

@@ -39,12 +39,15 @@ use simkit::engine::{Model, Scheduler};
 use simkit::resource::Admission;
 use simkit::rng::{LognormalShape, SimRng};
 use simkit::time::{SimDuration, SimTime};
+use std::collections::HashMap;
 use tpcw::browser::{BrowserConfig, BrowserId, BrowserPool};
 use tpcw::demand::{self, CPU_DEMAND_CV, OBJECT_SIZE_CV};
 use tpcw::interaction::Interaction;
 use tpcw::metrics::{IntervalPlan, MetricsCollector};
 use tpcw::mix::Workload;
 use tpcw::scale::CatalogScale;
+
+pub use tpcw::cohort::{CohortPlan, LoadModel, DEFAULT_COHORT_BINS};
 
 /// How requests are spread across a tier's nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +91,9 @@ pub enum Ev {
     /// An injected health transition fires (index into the scenario's
     /// fault timeline changes).
     Health(u32),
+    /// A cohort think-time slot fires: release every token parked in it
+    /// (cohort load model only).
+    CohortRelease(u32),
 }
 
 /// Everything needed to build one iteration's world.
@@ -121,6 +127,11 @@ pub struct ClusterScenario {
     /// scheduled transitions. `None` (the default) injects nothing and
     /// keeps the simulation byte-identical to a fault-free build.
     pub faults: Option<HealthTimeline>,
+    /// Browser-population model. `PerBrowser` (the default) is the
+    /// historical one-entity-per-browser loop; `Cohort` collapses the
+    /// population into weighted tokens on a think-time slot wheel (see
+    /// [`tpcw::cohort`]) so event count stays bounded at any population.
+    pub load_model: LoadModel,
 }
 
 impl ClusterScenario {
@@ -142,6 +153,7 @@ impl ClusterScenario {
             load_balancing: LoadBalancing::default(),
             node_specs: Vec::new(),
             faults: None,
+            load_model: LoadModel::default(),
         }
     }
 }
@@ -197,6 +209,16 @@ impl ClusterScenario {
         self.scale.validate()?;
         if self.browsers.population == 0 {
             return Err("no emulated browsers".into());
+        }
+        if let LoadModel::Cohort { bins } = self.load_model {
+            if bins == 0 {
+                return Err("cohort load model needs at least one think-time bin".into());
+            }
+            if self.markov_sessions {
+                return Err("markov sessions track per-browser page state and need the \
+                     per-browser load model"
+                    .into());
+            }
         }
         if let Some(tl) = &self.faults {
             if tl.initial.len() != self.topology.len() {
@@ -284,13 +306,49 @@ pub struct ClusterModel {
     total_done: u64,
     /// Failed (refused) request count.
     total_failed: u64,
+    /// Cohort load-model state (`None` in the per-browser model).
+    cohort: Option<CohortRuntime>,
+}
+
+/// Runtime state of the cohort load model: the resolved geometry plus
+/// the slot wheel of tokens waiting out their think time. The map is
+/// only ever accessed by slot key (insert on park, remove on release),
+/// never iterated, so its order can't leak into event order and seeded
+/// runs stay deterministic.
+struct CohortRuntime {
+    plan: CohortPlan,
+    slots: HashMap<u32, Vec<BrowserId>>,
 }
 
 impl ClusterModel {
     /// Build the world and schedule the initial browser wave on `sim`.
     pub fn new(scenario: &ClusterScenario, start: SimTime) -> Self {
         let root = SimRng::new(scenario.seed);
-        let browsers = BrowserPool::new(scenario.browsers, &root.substream(1));
+        // In the cohort model the circulating entities are weighted
+        // tokens, not browsers: the pool shrinks to `plan.tokens` streams
+        // and every downstream count/demand is scaled by token weight.
+        let (browser_cfg, cohort) = match scenario.load_model {
+            LoadModel::PerBrowser => (scenario.browsers, None),
+            LoadModel::Cohort { bins } => {
+                let plan = CohortPlan::build(
+                    scenario.browsers.population,
+                    scenario.browsers.think_mean,
+                    bins,
+                );
+                let cfg = BrowserConfig {
+                    population: plan.tokens,
+                    ..scenario.browsers
+                };
+                (
+                    cfg,
+                    Some(CohortRuntime {
+                        plan,
+                        slots: HashMap::new(),
+                    }),
+                )
+            }
+        };
+        let browsers = BrowserPool::new(browser_cfg, &root.substream(1));
         let rng_service = root.substream(2);
         let hot_slots = scenario.scale.hot_table_slots();
         let mut nodes: Vec<Node> = scenario
@@ -311,6 +369,35 @@ impl ClusterModel {
         if let Some(tl) = &scenario.faults {
             for (node, health) in nodes.iter_mut().zip(&tl.initial) {
                 node.health = *health;
+            }
+        }
+        // At weight g > 1 a token's hold time on a thread/connection
+        // slot already inflates by g (its downstream demand is scaled),
+        // so server counts are left alone: S slots draining g-times
+        // slower at 1/g the arrival rate reproduce the per-browser
+        // pool throughput and wait times (Little's law — shrinking the
+        // slot count too would cut pool throughput by g twice). Only the
+        // *bounded accept queues* are rescaled to token units: q/g
+        // queued tokens at g-times the drain interval wait exactly as
+        // long as q queued browsers did, so overflow — the refusal
+        // behaviour that dominates overload — engages at the same
+        // effective backlog. Timed resources (CPU/disk/NIC) also keep
+        // their capacity: demand inflation alone preserves utilisation
+        // and saturation throughput there.
+        if let Some(c) = &cohort {
+            let g = c.plan.weight;
+            if g > 1 {
+                let to_tokens = |cap: u32| -> u32 { ((cap + g / 2) / g).max(1) };
+                for (node, params) in nodes.iter_mut().zip(scenario.config.nodes()) {
+                    if let crate::config::NodeParams::App(w) = params {
+                        let (http, ajp) = (w.http_pool(), w.ajp_pool());
+                        let app = node.app_mut().expect("app role");
+                        app.http_pool
+                            .set_queue_cap(Some(to_tokens(http.accept) as usize));
+                        app.ajp_pool
+                            .set_queue_cap(Some(to_tokens(ajp.accept) as usize));
+                    }
+                }
             }
         }
         let line_tiers: Vec<[Vec<NodeId>; 3]> = match &scenario.lines {
@@ -337,7 +424,7 @@ impl ClusterModel {
         let navigation = scenario.markov_sessions.then(|| {
             (
                 tpcw::navigation::NavigationModel::fit(scenario.workload.mix()),
-                vec![None; scenario.browsers.population as usize],
+                vec![None; browser_cfg.population as usize],
             )
         });
         let node_count = scenario.topology.len();
@@ -365,6 +452,29 @@ impl ClusterModel {
             line_tiers,
             total_done: 0,
             total_failed: 0,
+            cohort,
+        }
+    }
+
+    /// Browsers represented by `browser`'s stream: 1 in the per-browser
+    /// model, the token weight in the cohort model.
+    #[inline]
+    fn weight_of(&self, browser: BrowserId) -> u32 {
+        match &self.cohort {
+            Some(c) => c.plan.token_weight(browser),
+            None => 1,
+        }
+    }
+
+    /// Scale a service demand by a token weight. The `weight > 1` branch
+    /// keeps the per-browser path bit-identical: no float multiply, no
+    /// rounding — the untouched duration flows through.
+    #[inline]
+    fn weighted(d: SimDuration, weight: u32) -> SimDuration {
+        if weight > 1 {
+            SimDuration::from_micros(d.as_micros().saturating_mul(u64::from(weight)))
+        } else {
+            d
         }
     }
 
@@ -516,6 +626,7 @@ impl ClusterModel {
             req.queries_remaining = profile.db_queries;
         }
         req.think = brng.exp_duration(think_mean);
+        req.weight = self.weight_of(browser);
         let line = self.line_of_browser(browser);
         let Some(proxy_node) = self.pick_node(line, Role::Proxy) else {
             // Every proxy in the line is down: connection refused before a
@@ -527,13 +638,14 @@ impl ClusterModel {
         req.line = line as u32;
         req.proxy_node = proxy_node;
         req.phase = ReqPhase::ProxyLookup;
+        let weight = req.weight;
         let id = self.requests.insert(req);
         let demand = {
             let node = &self.nodes[proxy_node];
             let p = node.proxy().expect("proxy role");
             node.cpu_time(p.lookup_cpu())
         };
-        self.offer_cpu(sched, proxy_node, id, demand);
+        self.offer_cpu(sched, proxy_node, id, Self::weighted(demand, weight));
     }
 
     /// Offer a CPU slice; schedule the completion if it started.
@@ -610,8 +722,13 @@ impl ClusterModel {
     fn proxy_lookup_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let now = sched.now();
         let r = self.requests.req(req);
-        let (proxy_node, object, bytes, line) =
-            (r.proxy_node, r.object, r.response_bytes, r.line as usize);
+        let (proxy_node, object, bytes, line, weight) = (
+            r.proxy_node,
+            r.object,
+            r.response_bytes,
+            r.line as usize,
+            r.weight,
+        );
         let outcome = match object {
             Some(obj) => self.nodes[proxy_node]
                 .proxy_mut()
@@ -624,7 +741,7 @@ impl ClusterModel {
             CacheOutcome::MemHit => {
                 let t = self.nodes[proxy_node].nic_time(bytes);
                 self.requests.req_mut(req).phase = ReqPhase::ProxySend;
-                self.offer_nic(sched, proxy_node, req, t);
+                self.offer_nic(sched, proxy_node, req, Self::weighted(t, weight));
             }
             CacheOutcome::DiskHit => {
                 // Squid UFS store: metadata read + object read (two
@@ -632,7 +749,7 @@ impl ClusterModel {
                 let node = &self.nodes[proxy_node];
                 let t = node.disk_time(bytes) + node.disk_time(4_096);
                 self.requests.req_mut(req).phase = ReqPhase::ProxyDiskRead;
-                self.offer_disk(sched, proxy_node, req, t);
+                self.offer_disk(sched, proxy_node, req, Self::weighted(t, weight));
             }
             CacheOutcome::Miss => {
                 // Forward overhead folded into the app arrival; the proxy
@@ -651,17 +768,18 @@ impl ClusterModel {
 
     fn proxy_disk_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req(req);
-        let (proxy_node, bytes) = (r.proxy_node, r.response_bytes);
+        let (proxy_node, bytes, weight) = (r.proxy_node, r.response_bytes, r.weight);
         let t = self.nodes[proxy_node].nic_time(bytes);
         self.requests.req_mut(req).phase = ReqPhase::ProxySend;
-        self.offer_nic(sched, proxy_node, req, t);
+        self.offer_nic(sched, proxy_node, req, Self::weighted(t, weight));
     }
 
     /// Response is back at the proxy (from the app tier): admit to caches
     /// and send to the browser.
     fn proxy_deliver(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req(req);
-        let (proxy_node, object, bytes) = (r.proxy_node, r.object, r.response_bytes);
+        let (proxy_node, object, bytes, weight) =
+            (r.proxy_node, r.object, r.response_bytes, r.weight);
         if let Some(obj) = object {
             self.nodes[proxy_node]
                 .proxy_mut()
@@ -670,7 +788,7 @@ impl ClusterModel {
         }
         let t = self.nodes[proxy_node].nic_time(bytes);
         self.requests.req_mut(req).phase = ReqPhase::ProxySend;
-        self.offer_nic(sched, proxy_node, req, t);
+        self.offer_nic(sched, proxy_node, req, Self::weighted(t, weight));
     }
 
     fn complete_request(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
@@ -684,13 +802,14 @@ impl ClusterModel {
         if r.assigned_db {
             self.release_node(r.db_node);
         }
+        let w = u64::from(r.weight);
         if self.metrics.phase(now) == tpcw::metrics::Phase::Measure {
-            self.line_completed[r.line as usize] += 1;
+            self.line_completed[r.line as usize] += w;
         }
         self.metrics
-            .record_completion(now, r.interaction, r.elapsed(now));
-        self.total_done += 1;
-        sched.after(r.think, Ev::Think(r.browser));
+            .record_completion_weighted(now, r.interaction, r.elapsed(now), w);
+        self.total_done += w;
+        self.schedule_return(sched, r.browser, r.think);
     }
 
     /// Refuse a browser's interaction before a request forms (no live
@@ -703,10 +822,49 @@ impl ClusterModel {
         think: SimDuration,
     ) {
         let now = sched.now();
-        self.metrics.record_error(now);
-        self.metrics.record_drop(now);
-        self.total_failed += 1;
-        sched.after(think, Ev::Think(browser));
+        let w = u64::from(self.weight_of(browser));
+        self.metrics.record_error_weighted(now, w);
+        self.metrics.record_drop_weighted(now, w);
+        self.total_failed += w;
+        self.schedule_return(sched, browser, think);
+    }
+
+    /// Send a browser (or cohort token) back to thinking. Per-browser:
+    /// one `Think` event at `now + think`, exactly as before. Cohort: the
+    /// token parks in the slot wheel bin nearest its return time, and the
+    /// first token to land in an empty slot schedules that slot's single
+    /// `CohortRelease` — N tokens returning near the same instant cost
+    /// one event, which is the whole point of the model.
+    fn schedule_return(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        browser: BrowserId,
+        think: SimDuration,
+    ) {
+        let Some(c) = &mut self.cohort else {
+            sched.after(think, Ev::Think(browser));
+            return;
+        };
+        let now = sched.now();
+        let slot = c.plan.slot_of(now + think);
+        let entry = c.slots.entry(slot).or_default();
+        if entry.is_empty() {
+            let release = c.plan.slot_time(slot);
+            sched.after(release.since(now), Ev::CohortRelease(slot));
+        }
+        entry.push(browser);
+    }
+
+    /// A cohort slot fired: every parked token issues its next
+    /// interaction, in the deterministic order it parked.
+    fn cohort_release(&mut self, sched: &mut Scheduler<Ev>, slot: u32) {
+        let batch = match &mut self.cohort {
+            Some(c) => c.slots.remove(&slot).unwrap_or_default(),
+            None => return,
+        };
+        for browser in batch {
+            self.issue_request(sched, browser);
+        }
     }
 
     /// Apply the `idx`-th scheduled health transition.
@@ -733,10 +891,11 @@ impl ClusterModel {
         if r.assigned_db {
             self.release_node(r.db_node);
         }
-        self.metrics.record_error(now);
-        self.metrics.record_drop(now);
-        self.total_failed += 1;
-        sched.after(r.think, Ev::Think(r.browser));
+        let w = u64::from(r.weight);
+        self.metrics.record_error_weighted(now, w);
+        self.metrics.record_drop_weighted(now, w);
+        self.total_failed += w;
+        self.schedule_return(sched, r.browser, r.think);
     }
 
     // --- application tier ---------------------------------------------------
@@ -797,7 +956,8 @@ impl ClusterModel {
 
     fn start_app_cpu(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req(req);
-        let (app_node, interaction, bytes) = (r.app_node, r.interaction, r.response_bytes);
+        let (app_node, interaction, bytes, weight) =
+            (r.app_node, r.interaction, r.response_bytes, r.weight);
         let profile = demand::profile(interaction);
         let base_ms = self
             .rng_service
@@ -809,7 +969,7 @@ impl ClusterModel {
             .mul_f64(app.scheduling_factor(node.spec.cores));
         let t = node.cpu_time(cpu);
         self.requests.req_mut(req).phase = ReqPhase::AppCpu;
-        self.offer_cpu(sched, app_node, req, t);
+        self.offer_cpu(sched, app_node, req, Self::weighted(t, weight));
     }
 
     fn app_cpu_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
@@ -910,7 +1070,7 @@ impl ClusterModel {
     fn db_run_granted(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req_mut(req);
         r.holds_db_sched = true;
-        let (db_node, interaction) = (r.db_node, r.interaction);
+        let (db_node, interaction, weight) = (r.db_node, r.interaction, r.weight);
         let profile = demand::profile(interaction);
         let node = &self.nodes[db_node];
         let cores = node.spec.cores;
@@ -933,24 +1093,25 @@ impl ClusterModel {
             r.phase = ReqPhase::DbCpu;
         }
         let t = self.nodes[db_node].cpu_time(cost.cpu);
-        self.offer_cpu(sched, db_node, req, t);
+        self.offer_cpu(sched, db_node, req, Self::weighted(t, weight));
     }
 
     fn db_cpu_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req(req);
-        let (db_node, needs_disk, spill) = (r.db_node, r.pending_disk, r.binlog_spill);
+        let (db_node, needs_disk, spill, weight) =
+            (r.db_node, r.pending_disk, r.binlog_spill, r.weight);
         if needs_disk {
             let t = self.nodes[db_node].disk_time(crate::database::DATA_PAGE_BYTES);
             let r = self.requests.req_mut(req);
             r.phase = ReqPhase::DbDiskRead;
             r.pending_disk = false;
-            self.offer_disk(sched, db_node, req, t);
+            self.offer_disk(sched, db_node, req, Self::weighted(t, weight));
         } else if spill {
             let t = self.nodes[db_node].disk_seq_time(64 * 1024);
             let r = self.requests.req_mut(req);
             r.phase = ReqPhase::DbBinlogFlush;
             r.binlog_spill = false;
-            self.offer_disk(sched, db_node, req, t);
+            self.offer_disk(sched, db_node, req, Self::weighted(t, weight));
         } else {
             self.db_query_finished(sched, req);
         }
@@ -958,13 +1119,13 @@ impl ClusterModel {
 
     fn db_disk_done(&mut self, sched: &mut Scheduler<Ev>, req: ReqId) {
         let r = self.requests.req(req);
-        let (db_node, phase, spill) = (r.db_node, r.phase, r.binlog_spill);
+        let (db_node, phase, spill, weight) = (r.db_node, r.phase, r.binlog_spill, r.weight);
         if phase == ReqPhase::DbDiskRead && spill {
             let t = self.nodes[db_node].disk_seq_time(64 * 1024);
             let r = self.requests.req_mut(req);
             r.phase = ReqPhase::DbBinlogFlush;
             r.binlog_spill = false;
-            self.offer_disk(sched, db_node, req, t);
+            self.offer_disk(sched, db_node, req, Self::weighted(t, weight));
         } else {
             self.db_query_finished(sched, req);
         }
@@ -1060,6 +1221,7 @@ impl Model for ClusterModel {
                 }
             }
             Ev::Health(idx) => self.apply_health(idx),
+            Ev::CohortRelease(slot) => self.cohort_release(sched, slot),
         }
     }
 }
@@ -1071,9 +1233,34 @@ pub fn start_simulation(scenario: &ClusterScenario) -> simkit::engine::Simulatio
     let mut sim = simkit::engine::Simulation::new(model);
     let mut spread_rng = SimRng::new(scenario.seed ^ 0xA5A5_5A5A);
     let think_us = scenario.browsers.think_mean.as_micros().max(1);
-    for b in 0..scenario.browsers.population {
-        let offset = SimDuration::from_micros(spread_rng.next_below(think_us));
-        sim.schedule_at(SimTime::ZERO + offset, Ev::Think(b));
+    match scenario.load_model {
+        LoadModel::PerBrowser => {
+            for b in 0..scenario.browsers.population {
+                let offset = SimDuration::from_micros(spread_rng.next_below(think_us));
+                sim.schedule_at(SimTime::ZERO + offset, Ev::Think(b));
+            }
+        }
+        LoadModel::Cohort { .. } => {
+            // Same uniform spread over one mean think time, but tokens
+            // park in the slot wheel and each non-empty slot costs one
+            // release event — the initial wave is already batched.
+            let model = sim.model_mut();
+            let c = model.cohort.as_mut().expect("cohort state");
+            let plan = c.plan;
+            let mut newly_filled = Vec::new();
+            for t in 0..plan.tokens {
+                let offset = SimDuration::from_micros(spread_rng.next_below(think_us));
+                let slot = plan.slot_of(SimTime::ZERO + offset);
+                let entry = c.slots.entry(slot).or_default();
+                if entry.is_empty() {
+                    newly_filled.push(slot);
+                }
+                entry.push(t);
+            }
+            for slot in newly_filled {
+                sim.schedule_at(plan.slot_time(slot), Ev::CohortRelease(slot));
+            }
+        }
     }
     if let Some(tl) = &scenario.faults {
         for (k, change) in tl.changes.iter().enumerate() {
@@ -1127,6 +1314,25 @@ mod tests {
         let mut s = scenario();
         s.browsers.population = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_cohort_misuse() {
+        // Zero bins would collapse every think draw into one slot of
+        // width zero.
+        let mut s = scenario();
+        s.load_model = LoadModel::Cohort { bins: 0 };
+        assert!(s.validate().unwrap_err().contains("think-time bin"));
+        // Markov sessions walk per-browser page state; cohort tokens
+        // batch i.i.d. draws, so the combination is refused.
+        let mut s = scenario();
+        s.load_model = LoadModel::Cohort { bins: 64 };
+        s.markov_sessions = true;
+        assert!(s.validate().unwrap_err().contains("per-browser load model"));
+        // The cohort model alone is valid.
+        let mut s = scenario();
+        s.load_model = LoadModel::Cohort { bins: 64 };
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]

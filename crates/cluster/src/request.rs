@@ -81,6 +81,10 @@ pub struct Request {
     pub binlog_spill: bool,
     /// Generation counter guarding against stale events after slot reuse.
     pub generation: u32,
+    /// How many browsers this request stands for (1 in the per-browser
+    /// load model; the cohort token weight otherwise). Service demand is
+    /// scaled and completions counted by this factor.
+    pub weight: u32,
 }
 
 impl Request {
@@ -109,6 +113,7 @@ impl Request {
             pending_disk: false,
             binlog_spill: false,
             generation: 0,
+            weight: 1,
         }
     }
 

@@ -195,6 +195,7 @@ fn publish_node_metrics(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::LoadModel;
     use tpcw::metrics::IntervalPlan;
     use tpcw::mix::Workload;
 
@@ -263,6 +264,67 @@ mod tests {
         assert_ne!(a.metrics.completed, b.metrics.completed);
         let rel = (a.metrics.wips - b.metrics.wips).abs() / a.metrics.wips;
         assert!(rel < 0.25, "seeds diverge too much: {rel}");
+    }
+
+    #[test]
+    fn cohort_runs_are_deterministic() {
+        let cohort = |seed| {
+            let mut s = tiny_scenario(Workload::Shopping, seed);
+            s.browsers.population = 5_000;
+            s.load_model = LoadModel::Cohort { bins: 64 };
+            s
+        };
+        let a = run_iteration(&cohort(7));
+        let b = run_iteration(&cohort(7));
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.total_done, b.total_done);
+        assert_eq!(a.total_failed, b.total_failed);
+        assert_eq!(a.events, b.events);
+        // A different seed takes a different stochastic path.
+        let c = run_iteration(&cohort(8));
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn cohort_batches_events_and_counts_browsers() {
+        let mut pb = tiny_scenario(Workload::Shopping, 5);
+        pb.browsers.population = 5_000;
+        let mut co = pb.clone();
+        co.load_model = LoadModel::Cohort { bins: 64 };
+        let a = run_iteration(&pb);
+        let b = run_iteration(&co);
+        // The scaling win: far fewer calendar-queue events for the same
+        // population.
+        assert!(
+            (b.events as f64) < (a.events as f64) / 3.0,
+            "cohort must batch events: per-browser {} vs cohort {}",
+            a.events,
+            b.events
+        );
+        // Accounting stays in browser units: completions are weighted by
+        // token weight, so throughput is the same order of magnitude.
+        assert!(b.metrics.completed > 0);
+        let rel = (b.metrics.wips - a.metrics.wips).abs() / a.metrics.wips;
+        assert!(
+            rel < 0.30,
+            "wips diverged: {} vs {} ({rel})",
+            a.metrics.wips,
+            b.metrics.wips
+        );
+    }
+
+    #[test]
+    fn cohort_at_weight_one_only_quantises_think_times() {
+        // Below one token per browser the cohort model degenerates to
+        // per-browser with binned think times: same entity count, same
+        // demand, nearly identical throughput.
+        let pb = tiny_scenario(Workload::Shopping, 11);
+        let mut co = pb.clone();
+        co.load_model = LoadModel::Cohort { bins: 64 };
+        let a = run_iteration(&pb);
+        let b = run_iteration(&co);
+        let rel = (b.metrics.wips - a.metrics.wips).abs() / a.metrics.wips;
+        assert!(rel < 0.15, "wips diverged at weight 1: {rel}");
     }
 
     #[test]

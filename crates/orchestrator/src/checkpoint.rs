@@ -93,6 +93,15 @@ pub fn session_fingerprint(
         Some(plan) => canon.push_str(&plan.to_json()),
         None => canon.push('-'),
     }
+    // The load model is part of the environment: a cohort session's
+    // measurements are not interchangeable with a per-browser session's,
+    // so resuming across models (or across bin counts) must be refused.
+    // Appended only in cohort mode so every pre-existing per-browser
+    // fingerprint — including the golden ones in BENCH files — is
+    // unchanged.
+    if let cluster::model::LoadModel::Cohort { bins } = cfg.load_model {
+        let _ = write!(canon, "|cohort:{bins}");
+    }
     // The tuning algorithm is part of the environment: resuming a
     // simplex checkpoint under `--tuner tuna` must be refused.
     let _ = write!(canon, "|{}|{kind}|{iterations}|{switch_at}", cfg.tuner);
@@ -538,6 +547,72 @@ mod tests {
                 10
             )
         );
+    }
+
+    #[test]
+    fn fingerprint_separates_load_models() {
+        use cluster::model::LoadModel;
+        let base = session_fingerprint(&cfg(), "tune", 10, 10);
+        // Per-browser is the default; spelling it out changes nothing, so
+        // every fingerprint minted before the cohort model exists is
+        // still valid.
+        assert_eq!(
+            base,
+            session_fingerprint(&cfg().load_model(LoadModel::PerBrowser), "tune", 10, 10)
+        );
+        let cohort = session_fingerprint(
+            &cfg().load_model(LoadModel::Cohort { bins: 64 }),
+            "tune",
+            10,
+            10,
+        );
+        assert_ne!(
+            base, cohort,
+            "cohort sessions must not resume per-browser state"
+        );
+        // The bin count shapes the think-time quantisation, so it is
+        // part of the environment too.
+        assert_ne!(
+            cohort,
+            session_fingerprint(
+                &cfg().load_model(LoadModel::Cohort { bins: 32 }),
+                "tune",
+                10,
+                10,
+            )
+        );
+    }
+
+    #[test]
+    fn resume_across_load_models_is_refused() {
+        use cluster::model::LoadModel;
+        let dir = std::env::temp_dir().join(format!(
+            "ckpt-loadmodel-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::new(&dir).every(2);
+        // A per-browser session checkpoints...
+        let pb = session_fingerprint(&cfg(), "tune", 10, 10);
+        let (mut ckpt, _) = Checkpointer::open(&policy, pb).expect("fresh");
+        ckpt.append(State::map().with("iteration", State::U64(0)))
+            .expect("append");
+        drop(ckpt);
+        // ...and a cohort invocation pointed at the same directory is a
+        // typed refusal, not a silently diverging run.
+        let cohort = session_fingerprint(
+            &cfg().load_model(LoadModel::Cohort { bins: 64 }),
+            "tune",
+            10,
+            10,
+        );
+        let resume_policy = policy.clone().resume(true);
+        let err = Checkpointer::open(&resume_policy, cohort).unwrap_err();
+        assert!(matches!(err, SessionError::Checkpoint(_)), "{err:?}");
+        // The matching model still resumes.
+        assert!(Checkpointer::open(&resume_policy, pb).is_ok());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::binding;
 use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
 use crate::eval::{EvalCounters, EvalEngine, EvalSettings};
 use cluster::config::{ClusterConfig, NodeId, Role, Topology};
-use cluster::model::ClusterScenario;
+use cluster::model::{ClusterScenario, LoadModel};
 use cluster::runner::{run_iteration, run_iteration_observed, IterationOutcome};
 use cluster::spec::NodeSpec;
 use faults::{FaultClock, FaultInjector, FaultPlan, WindowFaults};
@@ -97,6 +97,11 @@ pub struct SessionConfig {
     /// Walk the TPC-W Markov navigation graph instead of i.i.d. mix
     /// sampling (same steady-state frequencies; see `tpcw::navigation`).
     pub markov_sessions: bool,
+    /// Browser-population model: per-browser (the default, one entity
+    /// per browser) or cohort (weighted tokens on a think-time slot
+    /// wheel; see `tpcw::cohort`). Changing this changes the session
+    /// fingerprint, so checkpoints refuse cross-load-model resume.
+    pub load_model: LoadModel,
     /// Per-node hardware overrides (failure injection); entry `i`
     /// replaces `spec` for node `i`.
     pub node_specs: Vec<Option<NodeSpec>>,
@@ -143,6 +148,7 @@ impl SessionConfig {
             base_seed: 0x5EED,
             pin_seed: false,
             markov_sessions: false,
+            load_model: LoadModel::default(),
             node_specs: Vec::new(),
             fault_plan: None,
             fault_seed: 0xFA17,
@@ -174,6 +180,13 @@ impl SessionConfig {
     /// Builder: walk the Markov navigation graph instead of i.i.d. mixes.
     pub fn markov(mut self, on: bool) -> Self {
         self.markov_sessions = on;
+        self
+    }
+
+    /// Builder: select the browser-population model (see
+    /// [`cluster::model::LoadModel`]).
+    pub fn load_model(mut self, model: LoadModel) -> Self {
+        self.load_model = model;
         self
     }
 
@@ -371,6 +384,7 @@ impl SessionConfig {
             load_balancing: cluster::model::LoadBalancing::default(),
             node_specs: self.node_specs.clone(),
             faults,
+            load_model: self.load_model,
         }
     }
 

@@ -32,6 +32,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod browser;
+pub mod cohort;
 pub mod demand;
 pub mod interaction;
 pub mod metrics;
@@ -40,6 +41,7 @@ pub mod navigation;
 pub mod scale;
 
 pub use browser::{BrowserConfig, BrowserId, BrowserPool};
+pub use cohort::{CohortPlan, LoadModel, DEFAULT_COHORT_BINS};
 pub use demand::{profile, DemandProfile};
 pub use interaction::{Interaction, InteractionClass};
 pub use metrics::{IntervalPlan, IterationMetrics, MetricsCollector, Phase};

@@ -119,27 +119,52 @@ impl MetricsCollector {
 
     /// Record a successfully completed interaction.
     pub fn record_completion(&mut self, now: SimTime, ix: Interaction, response: SimDuration) {
+        self.record_completion_weighted(now, ix, response, 1);
+    }
+
+    /// Record `weight` completed interactions sharing one response time
+    /// (a cohort token standing for `weight` browsers). The response
+    /// sample is recorded once: token responses are *convoy* responses,
+    /// and replicating the sample would only fake confidence in a
+    /// distribution the cohort model quantises anyway.
+    pub fn record_completion_weighted(
+        &mut self,
+        now: SimTime,
+        ix: Interaction,
+        response: SimDuration,
+        weight: u64,
+    ) {
         if self.in_measure_window(now) {
-            self.completed[ix.index()] += 1;
+            self.completed[ix.index()] += weight;
             self.response.record(response.as_secs_f64());
             self.response_hist.record(response);
             self.per_interaction_response[ix.index()].record(response.as_secs_f64());
         } else {
-            self.outside_window += 1;
+            self.outside_window += weight;
         }
     }
 
     /// Record an interaction that failed (timeout, connection reset).
     pub fn record_error(&mut self, now: SimTime) {
+        self.record_error_weighted(now, 1);
+    }
+
+    /// Record `weight` failed interactions (cohort token weight).
+    pub fn record_error_weighted(&mut self, now: SimTime, weight: u64) {
         if self.in_measure_window(now) {
-            self.errors += 1;
+            self.errors += weight;
         }
     }
 
     /// Record a request dropped at admission (full accept queue).
     pub fn record_drop(&mut self, now: SimTime) {
+        self.record_drop_weighted(now, 1);
+    }
+
+    /// Record `weight` admission drops (cohort token weight).
+    pub fn record_drop_weighted(&mut self, now: SimTime, weight: u64) {
         if self.in_measure_window(now) {
-            self.dropped += 1;
+            self.dropped += weight;
         }
     }
 
@@ -297,6 +322,28 @@ mod tests {
         m.record_drop(SimTime::from_secs(139)); // cooldown — ignored
         assert_eq!(m.errors(), 1);
         assert_eq!(m.dropped(), 1);
+    }
+
+    #[test]
+    fn weighted_records_count_weight_browsers_one_sample() {
+        let mut m = collector();
+        let inside = SimTime::from_secs(115);
+        m.record_completion_weighted(inside, Interaction::Home, SimDuration::from_millis(50), 12);
+        m.record_error_weighted(inside, 5);
+        m.record_drop_weighted(inside, 7);
+        assert_eq!(m.total_completed(), 12);
+        assert_eq!(m.errors(), 5);
+        assert_eq!(m.dropped(), 7);
+        // One response sample for the whole cohort token.
+        assert!((m.mean_response_secs() - 0.05).abs() < 1e-9);
+        // Outside the window the full weight lands in outside_window.
+        m.record_completion_weighted(
+            SimTime::from_secs(101),
+            Interaction::Home,
+            SimDuration::from_millis(50),
+            9,
+        );
+        assert_eq!(m.outside_window(), 9);
     }
 
     #[test]

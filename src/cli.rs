@@ -4,6 +4,7 @@
 //! `tune`, `reconfig`, and `sweep`, each with a small flag set.
 
 use cluster::config::Topology;
+use cluster::model::{LoadModel, DEFAULT_COHORT_BINS};
 use harmony::strategy::TuningMethod;
 use tpcw::metrics::IntervalPlan;
 use tpcw::mix::Workload;
@@ -56,6 +57,10 @@ pub struct SimArgs {
     /// (`None` = 1 = sequential; `Some(0)` = one per core). Bit-identical
     /// results at any width — replications merge in replication order.
     pub replication_threads: Option<usize>,
+    /// How the browser population is realised (`--load-model`): one
+    /// simulated browser per user, or think-time cohorts of weighted
+    /// tokens (`--cohort-bins` controls the binning resolution).
+    pub load_model: LoadModel,
 }
 
 impl Default for SimArgs {
@@ -77,6 +82,7 @@ impl Default for SimArgs {
             eval_threads: None,
             no_eval_cache: false,
             replication_threads: None,
+            load_model: LoadModel::PerBrowser,
         }
     }
 }
@@ -141,6 +147,12 @@ OPTIONS (all subcommands):
   --replication-threads N   worker width for measurement replications
                      (default 1 = sequential; 0 = auto, one per core);
                      any width produces bit-identical statistics
+  --load-model per-browser|cohort   how the population is realised
+                     (default per-browser). cohort bins think times and
+                     simulates weighted browser tokens, so million-user
+                     populations cost O(tokens) events, not O(browsers)
+  --cohort-bins N    think-time bins per mean for the cohort model
+                     (default 64, N >= 1; requires --load-model cohort)
 
 TUNE:
   --method default|duplication|partitioning|hybrid  (default default)
@@ -310,9 +322,24 @@ fn parse_sim_exact(args: &[String]) -> Result<SimArgs, String> {
 fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
     let mut sim = SimArgs::default();
     let mut leftover = Vec::new();
+    let mut cohort = false;
+    let mut cohort_bins: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--load-model" => {
+                let v = args.get(i + 1).ok_or("--load-model needs a value")?;
+                cohort = match v.as_str() {
+                    "per-browser" => false,
+                    "cohort" => true,
+                    other => return Err(format!("unknown load model '{other}'")),
+                };
+                i += 2;
+            }
+            "--cohort-bins" => {
+                cohort_bins = Some(parse_num(args, i, "--cohort-bins")?);
+                i += 2;
+            }
             "--workload" => {
                 let v = args.get(i + 1).ok_or("--workload needs a value")?;
                 sim.workload = match v.to_lowercase().as_str() {
@@ -412,6 +439,22 @@ fn parse_sim(args: &[String]) -> Result<(SimArgs, Vec<String>), String> {
     }
     if sim.checkpoint_every == Some(0) {
         return Err("--checkpoint-every must be at least 1".into());
+    }
+    if cohort {
+        if cohort_bins == Some(0) {
+            return Err("--cohort-bins must be at least 1".into());
+        }
+        sim.load_model = LoadModel::Cohort {
+            bins: cohort_bins.unwrap_or(DEFAULT_COHORT_BINS),
+        };
+    } else if cohort_bins.is_some() {
+        return Err("--cohort-bins requires --load-model cohort".into());
+    }
+    if sim.markov && cohort {
+        return Err("--markov is incompatible with --load-model cohort \
+                    (cohort tokens batch i.i.d. think draws; a Markov \
+                    session walk is per-browser state)"
+            .into());
     }
     Ok((sim, leftover))
 }
@@ -778,6 +821,106 @@ mod tests {
         assert!(parse(argv(&["tune", "--replication-threads"])).is_err());
         assert!(parse(argv(&["tune", "--replication-threads", "-1"])).is_err());
         assert!(parse(argv(&["tune", "--replication-threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn load_model_flags() {
+        // Default stays per-browser everywhere.
+        match parse(argv(&["simulate"])).unwrap() {
+            Command::Simulate(sim) => assert_eq!(sim.load_model, LoadModel::PerBrowser),
+            other => panic!("{other:?}"),
+        }
+        // Explicit per-browser parses to the same thing.
+        match parse(argv(&["simulate", "--load-model", "per-browser"])).unwrap() {
+            Command::Simulate(sim) => assert_eq!(sim.load_model, LoadModel::PerBrowser),
+            other => panic!("{other:?}"),
+        }
+        // Cohort with the default bin count.
+        match parse(argv(&["simulate", "--load-model", "cohort"])).unwrap() {
+            Command::Simulate(sim) => {
+                assert_eq!(
+                    sim.load_model,
+                    LoadModel::Cohort {
+                        bins: DEFAULT_COHORT_BINS
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Cohort with explicit bins, on every subcommand that takes sim args.
+        match parse(argv(&[
+            "tune",
+            "--load-model",
+            "cohort",
+            "--cohort-bins",
+            "128",
+        ]))
+        .unwrap()
+        {
+            Command::Tune(t) => {
+                assert_eq!(t.sim.load_model, LoadModel::Cohort { bins: 128 });
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(argv(&[
+            "sweep",
+            "--load-model",
+            "cohort",
+            "--cohort-bins",
+            "8",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep(s) => assert_eq!(s.sim.load_model, LoadModel::Cohort { bins: 8 }),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(argv(&["simulate", "--load-model"])).is_err());
+        assert!(parse(argv(&["simulate", "--load-model", "swarm"])).is_err());
+        assert!(parse(argv(&["simulate", "--cohort-bins"])).is_err());
+        assert!(parse(argv(&["simulate", "--cohort-bins", "many"])).is_err());
+    }
+
+    #[test]
+    fn cohort_bins_without_cohort_model_is_rejected() {
+        // Bins only parameterise the cohort model; accepted silently they
+        // would do nothing, so reject loudly (same contract as
+        // --fault-seed without --faults).
+        for sub in ["simulate", "tune", "reconfig", "sweep"] {
+            let err = parse(argv(&[sub, "--cohort-bins", "32"])).unwrap_err();
+            assert!(
+                err.contains("--cohort-bins requires --load-model cohort"),
+                "{sub}: {err}"
+            );
+        }
+        // Even an explicit per-browser model rejects it.
+        let err = parse(argv(&[
+            "simulate",
+            "--load-model",
+            "per-browser",
+            "--cohort-bins",
+            "32",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires --load-model cohort"), "{err}");
+        // Zero bins is invalid.
+        let err = parse(argv(&[
+            "simulate",
+            "--load-model",
+            "cohort",
+            "--cohort-bins",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn cohort_conflicts_with_markov() {
+        let err = parse(argv(&["simulate", "--markov", "--load-model", "cohort"])).unwrap_err();
+        assert!(err.contains("--markov is incompatible"), "{err}");
+        // Either alone is fine.
+        assert!(parse(argv(&["simulate", "--markov"])).is_ok());
+        assert!(parse(argv(&["simulate", "--load-model", "cohort"])).is_ok());
     }
 
     #[test]

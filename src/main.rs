@@ -66,7 +66,8 @@ fn session_of(sim: &SimArgs) -> SessionConfig {
     let mut cfg = SessionConfig::new(sim.topology.clone(), sim.workload, sim.population)
         .plan(sim.plan)
         .base_seed(sim.seed)
-        .markov(sim.markov);
+        .markov(sim.markov)
+        .load_model(sim.load_model);
     if let Some(path) = sim.faults.as_deref() {
         match faults::FaultPlan::load(std::path::Path::new(path)) {
             Ok(plan) => cfg = cfg.fault_plan(plan),
